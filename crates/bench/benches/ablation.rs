@@ -1,0 +1,157 @@
+//! Ablation benchmarks for the design choices DESIGN.md §5 calls out:
+//!
+//! 1. T-Tree min/max occupancy slack (§3.2.1's "one or two items").
+//! 2. The quicksort→insertion-sort cutoff (footnote 6's tuned value, 10).
+//! 3. The |R|/2 dedup hash-table size \[DKO84\].
+//! 4. §2.2's pointers-instead-of-values indexing: inline integer keys vs
+//!    tuple-pointer indirection through a relation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmdb_bench::indexes::shuffled_keys;
+use mmdb_exec::project_hash_sized;
+use mmdb_index::adapter::NaturalAdapter;
+use mmdb_index::sort::quicksort_with_cutoff;
+use mmdb_index::stats::Counters;
+use mmdb_index::traits::OrderedIndex;
+use mmdb_index::{TTree, TTreeConfig};
+use mmdb_storage::{
+    AttrAdapter, AttrType, OutputField, OwnedValue, PartitionConfig, Relation,
+    ResultDescriptor, Schema, TempList,
+};
+use mmdb_workload::{build_single_column, RelationSpec};
+use std::hint::black_box;
+
+fn ablate_ttree_slack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ttree_slack");
+    group.sample_size(10);
+    let n = 20_000usize;
+    let keys = shuffled_keys(n, 1);
+    let ops = shuffled_keys(n, 2);
+    for slack in [0usize, 1, 2, 4, 8] {
+        group.bench_function(BenchmarkId::from_parameter(slack), |b| {
+            b.iter(|| {
+                let mut t = TTree::new(
+                    NaturalAdapter::<u64>::new(),
+                    TTreeConfig {
+                        max_count: 20,
+                        slack,
+                    },
+                );
+                for k in &keys {
+                    t.insert(*k);
+                }
+                // Mixed churn.
+                for k in &ops {
+                    t.delete(k);
+                    t.insert(*k);
+                }
+                black_box(t.stats().rotations)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn ablate_sort_cutoff(c: &mut Criterion) {
+    // Re-runs the paper's footnote-6 tuning experiment.
+    let mut group = c.benchmark_group("quicksort_cutoff");
+    group.sample_size(20);
+    let data = shuffled_keys(50_000, 3);
+    for cutoff in [0usize, 2, 5, 10, 20, 50] {
+        group.bench_function(BenchmarkId::from_parameter(cutoff), |b| {
+            b.iter(|| {
+                let mut v = data.clone();
+                let stats = Counters::default();
+                quicksort_with_cutoff(&mut v, cutoff, &stats, &mut |a, b| a.cmp(b));
+                black_box(v[0])
+            });
+        });
+    }
+    group.finish();
+}
+
+fn ablate_dedup_table_size(c: &mut Criterion) {
+    // The paper fixed the table at |R|/2; sweep the divisor.
+    let mut group = c.benchmark_group("dedup_table_divisor");
+    group.sample_size(10);
+    let n = 20_000usize;
+    let (rel, tids) = build_single_column(
+        "p",
+        &RelationSpec {
+            cardinality: n,
+            duplicate_pct: 30.0,
+            sigma: 0.8,
+            seed: 4,
+        },
+    );
+    let list = TempList::from_tids(tids);
+    let desc = ResultDescriptor::new(vec![OutputField::new(0, 0, "val")]);
+    for divisor in [1usize, 2, 4, 8, 16] {
+        group.bench_function(BenchmarkId::from_parameter(divisor), |b| {
+            b.iter(|| {
+                black_box(
+                    project_hash_sized(&list, &desc, &[&rel], n / divisor)
+                        .unwrap()
+                        .rows
+                        .len(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn ablate_pointer_vs_inline(c: &mut Criterion) {
+    // §2.2 stores tuple pointers in indexes instead of attribute values.
+    // Compare T-Tree search cost with inline u64 keys vs TupleId entries
+    // dereferenced through a relation.
+    let mut group = c.benchmark_group("pointer_vs_inline");
+    group.sample_size(20);
+    let n = 30_000usize;
+    let keys = shuffled_keys(n, 5);
+
+    let mut inline = TTree::new(NaturalAdapter::<u64>::new(), TTreeConfig::with_node_size(30));
+    for k in &keys {
+        inline.insert(*k);
+    }
+    group.bench_function("inline_u64_keys", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let k = keys[i % n];
+            i += 1;
+            black_box(inline.search(&k))
+        });
+    });
+
+    let mut rel = Relation::new(
+        "t",
+        Schema::of(&[("k", AttrType::Int)]),
+        PartitionConfig::default(),
+    );
+    let tids: Vec<_> = keys
+        .iter()
+        .map(|k| rel.insert(&[OwnedValue::Int(*k as i64)]).unwrap())
+        .collect();
+    let mut ptr = TTree::new(AttrAdapter::new(&rel, 0), TTreeConfig::with_node_size(30));
+    for t in &tids {
+        ptr.insert(*t);
+    }
+    group.bench_function("tuple_pointer_deref", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let k = mmdb_storage::KeyValue::Int(keys[i % n] as i64);
+            i += 1;
+            black_box(ptr.search(&k))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_ttree_slack,
+    ablate_sort_cutoff,
+    ablate_dedup_table_size,
+    ablate_pointer_vs_inline
+);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benchmarks of duplicate elimination (§3.4) at |R| = 10,000
+//! under low and high duplication.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmdb_exec::{project_hash, project_sort};
+use mmdb_storage::{OutputField, ResultDescriptor, TempList};
+use mmdb_workload::{build_single_column, RelationSpec};
+use std::hint::black_box;
+
+const N: usize = 10_000;
+
+fn bench_dedup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dedup_10k");
+    group.sample_size(10);
+    for dup in [0.0f64, 50.0, 95.0] {
+        let (rel, tids) = build_single_column(
+            "p",
+            &RelationSpec {
+                cardinality: N,
+                duplicate_pct: dup,
+                sigma: 0.8,
+                seed: 1,
+            },
+        );
+        let list = TempList::from_tids(tids);
+        let desc = ResultDescriptor::new(vec![OutputField::new(0, 0, "val")]);
+        group.bench_function(BenchmarkId::new("hash", format!("{dup:.0}% dup")), |b| {
+            b.iter(|| black_box(project_hash(&list, &desc, &[&rel]).unwrap().rows.len()))
+        });
+        group.bench_function(BenchmarkId::new("sort_scan", format!("{dup:.0}% dup")), |b| {
+            b.iter(|| black_box(project_sort(&list, &desc, &[&rel]).unwrap().rows.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dedup);
+criterion_main!(benches);

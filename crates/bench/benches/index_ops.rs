@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks: per-operation costs of all eight index
+//! structures (the per-op view of Graphs 1–2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmdb_bench::indexes::{shuffled_keys, IndexKindB};
+use std::hint::black_box;
+
+const N: usize = 30_000;
+const NODE_SIZE: usize = 30;
+
+fn bench_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_search");
+    group.sample_size(20);
+    let keys = shuffled_keys(N, 1);
+    let probes = shuffled_keys(N, 2);
+    for kind in IndexKindB::all() {
+        let mut idx = kind.build(NODE_SIZE, N);
+        for k in &keys {
+            idx.insert(*k);
+        }
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let k = probes[i % N];
+                i += 1;
+                black_box(idx.search(black_box(k)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_insert_delete_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_insert_delete");
+    group.sample_size(20);
+    let keys = shuffled_keys(N, 3);
+    for kind in IndexKindB::all() {
+        // The array's O(n) shifts make full-size cycles too slow to be
+        // informative per-op; bench it at 1/10 size and label it so.
+        let (n, label) = if kind == IndexKindB::Array {
+            (N / 10, "Array (n/10)")
+        } else {
+            (N, kind.name())
+        };
+        let mut idx = kind.build(NODE_SIZE, n);
+        for k in keys.iter().take(n) {
+            idx.insert(*k);
+        }
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            let mut next = n as u64;
+            b.iter(|| {
+                idx.insert(black_box(next));
+                black_box(idx.delete(black_box(next)));
+                next += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_ordered_scan(c: &mut Criterion) {
+    // §3.3.4 Test 4's explanation: "the array can be scanned in about 2/3
+    // the time it takes to scan a T Tree".
+    let mut group = c.benchmark_group("ordered_scan");
+    group.sample_size(20);
+    let keys = shuffled_keys(N, 4);
+    for kind in IndexKindB::ordered() {
+        let mut idx = kind.build(NODE_SIZE, N);
+        for k in &keys {
+            idx.insert(*k);
+        }
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            b.iter(|| black_box(idx.range_count(0, N as u64)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search, bench_insert_delete_cycle, bench_ordered_scan);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion benchmarks of the join kernels at a fixed composition
+//! (|R1| = |R2| = 10,000, unique keys, 100% semijoin selectivity — the
+//! midpoint of Graph 4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmdb_bench::time;
+use mmdb_exec::{hash_join, sort_merge_join, tree_join, tree_merge_join, JoinSide};
+use mmdb_index::traits::OrderedIndex;
+use mmdb_index::{TTree, TTreeConfig};
+use mmdb_storage::AttrAdapter;
+use mmdb_workload::relations::build_matching_relation;
+use mmdb_workload::{build_join_relation, JoinRelation, RelationSpec};
+use std::hint::black_box;
+
+const N: usize = 10_000;
+
+fn bench_joins(c: &mut Criterion) {
+    let outer = build_join_relation("r1", &RelationSpec::unique(N, 1));
+    let inner = build_matching_relation("r2", &RelationSpec::unique(N, 2), &outer, 100.0);
+    let o = JoinSide::new(&outer.relation, JoinRelation::JCOL, &outer.tids);
+    let i = JoinSide::new(&inner.relation, JoinRelation::JCOL, &inner.tids);
+    let mut oidx = TTree::new(
+        AttrAdapter::new(&outer.relation, JoinRelation::JCOL),
+        TTreeConfig::with_node_size(30),
+    );
+    for t in &outer.tids {
+        oidx.insert(*t);
+    }
+    let mut iidx = TTree::new(
+        AttrAdapter::new(&inner.relation, JoinRelation::JCOL),
+        TTreeConfig::with_node_size(30),
+    );
+    for t in &inner.tids {
+        iidx.insert(*t);
+    }
+
+    let mut group = c.benchmark_group("join_10k");
+    group.sample_size(10);
+    group.bench_function("hash_join (incl. build)", |b| {
+        b.iter(|| black_box(hash_join(o, i).unwrap().len()))
+    });
+    group.bench_function("tree_join (index exists)", |b| {
+        b.iter(|| black_box(tree_join(o, &iidx).unwrap().len()))
+    });
+    group.bench_function("sort_merge (incl. sorts)", |b| {
+        b.iter(|| black_box(sort_merge_join(o, i).unwrap().len()))
+    });
+    group.bench_function("tree_merge (indices exist)", |b| {
+        b.iter(|| {
+            black_box(
+                tree_merge_join(
+                    &outer.relation,
+                    JoinRelation::JCOL,
+                    &oidx,
+                    &inner.relation,
+                    JoinRelation::JCOL,
+                    &iidx,
+                )
+                .unwrap()
+                .len(),
+            )
+        })
+    });
+    group.finish();
+
+    // Sanity print of one-shot times (useful in --nocapture logs).
+    let (r, s) = time(|| hash_join(o, i).unwrap());
+    eprintln!("hash_join: {} rows in {s:.4}s", r.len());
+}
+
+criterion_group!(benches, bench_joins);
+criterion_main!(benches);

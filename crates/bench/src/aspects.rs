@@ -1,0 +1,96 @@
+//! The rest of §3.2.2's test list. *"Each index structure … was tested
+//! for all aspects of index use: creation, search, scan, range queries
+//! (hash structures excluded), query mixes …, and deletion."* The paper
+//! published only the search and query-mix graphs; this figure regenerates
+//! the other four aspects at a representative node size.
+
+use crate::figure::{fmt_secs, Figure, Scale};
+use crate::indexes::{shuffled_keys, IndexKindB};
+use crate::{time, time_best};
+
+/// Node size used for the aspect sweep (mid-range; Graphs 1–2 show the
+/// trends are flat in this region).
+const NODE_SIZE: usize = 30;
+
+/// Run creation / scan / range / deletion for every structure.
+#[must_use]
+pub fn run(scale: Scale) -> Figure {
+    let n = scale.apply(30_000, 500);
+    let mut fig = Figure::new(
+        "index_aspects",
+        &format!("Index aspects at node size {NODE_SIZE} ({n} elements, seconds)"),
+        &["structure", "create", "scan", "range_10pct", "delete_all"],
+    );
+    let keys = shuffled_keys(n, 0x1A);
+    let delete_order = shuffled_keys(n, 0x1B);
+    for kind in IndexKindB::all() {
+        // Creation: insert all n elements into an empty structure.
+        let (mut idx, create) = time(|| {
+            let mut idx = kind.build(NODE_SIZE, n);
+            for k in &keys {
+                idx.insert(*k);
+            }
+            idx
+        });
+        // Scan: count everything via a full range (ordered structures
+        // only; the paper excluded hash structures from scans/ranges).
+        let (scan, range) = if IndexKindB::ordered().contains(&kind) {
+            let (c, scan) = time_best(3, || idx.range_count(0, n as u64));
+            assert_eq!(c, Some(n));
+            let lo = (n / 2) as u64;
+            let hi = lo + (n / 10) as u64 - 1;
+            let (c, range) = time_best(3, || idx.range_count(lo, hi));
+            assert_eq!(c, Some(n / 10));
+            (fmt_secs(scan), fmt_secs(range))
+        } else {
+            ("-".to_string(), "-".to_string())
+        };
+        // Deletion: remove every element, shuffled order.
+        let (_, delete) = time(|| {
+            for k in &delete_order {
+                idx.delete(*k);
+            }
+        });
+        assert!(idx.is_empty(), "{}: deletion must empty the index", kind.name());
+        fig.push_row(vec![
+            kind.name().to_string(),
+            fmt_secs(create),
+            scan,
+            range,
+            fmt_secs(delete),
+        ]);
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_all_aspects() {
+        let fig = run(Scale(0.03));
+        assert_eq!(fig.rows.len(), 8);
+        // Ordered structures have scan/range entries; hashes have dashes.
+        for row in &fig.rows {
+            let is_ordered = IndexKindB::ordered()
+                .iter()
+                .any(|k| k.name() == row[0]);
+            assert_eq!(row[2] == "-", !is_ordered, "{}", row[0]);
+        }
+    }
+
+    /// §3.3.4 Test 4's explanation, as a scan-cost assertion: "the array
+    /// can be scanned in about 2/3 the time it takes to scan a T Tree".
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn array_scans_faster_than_ttree() {
+        let fig = run(Scale(0.5));
+        let array_scan: f64 = fig.rows[0][2].parse().unwrap();
+        let ttree_scan: f64 = fig.rows[3][2].parse().unwrap();
+        assert!(
+            array_scan < ttree_scan,
+            "array scan {array_scan} should beat T-Tree scan {ttree_scan}"
+        );
+    }
+}

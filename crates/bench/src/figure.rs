@@ -1,0 +1,155 @@
+//! Figure data model: a titled table of rows, printable and CSV-writable.
+
+use std::io::Write;
+
+/// Scale factor applied to experiment cardinalities (1.0 = the paper's
+/// sizes; tests use small fractions).
+#[derive(Debug, Clone, Copy)]
+pub struct Scale(pub f64);
+
+impl Scale {
+    /// The paper's full size.
+    #[must_use]
+    pub fn full() -> Self {
+        Scale(1.0)
+    }
+
+    /// A quick smoke-test size.
+    #[must_use]
+    pub fn smoke() -> Self {
+        Scale(0.05)
+    }
+
+    /// Scale a cardinality, keeping it at least `min`.
+    #[must_use]
+    pub fn apply(&self, n: usize, min: usize) -> usize {
+        ((n as f64 * self.0) as usize).max(min)
+    }
+}
+
+/// One regenerated figure/table.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Identifier, e.g. `"graph4"`.
+    pub id: String,
+    /// Human title, e.g. `"Join Test 1 — Vary Cardinality"`.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Figure {
+    /// Create an empty figure.
+    #[must_use]
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Self {
+        Figure {
+            id: id.to_string(),
+            title: title.to_string(),
+            columns: columns.iter().map(|c| (*c).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        debug_assert_eq!(row.len(), self.columns.len());
+        self.rows.push(row);
+    }
+
+    /// Render as an aligned text table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
+            .collect();
+        out.push_str(&header.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write as CSV to `dir/<id>.csv`.
+    pub fn write_csv(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.id));
+        let mut f = std::fs::File::create(&path)?;
+        writeln!(f, "{}", self.columns.join(","))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(path)
+    }
+
+    /// Read back a cell as f64 (tests).
+    #[must_use]
+    pub fn cell_f64(&self, row: usize, col: usize) -> f64 {
+        self.rows[row][col].parse().expect("numeric cell")
+    }
+
+    /// Find the column index by name.
+    #[must_use]
+    pub fn col(&self, name: &str) -> usize {
+        self.columns
+            .iter()
+            .position(|c| c == name)
+            .unwrap_or_else(|| panic!("no column {name}"))
+    }
+}
+
+/// Format seconds with µs resolution.
+#[must_use]
+pub fn fmt_secs(s: f64) -> String {
+    format!("{s:.6}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_applies_with_floor() {
+        assert_eq!(Scale(0.1).apply(30_000, 100), 3000);
+        assert_eq!(Scale(0.0001).apply(30_000, 100), 100);
+        assert_eq!(Scale::full().apply(30_000, 1), 30_000);
+    }
+
+    #[test]
+    fn render_and_csv() {
+        let mut f = Figure::new("t1", "Test", &["a", "bb"]);
+        f.push_row(vec!["1".into(), "2.5".into()]);
+        f.push_row(vec!["10".into(), "0.25".into()]);
+        let r = f.render();
+        assert!(r.contains("t1"));
+        assert!(r.contains("bb"));
+        assert_eq!(f.cell_f64(1, 1), 0.25);
+        assert_eq!(f.col("bb"), 1);
+        let dir = std::env::temp_dir().join(format!("mmqp-fig-{}", std::process::id()));
+        let p = f.write_csv(&dir).unwrap();
+        let got = std::fs::read_to_string(&p).unwrap();
+        assert!(got.starts_with("a,bb\n1,2.5\n"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

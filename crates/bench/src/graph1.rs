@@ -1,0 +1,90 @@
+//! Graph 1 — index search time vs node size (§3.2.2).
+//!
+//! Each structure is loaded with 30,000 unique elements and then probed
+//! with every key once (the paper timed search batches the same way). One
+//! series per structure, node sizes 2–100; structures without a node-size
+//! parameter produce the paper's "straight lines".
+
+use crate::figure::{fmt_secs, Figure, Scale};
+use crate::indexes::{shuffled_keys, IndexKindB};
+use crate::time_best;
+
+/// The node sizes swept (the paper's x-axis, 0–100).
+#[must_use]
+pub fn node_sizes() -> Vec<usize> {
+    vec![2, 6, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+}
+
+/// Run Graph 1. Columns: node_size, then one per structure (seconds for
+/// the full probe batch).
+#[must_use]
+pub fn run(scale: Scale) -> Figure {
+    let n = scale.apply(30_000, 500);
+    let kinds = IndexKindB::all();
+    let mut cols = vec!["node_size".to_string()];
+    cols.extend(kinds.iter().map(|k| k.name().to_string()));
+    let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+    let mut fig = Figure::new(
+        "graph1",
+        &format!("Index Search ({n} elements, seconds per {n} searches)"),
+        &col_refs,
+    );
+    let insert_order = shuffled_keys(n, 0xA);
+    let probe_order = shuffled_keys(n, 0xB);
+    for ns in node_sizes() {
+        let mut row = vec![ns.to_string()];
+        for kind in &kinds {
+            let mut idx = kind.build(ns, n);
+            for k in &insert_order {
+                idx.insert(*k);
+            }
+            let (hits, secs) = time_best(3, || {
+                let mut hits = 0usize;
+                for k in &probe_order {
+                    if idx.search(*k) {
+                        hits += 1;
+                    }
+                }
+                hits
+            });
+            assert_eq!(hits, n, "{}: all probes must hit", kind.name());
+            row.push(fmt_secs(secs));
+        }
+        fig.push_row(row);
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_has_expected_shape() {
+        let fig = run(Scale(0.02)); // 600 elements
+        assert_eq!(fig.rows.len(), node_sizes().len());
+        assert_eq!(fig.columns.len(), 9);
+        // All timings positive.
+        for row in 0..fig.rows.len() {
+            for col in 1..fig.columns.len() {
+                assert!(fig.cell_f64(row, col) > 0.0);
+            }
+        }
+    }
+
+    /// Timing-shape assertion — meaningful only with optimized code.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn chained_bucket_is_fastest_at_large_node_sizes() {
+        // The paper's headline: CBH flat and fastest; Modified Linear Hash
+        // degrades as chains lengthen.
+        let fig = run(Scale(0.1)); // 3000 elements
+        let last = fig.rows.len() - 1; // node size 100
+        let cbh = fig.cell_f64(last, fig.col("Chained Bucket Hash"));
+        let mlh = fig.cell_f64(last, fig.col("Modified Linear Hash"));
+        assert!(
+            cbh < mlh,
+            "CBH ({cbh}) should beat 100-long chains of MLH ({mlh})"
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Graph 10 — the Nested Loops join (§3.3.4).
+//!
+//! *"unless one plans to generate full cross products on a regular basis,
+//! nested loops join should simply never be considered as a practical join
+//! method for a main memory DBMS."*
+
+use crate::figure::{fmt_secs, Figure, Scale};
+use crate::{time, time_best};
+use mmdb_exec::{hash_join, nested_loops_join, JoinSide};
+use mmdb_workload::relations::build_matching_relation;
+use mmdb_workload::{build_join_relation, JoinRelation, RelationSpec};
+
+/// Run Graph 10: nested loops over |R1| = |R2| from 1k to 20k (scaled),
+/// with the Hash Join time alongside for the orders-of-magnitude contrast.
+#[must_use]
+pub fn run(scale: Scale) -> Figure {
+    let mut fig = Figure::new(
+        "graph10",
+        "Nested Loops Join (|R1| = |R2|, x = tuples; Hash Join for contrast)",
+        &["x", "Nested Loops", "Hash Join", "output_rows"],
+    );
+    for base in [1_000usize, 5_000, 10_000, 20_000] {
+        let n = scale.apply(base, 100);
+        let outer = build_join_relation("r1", &RelationSpec::unique(n, 101));
+        let inner = build_matching_relation("r2", &RelationSpec::unique(n, 102), &outer, 100.0);
+        let o = JoinSide::new(&outer.relation, JoinRelation::JCOL, &outer.tids);
+        let i = JoinSide::new(&inner.relation, JoinRelation::JCOL, &inner.tids);
+        let (nl, nl_secs) = time(|| nested_loops_join(o, i).expect("nested loops"));
+        let (hj, hj_secs) = time_best(3, || hash_join(o, i).expect("hash join"));
+        assert_eq!(nl.len(), hj.len());
+        fig.push_row(vec![
+            n.to_string(),
+            fmt_secs(nl_secs),
+            fmt_secs(hj_secs),
+            nl.len().to_string(),
+        ]);
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    #[allow(unused_imports)]
+    use super::*;
+
+    /// Timing-shape assertion — meaningful only with optimized code.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn quadratic_blowup_vs_hash_join() {
+        let fig = run(Scale(0.2)); // up to 4000 tuples
+        let last = fig.rows.len() - 1;
+        let nl = fig.cell_f64(last, fig.col("Nested Loops"));
+        let hj = fig.cell_f64(last, fig.col("Hash Join"));
+        assert!(
+            nl > hj * 20.0,
+            "nested loops {nl} should be orders of magnitude over hash join {hj}"
+        );
+        // Quadratic growth between the first and last rows.
+        let n0: f64 = fig.rows[0][0].parse().unwrap();
+        let n3: f64 = fig.rows[last][0].parse().unwrap();
+        let t0 = fig.cell_f64(0, fig.col("Nested Loops"));
+        let t3 = fig.cell_f64(last, fig.col("Nested Loops"));
+        let expect = (n3 / n0).powi(2);
+        let got = t3 / t0;
+        assert!(
+            got > expect * 0.2,
+            "scaling should be ~quadratic: expected ≈{expect}, got {got}"
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Graph 3 — the duplicate-value distributions (§3.3.1).
+//!
+//! Cumulative "% of tuples" vs "% of values" for the three truncated
+//! normal standard deviations (0.1 skewed, 0.4 moderate, 0.8
+//! near-uniform). This validates the workload generator itself — the
+//! joins of Graphs 7–8 depend on these shapes.
+
+use crate::figure::{Figure, Scale};
+use mmdb_workload::{cumulative_duplicate_curve, RelationSpec, ValueSet};
+
+/// The sigmas the paper plots.
+#[must_use]
+pub fn sigmas() -> Vec<f64> {
+    vec![0.1, 0.4, 0.8]
+}
+
+/// Run Graph 3: rows are percent-of-values points; columns are the
+/// percent-of-tuples covered under each σ.
+#[must_use]
+pub fn run(scale: Scale) -> Figure {
+    let n = scale.apply(20_000, 1000);
+    let mut fig = Figure::new(
+        "graph3",
+        &format!("Distribution of Duplicate Values ({n} tuples, ~99% duplicates)"),
+        &["pct_values", "sigma_0.1", "sigma_0.4", "sigma_0.8"],
+    );
+    let points = 20usize;
+    let mut curves = Vec::new();
+    for sigma in sigmas() {
+        let spec = RelationSpec {
+            cardinality: n,
+            duplicate_pct: 99.0,
+            sigma,
+            seed: 33,
+        };
+        let vs = ValueSet::generate(&spec);
+        curves.push(cumulative_duplicate_curve(&vs.values, points));
+    }
+    for i in 0..points {
+        let pct_values = curves[0].get(i).map_or(100.0, |p| p.0);
+        let mut row = vec![format!("{pct_values:.1}")];
+        for c in &curves {
+            row.push(format!("{:.1}", c.get(i).map_or(100.0, |p| p.1)));
+        }
+        fig.push_row(row);
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skew_ordering_matches_the_paper() {
+        let fig = run(Scale(0.25));
+        // At ~20% of values: σ=0.1 covers most tuples; σ=0.8 far fewer.
+        let row = 3; // 20% of values
+        let s01 = fig.cell_f64(row, 1);
+        let s04 = fig.cell_f64(row, 2);
+        let s08 = fig.cell_f64(row, 3);
+        assert!(s01 > s04 && s04 > s08, "{s01} > {s04} > {s08}");
+        assert!(s01 > 85.0, "skewed curve should be near the top: {s01}");
+    }
+
+    #[test]
+    fn curves_end_at_100_percent() {
+        let fig = run(Scale(0.1));
+        let last = fig.rows.len() - 1;
+        for col in 1..4 {
+            assert!((fig.cell_f64(last, col) - 100.0).abs() < 1.5);
+        }
+    }
+}

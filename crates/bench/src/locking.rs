@@ -1,0 +1,122 @@
+//! §2.4's granularity argument, measured: *"A lock table is basically a
+//! hashed relation, so the cost of locking a tuple would be comparable to
+//! the cost of accessing it — thus doubling the cost of tuple accesses if
+//! tuple-level locking is used."*
+//!
+//! We time a batch of tuple reads three ways: unlocked, under one
+//! partition-level lock per touched partition, and under one tuple-level
+//! lock per access. The paper's prediction: per-tuple locking roughly
+//! doubles access cost, while partition-level locking amortizes to noise.
+
+use crate::figure::{fmt_secs, Figure, Scale};
+use crate::time_best;
+use mmdb_lock::{LockManager, LockMode, LockTarget};
+use mmdb_storage::Value;
+use mmdb_workload::{build_join_relation, JoinRelation, RelationSpec};
+
+/// Run the lock-granularity comparison.
+#[must_use]
+pub fn run(scale: Scale) -> Figure {
+    let n = scale.apply(30_000, 500);
+    let jr = build_join_relation("r", &RelationSpec::unique(n, 7));
+    let mut fig = Figure::new(
+        "locking",
+        &format!("Lock granularity vs tuple access cost ({n} reads)"),
+        &["mode", "seconds", "lock_requests"],
+    );
+
+    let read_all = |jr: &JoinRelation| -> i64 {
+        let mut acc = 0i64;
+        for tid in &jr.tids {
+            if let Value::Int(v) = jr.relation.field(*tid, JoinRelation::JCOL).unwrap() {
+                acc = acc.wrapping_add(v);
+            }
+        }
+        acc
+    };
+
+    // Baseline: raw reads.
+    let (_, base) = time_best(3, || read_all(&jr));
+    fig.push_row(vec!["unlocked".into(), fmt_secs(base), "0".into()]);
+
+    // Partition-level: one lock per partition touched (the §2.4 design).
+    let (requests, secs) = time_best(3, || {
+        let locks = LockManager::new(256);
+        let txn = locks.begin();
+        let parts = jr.relation.partition_count();
+        for p in 0..parts {
+            locks
+                .lock(txn, LockTarget::new(0, p as u32), LockMode::Shared)
+                .unwrap();
+        }
+        let acc = read_all(&jr);
+        locks.release_all(txn);
+        let _ = acc;
+        locks.request_count()
+    });
+    fig.push_row(vec![
+        "partition-level".into(),
+        fmt_secs(secs),
+        requests.to_string(),
+    ]);
+
+    // Tuple-level: a lock request per tuple access (what the paper rules
+    // out). The lock table hashes (relation, tuple-slot) — "basically a
+    // hashed relation".
+    let (requests, secs) = time_best(3, || {
+        let locks = LockManager::new((n / 2).max(64));
+        let txn = locks.begin();
+        let mut acc = 0i64;
+        for tid in &jr.tids {
+            locks
+                .lock(
+                    txn,
+                    LockTarget::new(tid.partition, tid.slot),
+                    LockMode::Shared,
+                )
+                .unwrap();
+            if let Value::Int(v) = jr.relation.field(*tid, JoinRelation::JCOL).unwrap() {
+                acc = acc.wrapping_add(v);
+            }
+        }
+        locks.release_all(txn);
+        let _ = acc;
+        locks.request_count()
+    });
+    fig.push_row(vec![
+        "tuple-level".into(),
+        fmt_secs(secs),
+        requests.to_string(),
+    ]);
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_and_request_counts() {
+        let fig = run(Scale(0.02));
+        assert_eq!(fig.rows.len(), 3);
+        let partition_reqs: u64 = fig.rows[1][2].parse().unwrap();
+        let tuple_reqs: u64 = fig.rows[2][2].parse().unwrap();
+        assert!(
+            tuple_reqs > partition_reqs * 10,
+            "tuple locking does {tuple_reqs} requests vs {partition_reqs}"
+        );
+    }
+
+    /// The §2.4 prediction — needs optimized code to be meaningful.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn tuple_locking_costs_far_more_than_partition_locking() {
+        let fig = run(Scale(0.5));
+        let partition: f64 = fig.rows[1][1].parse().unwrap();
+        let tuple: f64 = fig.rows[2][1].parse().unwrap();
+        assert!(
+            tuple > partition * 1.5,
+            "tuple-level {tuple} should clearly exceed partition-level {partition}"
+        );
+    }
+}

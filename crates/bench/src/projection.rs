@@ -1,0 +1,113 @@
+//! Graphs 11–12 — duplicate elimination for projection (§3.4).
+//!
+//! Graph 11 varies |R| with no duplicates (hash's linear insert beats the
+//! sort's O(|R| log |R|)); Graph 12 fixes |R| = 30,000 and varies the
+//! duplicate percentage (hashing speeds up as duplicates are discarded on
+//! sight; sorting must still sort the whole relation).
+
+use crate::figure::{fmt_secs, Figure, Scale};
+use crate::time_best;
+use mmdb_exec::{project_hash, project_sort};
+use mmdb_storage::{OutputField, ResultDescriptor, TempList};
+use mmdb_workload::{build_single_column, RelationSpec};
+
+fn desc() -> ResultDescriptor {
+    ResultDescriptor::new(vec![OutputField::new(0, 0, "val")])
+}
+
+/// Graph 11 — Project Test 1: vary |R|, 0% duplicates.
+#[must_use]
+pub fn graph11(scale: Scale) -> Figure {
+    let mut fig = Figure::new(
+        "graph11",
+        "Project Test 1 — Vary Cardinality (x = tuples, no duplicates)",
+        &["x", "Sort Scan", "Hash", "distinct_rows"],
+    );
+    for base in [7_500usize, 15_000, 22_500, 30_000] {
+        let n = scale.apply(base, 200);
+        let (rel, tids) = build_single_column("p", &RelationSpec::unique(n, 111));
+        let list = TempList::from_tids(tids);
+        let d = desc();
+        let (s_out, s_secs) = time_best(3, || project_sort(&list, &d, &[&rel]).expect("sort scan"));
+        let (h_out, h_secs) = time_best(3, || project_hash(&list, &d, &[&rel]).expect("hash"));
+        assert_eq!(s_out.rows.len(), h_out.rows.len());
+        fig.push_row(vec![
+            n.to_string(),
+            fmt_secs(s_secs),
+            fmt_secs(h_secs),
+            h_out.rows.len().to_string(),
+        ]);
+    }
+    fig
+}
+
+/// Graph 12 — Project Test 2: |R| = 30,000, vary duplicate percentage.
+#[must_use]
+pub fn graph12(scale: Scale) -> Figure {
+    let n = scale.apply(30_000, 400);
+    let mut fig = Figure::new(
+        "graph12",
+        &format!("Project Test 2 — Vary Duplicate Percentage (|R| = {n}, x = dup %)"),
+        &["x", "Sort Scan", "Hash", "distinct_rows"],
+    );
+    for dup in [0.0, 25.0, 50.0, 75.0, 95.0] {
+        let (rel, tids) = build_single_column(
+            "p",
+            &RelationSpec {
+                cardinality: n,
+                duplicate_pct: dup,
+                sigma: 0.8, // the paper found the distribution irrelevant here
+                seed: 121,
+            },
+        );
+        let list = TempList::from_tids(tids);
+        let d = desc();
+        let (s_out, s_secs) = time_best(3, || project_sort(&list, &d, &[&rel]).expect("sort scan"));
+        let (h_out, h_secs) = time_best(3, || project_hash(&list, &d, &[&rel]).expect("hash"));
+        assert_eq!(s_out.rows.len(), h_out.rows.len());
+        fig.push_row(vec![
+            format!("{dup:.0}"),
+            fmt_secs(s_secs),
+            fmt_secs(h_secs),
+            h_out.rows.len().to_string(),
+        ]);
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Timing-shape assertion — meaningful only with optimized code.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn graph11_hash_wins_and_gap_grows() {
+        let fig = graph11(Scale(0.3));
+        let last = fig.rows.len() - 1;
+        let sort = fig.cell_f64(last, fig.col("Sort Scan"));
+        let hash = fig.cell_f64(last, fig.col("Hash"));
+        assert!(hash < sort, "hash {hash} must beat sort scan {sort}");
+    }
+
+    #[test]
+    fn graph12_duplicates_shrink_distinct_rows() {
+        let fig = graph12(Scale(0.1));
+        let first = fig.cell_f64(0, fig.col("distinct_rows"));
+        let last = fig.cell_f64(fig.rows.len() - 1, fig.col("distinct_rows"));
+        assert!(last < first / 2.0, "{first} → {last}");
+    }
+
+    /// Timing-shape assertion — meaningful only with optimized code.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn graph12_hash_speeds_up_with_duplicates() {
+        let fig = graph12(Scale(0.3));
+        let h_first = fig.cell_f64(0, fig.col("Hash"));
+        let h_last = fig.cell_f64(fig.rows.len() - 1, fig.col("Hash"));
+        assert!(
+            h_last < h_first * 1.2,
+            "hash should not slow down with duplicates: {h_first} → {h_last}"
+        );
+    }
+}

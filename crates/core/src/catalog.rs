@@ -1,0 +1,275 @@
+//! Catalog serialization: the schema metadata persisted on the disk copy
+//! so a crashed database can be rebuilt.
+//!
+//! Hand-rolled little-endian codec (no serde — the format is part of the
+//! recovery substrate and deliberately explicit): see [`encode_catalog`].
+
+use crate::db::IndexKind;
+use mmdb_storage::{AttrType, Attribute, PartitionConfig, Schema};
+
+/// Serializable description of one table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableMeta {
+    /// Table name.
+    pub name: String,
+    /// Its schema.
+    pub schema: Schema,
+    /// Partition sizing.
+    pub config: PartitionConfig,
+}
+
+/// Serializable description of one index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexMeta {
+    /// Index name.
+    pub name: String,
+    /// Owning table (position in the table list).
+    pub table: u32,
+    /// Indexed attribute position.
+    pub attr: u32,
+    /// Structure kind.
+    pub kind: IndexKind,
+    /// Structure parameter (T-Tree node size / hash target chain length).
+    pub param: u32,
+}
+
+/// The whole catalog.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CatalogMeta {
+    /// Tables in id order.
+    pub tables: Vec<TableMeta>,
+    /// Indexes in creation order.
+    pub indexes: Vec<IndexMeta>,
+}
+
+const MAGIC: &[u8; 8] = b"MMQPCAT1";
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.pos + n > self.bytes.len() {
+            return Err(format!("catalog truncated at offset {}", self.pos));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        let n = self.u32()? as usize;
+        let b = self.take(n)?;
+        String::from_utf8(b.to_vec()).map_err(|_| "catalog: invalid utf-8".to_string())
+    }
+}
+
+fn type_tag(t: AttrType) -> u8 {
+    match t {
+        AttrType::Int => 0,
+        AttrType::Str => 1,
+        AttrType::Ptr => 2,
+        AttrType::PtrList => 3,
+    }
+}
+
+fn tag_type(b: u8) -> Result<AttrType, String> {
+    Ok(match b {
+        0 => AttrType::Int,
+        1 => AttrType::Str,
+        2 => AttrType::Ptr,
+        3 => AttrType::PtrList,
+        _ => return Err(format!("catalog: bad type tag {b}")),
+    })
+}
+
+fn kind_tag(k: IndexKind) -> u8 {
+    match k {
+        IndexKind::TTree => 0,
+        IndexKind::Hash => 1,
+    }
+}
+
+fn tag_kind(b: u8) -> Result<IndexKind, String> {
+    Ok(match b {
+        0 => IndexKind::TTree,
+        1 => IndexKind::Hash,
+        _ => return Err(format!("catalog: bad index kind {b}")),
+    })
+}
+
+/// Serialize the catalog.
+#[must_use]
+pub fn encode_catalog(cat: &CatalogMeta) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    put_u32(&mut out, cat.tables.len() as u32);
+    for t in &cat.tables {
+        put_str(&mut out, &t.name);
+        put_u64(&mut out, t.config.partition_bytes as u64);
+        put_u64(&mut out, t.config.heap_percent as u64);
+        put_u32(&mut out, t.schema.arity() as u32);
+        for a in t.schema.attrs() {
+            put_str(&mut out, &a.name);
+            out.push(type_tag(a.ty));
+        }
+    }
+    put_u32(&mut out, cat.indexes.len() as u32);
+    for i in &cat.indexes {
+        put_str(&mut out, &i.name);
+        put_u32(&mut out, i.table);
+        put_u32(&mut out, i.attr);
+        out.push(kind_tag(i.kind));
+        put_u32(&mut out, i.param);
+    }
+    out
+}
+
+/// Deserialize a catalog blob.
+pub fn decode_catalog(bytes: &[u8]) -> Result<CatalogMeta, String> {
+    let mut r = Reader { bytes, pos: 0 };
+    if r.take(8)? != MAGIC {
+        return Err("catalog: bad magic".into());
+    }
+    let n_tables = r.u32()? as usize;
+    // Don't trust counts from the wire for pre-allocation.
+    let mut tables = Vec::with_capacity(n_tables.min(64));
+    for _ in 0..n_tables {
+        let name = r.string()?;
+        let partition_bytes = r.u64()? as usize;
+        let heap_percent = r.u64()? as usize;
+        let arity = r.u32()? as usize;
+        let mut attrs = Vec::with_capacity(arity.min(64));
+        for _ in 0..arity {
+            let aname = r.string()?;
+            let ty = tag_type(r.take(1)?[0])?;
+            attrs.push(Attribute::new(&aname, ty));
+        }
+        tables.push(TableMeta {
+            name,
+            schema: Schema::new(attrs),
+            config: PartitionConfig {
+                partition_bytes,
+                heap_percent,
+            },
+        });
+    }
+    let n_indexes = r.u32()? as usize;
+    let mut indexes = Vec::with_capacity(n_indexes.min(64));
+    for _ in 0..n_indexes {
+        let name = r.string()?;
+        let table = r.u32()?;
+        let attr = r.u32()?;
+        let kind = tag_kind(r.take(1)?[0])?;
+        let param = r.u32()?;
+        indexes.push(IndexMeta {
+            name,
+            table,
+            attr,
+            kind,
+            param,
+        });
+    }
+    if r.pos != bytes.len() {
+        return Err("catalog: trailing bytes".into());
+    }
+    Ok(CatalogMeta { tables, indexes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CatalogMeta {
+        CatalogMeta {
+            tables: vec![
+                TableMeta {
+                    name: "employee".into(),
+                    schema: Schema::of(&[
+                        ("name", AttrType::Str),
+                        ("id", AttrType::Int),
+                        ("dept", AttrType::Ptr),
+                        ("projects", AttrType::PtrList),
+                    ]),
+                    config: PartitionConfig::default(),
+                },
+                TableMeta {
+                    name: "department".into(),
+                    schema: Schema::of(&[("name", AttrType::Str), ("id", AttrType::Int)]),
+                    config: PartitionConfig::tiny(),
+                },
+            ],
+            indexes: vec![
+                IndexMeta {
+                    name: "emp_id".into(),
+                    table: 0,
+                    attr: 1,
+                    kind: IndexKind::TTree,
+                    param: 30,
+                },
+                IndexMeta {
+                    name: "dept_name".into(),
+                    table: 1,
+                    attr: 0,
+                    kind: IndexKind::Hash,
+                    param: 2,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let cat = sample();
+        let bytes = encode_catalog(&cat);
+        let back = decode_catalog(&bytes).unwrap();
+        assert_eq!(back.tables.len(), 2);
+        assert_eq!(back.tables[0].name, "employee");
+        assert_eq!(back.tables[0].schema, cat.tables[0].schema);
+        assert_eq!(back.tables[1].config.partition_bytes, 1024);
+        assert_eq!(back.indexes, cat.indexes);
+    }
+
+    #[test]
+    fn empty_catalog_roundtrip() {
+        let cat = CatalogMeta::default();
+        let back = decode_catalog(&encode_catalog(&cat)).unwrap();
+        assert!(back.tables.is_empty());
+        assert!(back.indexes.is_empty());
+    }
+
+    #[test]
+    fn corrupt_blobs_rejected() {
+        assert!(decode_catalog(b"short").is_err());
+        assert!(decode_catalog(b"WRONGMAG00000000").is_err());
+        let mut ok = encode_catalog(&sample());
+        ok.push(0); // trailing garbage
+        assert!(decode_catalog(&ok).is_err());
+        let mut truncated = encode_catalog(&sample());
+        truncated.truncate(truncated.len() - 3);
+        assert!(decode_catalog(&truncated).is_err());
+    }
+}

@@ -1,0 +1,1110 @@
+//! The [`Database`] facade.
+
+use crate::catalog::{encode_catalog, decode_catalog, CatalogMeta, IndexMeta, TableMeta};
+use crate::error::DbError;
+use crate::shared::SharedAdapter;
+use crate::txn::{Transaction, WriteOp};
+use mmdb_exec::{
+    choose_select_path, hash_join, nested_loops_join, precomputed_join, select_hash_index,
+    select_scan, select_tree_index, sort_merge_join, tree_join, tree_merge_join,
+    IndexAvailability, JoinMethod, JoinOutput, JoinPlanner, JoinSide, Predicate, SelectPath,
+};
+use mmdb_index::traits::{OrderedIndex, UnorderedIndex};
+use mmdb_index::{ModifiedLinearHash, TTree, TTreeConfig};
+use mmdb_lock::{LockManager, LockMode, LockTarget};
+use mmdb_recovery::{MemDisk, PartitionKey, RecoveryManager, RestartPhase, StableStore};
+use mmdb_storage::{
+    AttrType, OwnedValue, PartitionConfig, Relation, Schema, TempList, TupleId,
+};
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::rc::Rc;
+
+/// Identifies a table (position in catalog order).
+pub type TableId = usize;
+
+/// The two dynamic index structures the MM-DBMS design selected (§2.2):
+/// the T-Tree for ordered data and Modified Linear Hashing for unordered
+/// data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// T-Tree: ordered, supports ranges, merge joins, ordered scans.
+    TTree,
+    /// Modified Linear Hashing: exact match only, fastest lookups.
+    Hash,
+}
+
+enum AnyIndex {
+    TTree(TTree<SharedAdapter>),
+    Hash(ModifiedLinearHash<SharedAdapter>),
+}
+
+impl AnyIndex {
+    fn insert(&mut self, tid: TupleId) {
+        match self {
+            AnyIndex::TTree(t) => t.insert(tid),
+            AnyIndex::Hash(h) => h.insert(tid),
+        }
+    }
+
+    fn delete_entry(&mut self, tid: &TupleId) -> bool {
+        match self {
+            AnyIndex::TTree(t) => t.delete_entry(tid),
+            AnyIndex::Hash(h) => h.delete_entry(tid),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            AnyIndex::TTree(t) => t.len(),
+            AnyIndex::Hash(h) => h.len(),
+        }
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        match self {
+            AnyIndex::TTree(t) => t.validate(),
+            AnyIndex::Hash(h) => h.validate(),
+        }
+    }
+}
+
+struct IndexDef {
+    name: String,
+    table: TableId,
+    attr: usize,
+    kind: IndexKind,
+    param: u32,
+    index: AnyIndex,
+}
+
+struct Table {
+    name: String,
+    rel: Rc<RefCell<Relation>>,
+}
+
+/// A recovered-partition record: which partition, in which restart phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// `(table name, partition, phase)` in load order — working set first.
+    pub loaded: Vec<(String, u32, RestartPhase)>,
+    /// Indexes rebuilt after reload.
+    pub indexes_rebuilt: usize,
+}
+
+/// The memory-resident database (§2).
+pub struct Database<S: StableStore = MemDisk> {
+    tables: Vec<Table>,
+    indexes: Vec<IndexDef>,
+    locks: LockManager,
+    recovery: RecoveryManager<S>,
+}
+
+impl Database<MemDisk> {
+    /// A database whose disk copy is simulated in memory.
+    #[must_use]
+    pub fn in_memory() -> Self {
+        Database::with_disk(MemDisk::new())
+    }
+}
+
+impl Default for Database<MemDisk> {
+    fn default() -> Self {
+        Database::in_memory()
+    }
+}
+
+impl<S: StableStore> Database<S> {
+    /// A database over an explicit disk-copy backend (e.g.
+    /// [`mmdb_recovery::FileDisk`]).
+    pub fn with_disk(disk: S) -> Self {
+        Database {
+            tables: Vec::new(),
+            indexes: Vec::new(),
+            locks: LockManager::default(),
+            recovery: RecoveryManager::new(disk),
+        }
+    }
+
+    // ---- catalog -------------------------------------------------------
+
+    fn table_id(&self, name: &str) -> Result<TableId, DbError> {
+        self.tables
+            .iter()
+            .position(|t| t.name == name)
+            .ok_or_else(|| DbError::NoSuchTable(name.to_string()))
+    }
+
+    fn table(&self, id: TableId) -> &Table {
+        &self.tables[id]
+    }
+
+    /// Create a table with default partition sizing.
+    pub fn create_table(&mut self, name: &str, schema: Schema) -> Result<TableId, DbError> {
+        self.create_table_with_config(name, schema, PartitionConfig::default())
+    }
+
+    /// Create a table with explicit partition sizing.
+    pub fn create_table_with_config(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        config: PartitionConfig,
+    ) -> Result<TableId, DbError> {
+        if self.tables.iter().any(|t| t.name == name) {
+            return Err(DbError::Duplicate(name.to_string()));
+        }
+        let rel = Relation::new(name, schema, config);
+        self.tables.push(Table {
+            name: name.to_string(),
+            rel: Rc::new(RefCell::new(rel)),
+        });
+        self.persist_catalog()?;
+        Ok(self.tables.len() - 1)
+    }
+
+    /// Create an index with the default parameter (T-Tree node size 30 /
+    /// hash target chain length 2).
+    pub fn create_index(
+        &mut self,
+        name: &str,
+        table: &str,
+        attr: &str,
+        kind: IndexKind,
+    ) -> Result<(), DbError> {
+        let param = match kind {
+            IndexKind::TTree => 30,
+            IndexKind::Hash => 2,
+        };
+        self.create_index_with_param(name, table, attr, kind, param)
+    }
+
+    /// Create an index with an explicit structure parameter.
+    pub fn create_index_with_param(
+        &mut self,
+        name: &str,
+        table: &str,
+        attr: &str,
+        kind: IndexKind,
+        param: u32,
+    ) -> Result<(), DbError> {
+        if self.indexes.iter().any(|i| i.name == name) {
+            return Err(DbError::Duplicate(name.to_string()));
+        }
+        let t = self.table_id(table)?;
+        let attr_idx = self.table(t).rel.borrow().schema().index_of(attr)?;
+        let adapter = SharedAdapter::new(Rc::clone(&self.table(t).rel), attr_idx);
+        let mut index = match kind {
+            IndexKind::TTree => AnyIndex::TTree(TTree::new(
+                adapter,
+                TTreeConfig::with_node_size(param as usize),
+            )),
+            IndexKind::Hash => AnyIndex::Hash(ModifiedLinearHash::new(adapter, param as usize)),
+        };
+        // Index the existing population.
+        let tids = self.table(t).rel.borrow().tids();
+        for tid in tids {
+            index.insert(tid);
+        }
+        self.indexes.push(IndexDef {
+            name: name.to_string(),
+            table: t,
+            attr: attr_idx,
+            kind,
+            param,
+            index,
+        });
+        self.persist_catalog()?;
+        Ok(())
+    }
+
+    fn persist_catalog(&mut self) -> Result<(), DbError> {
+        let meta = CatalogMeta {
+            tables: self
+                .tables
+                .iter()
+                .map(|t| {
+                    let r = t.rel.borrow();
+                    TableMeta {
+                        name: t.name.clone(),
+                        schema: r.schema().clone(),
+                        config: r.config(),
+                    }
+                })
+                .collect(),
+            indexes: self
+                .indexes
+                .iter()
+                .map(|i| IndexMeta {
+                    name: i.name.clone(),
+                    table: i.table as u32,
+                    attr: i.attr as u32,
+                    kind: i.kind,
+                    param: i.param,
+                })
+                .collect(),
+        };
+        self.recovery.write_meta("catalog", &encode_catalog(&meta))?;
+        Ok(())
+    }
+
+    /// Names of all tables, in id order.
+    #[must_use]
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.iter().map(|t| t.name.clone()).collect()
+    }
+
+    /// Number of live tuples in a table.
+    pub fn len(&self, table: &str) -> Result<usize, DbError> {
+        Ok(self.table(self.table_id(table)?).rel.borrow().len())
+    }
+
+    /// The shared handle to a table's relation (the query layer borrows
+    /// several relations at once for materialization).
+    pub(crate) fn relation_handle(
+        &self,
+        table: &str,
+    ) -> Result<Rc<RefCell<Relation>>, DbError> {
+        Ok(Rc::clone(&self.table(self.table_id(table)?).rel))
+    }
+
+    /// Run a closure against the table's relation (read-only).
+    pub fn with_relation<R>(
+        &self,
+        table: &str,
+        f: impl FnOnce(&Relation) -> R,
+    ) -> Result<R, DbError> {
+        let t = self.table_id(table)?;
+        let r = self.table(t).rel.borrow();
+        Ok(f(&r))
+    }
+
+    /// All live tuple ids of a table (via storage; the primary index scan
+    /// would yield the same set).
+    pub fn tids(&self, table: &str) -> Result<Vec<TupleId>, DbError> {
+        let t = self.table_id(table)?;
+        Ok(self.table(t).rel.borrow().tids())
+    }
+
+    /// Check every index invariant (tests / debugging).
+    pub fn validate_indexes(&self) -> Result<(), String> {
+        for i in &self.indexes {
+            i.index.validate().map_err(|e| format!("{}: {e}", i.name))?;
+            let expect = self.table(i.table).rel.borrow().len();
+            if i.index.len() != expect {
+                return Err(format!(
+                    "{}: holds {} entries, relation has {expect}",
+                    i.name,
+                    i.index.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    // ---- transactions ---------------------------------------------------
+
+    /// Open a transaction.
+    pub fn begin(&self) -> Transaction {
+        Transaction::new(self.locks.begin())
+    }
+
+    /// Buffer an insert.
+    pub fn insert(
+        &self,
+        txn: &mut Transaction,
+        table: &str,
+        values: Vec<OwnedValue>,
+    ) -> Result<(), DbError> {
+        let t = self.table_id(table)?;
+        if !self.indexes.iter().any(|i| i.table == t) {
+            return Err(DbError::MissingIndex(table.to_string()));
+        }
+        self.table(t).rel.borrow().schema().check_row(&values)?;
+        txn.writes.push(WriteOp::Insert { table: t, values });
+        Ok(())
+    }
+
+    /// Buffer a single-attribute update.
+    pub fn update(
+        &self,
+        txn: &mut Transaction,
+        table: &str,
+        tid: TupleId,
+        attr: &str,
+        value: OwnedValue,
+    ) -> Result<(), DbError> {
+        let t = self.table_id(table)?;
+        let rel = self.table(t).rel.borrow();
+        let attr_idx = rel.schema().index_of(attr)?;
+        let a = rel.schema().attr(attr_idx)?;
+        if !a.ty.admits(&value) {
+            return Err(DbError::Storage(mmdb_storage::StorageError::TypeMismatch {
+                attr: attr_idx,
+                expected: a.ty.name(),
+                found: value.type_name(),
+            }));
+        }
+        rel.resolve(tid)?;
+        drop(rel);
+        txn.writes.push(WriteOp::Update {
+            table: t,
+            tid,
+            attr: attr_idx,
+            value,
+        });
+        Ok(())
+    }
+
+    /// Buffer a delete.
+    pub fn delete(
+        &self,
+        txn: &mut Transaction,
+        table: &str,
+        tid: TupleId,
+    ) -> Result<(), DbError> {
+        let t = self.table_id(table)?;
+        self.table(t).rel.borrow().resolve(tid)?;
+        txn.writes.push(WriteOp::Delete { table: t, tid });
+        Ok(())
+    }
+
+    /// Commit: apply the write set (X-locking each touched partition),
+    /// write partition after-images to the stable log buffer, and release
+    /// all locks (strict 2PL). Returns the tuple ids of the transaction's
+    /// inserts, in order.
+    pub fn commit(&mut self, mut txn: Transaction) -> Result<Vec<TupleId>, DbError> {
+        // Pre-validate so the apply loop cannot fail halfway.
+        let mut doomed: HashSet<(usize, TupleId)> = HashSet::new();
+        for op in &txn.writes {
+            match op {
+                WriteOp::Update { table, tid, .. } => {
+                    if doomed.contains(&(*table, *tid)) {
+                        return Err(DbError::Storage(
+                            mmdb_storage::StorageError::SlotEmpty(*tid),
+                        ));
+                    }
+                    self.table(*table).rel.borrow().resolve(*tid)?;
+                }
+                WriteOp::Delete { table, tid } => {
+                    if !doomed.insert((*table, *tid)) {
+                        return Err(DbError::Storage(
+                            mmdb_storage::StorageError::SlotEmpty(*tid),
+                        ));
+                    }
+                    self.table(*table).rel.borrow().resolve(*tid)?;
+                }
+                WriteOp::Insert { .. } => {}
+            }
+        }
+
+        let mut inserted = Vec::new();
+        let mut touched: HashSet<usize> = HashSet::new();
+        for op in std::mem::take(&mut txn.writes) {
+            match op {
+                WriteOp::Insert { table, values } => {
+                    let tid = self.table(table).rel.borrow_mut().insert(&values)?;
+                    self.locks.lock(
+                        txn.id,
+                        LockTarget::new(table as u32, tid.partition),
+                        LockMode::Exclusive,
+                    )?;
+                    for idx in self.indexes.iter_mut().filter(|i| i.table == table) {
+                        idx.index.insert(tid);
+                    }
+                    inserted.push(tid);
+                    touched.insert(table);
+                }
+                WriteOp::Update {
+                    table,
+                    tid,
+                    attr,
+                    value,
+                } => {
+                    let phys = self.table(table).rel.borrow().resolve(tid)?;
+                    self.locks.lock(
+                        txn.id,
+                        LockTarget::new(table as u32, phys.partition),
+                        LockMode::Exclusive,
+                    )?;
+                    // Remove stale index entries while the old value is
+                    // still readable.
+                    for idx in self
+                        .indexes
+                        .iter_mut()
+                        .filter(|i| i.table == table && i.attr == attr)
+                    {
+                        idx.index.delete_entry(&tid);
+                    }
+                    self.table(table)
+                        .rel
+                        .borrow_mut()
+                        .update_field(tid, attr, &value)?;
+                    for idx in self
+                        .indexes
+                        .iter_mut()
+                        .filter(|i| i.table == table && i.attr == attr)
+                    {
+                        idx.index.insert(tid);
+                    }
+                    touched.insert(table);
+                }
+                WriteOp::Delete { table, tid } => {
+                    let phys = self.table(table).rel.borrow().resolve(tid)?;
+                    self.locks.lock(
+                        txn.id,
+                        LockTarget::new(table as u32, phys.partition),
+                        LockMode::Exclusive,
+                    )?;
+                    for idx in self.indexes.iter_mut().filter(|i| i.table == table) {
+                        idx.index.delete_entry(&tid);
+                    }
+                    self.table(table).rel.borrow_mut().delete(tid)?;
+                    touched.insert(table);
+                }
+            }
+        }
+
+        // Write-ahead the after-images of every dirtied partition, then
+        // commit the log.
+        for t in touched {
+            let rel_handle = Rc::clone(&self.table(t).rel);
+            let mut rel = rel_handle.borrow_mut();
+            for p in rel.dirty_partitions() {
+                let image = rel.partition_image(p)?;
+                self.recovery
+                    .log_update(txn.id.0, PartitionKey::new(t as u32, p), image);
+            }
+            rel.clear_dirty();
+        }
+        self.recovery.commit(txn.id.0);
+        self.locks.release_all(txn.id);
+        Ok(inserted)
+    }
+
+    /// Abort: discard the buffered writes — "the log entry is removed and
+    /// no undo is needed" (nothing touched the database).
+    pub fn abort(&mut self, txn: Transaction) {
+        self.recovery.abort(txn.id.0);
+        self.locks.release_all(txn.id);
+    }
+
+    // ---- recovery plumbing ---------------------------------------------
+
+    /// One cycle of the active log device (pull committed records,
+    /// propagate to the disk copy).
+    pub fn run_log_device(&mut self) -> Result<(), DbError> {
+        self.recovery.run_log_device()?;
+        Ok(())
+    }
+
+    /// Log-device diagnostics: `(records pulled, images flushed)`.
+    #[must_use]
+    pub fn log_device_counters(&self) -> (u64, u64) {
+        self.recovery.device_counters()
+    }
+
+    /// Simulate a crash: the memory-resident database (relations and
+    /// indexes) is lost; the stable log buffer, log device, and disk copy
+    /// survive.
+    #[must_use]
+    pub fn crash(mut self) -> CrashedDatabase<S> {
+        self.recovery.crash_volatile();
+        CrashedDatabase {
+            recovery: self.recovery,
+        }
+    }
+
+    // ---- queries ---------------------------------------------------------
+
+    /// Availability of indexes on `(table, attr)`.
+    fn availability(&self, table: TableId, attr: usize, fk: bool) -> IndexAvailability {
+        IndexAvailability {
+            ttree: self
+                .indexes
+                .iter()
+                .any(|i| i.table == table && i.attr == attr && i.kind == IndexKind::TTree),
+            hash: self
+                .indexes
+                .iter()
+                .any(|i| i.table == table && i.attr == attr && i.kind == IndexKind::Hash),
+            fk_pointer: fk,
+        }
+    }
+
+    fn find_ttree(&self, table: TableId, attr: usize) -> Option<&TTree<SharedAdapter>> {
+        self.indexes.iter().find_map(|i| match &i.index {
+            AnyIndex::TTree(t) if i.table == table && i.attr == attr => Some(t),
+            _ => None,
+        })
+    }
+
+    fn find_hash(&self, table: TableId, attr: usize) -> Option<&ModifiedLinearHash<SharedAdapter>> {
+        self.indexes.iter().find_map(|i| match &i.index {
+            AnyIndex::Hash(h) if i.table == table && i.attr == attr => Some(h),
+            _ => None,
+        })
+    }
+
+    /// The access path [`select`](Database::select) would use.
+    pub fn plan_select(&self, table: &str, attr: &str, pred: &Predicate) -> Result<SelectPath, DbError> {
+        let t = self.table_id(table)?;
+        let attr_idx = self.table(t).rel.borrow().schema().index_of(attr)?;
+        let avail = self.availability(t, attr_idx, false);
+        Ok(choose_select_path(avail, matches!(pred, Predicate::Eq(_))))
+    }
+
+    /// Selection with the §4 preference ordering: hash lookup, then tree
+    /// lookup, then sequential scan.
+    pub fn select(&self, table: &str, attr: &str, pred: &Predicate) -> Result<TempList, DbError> {
+        let t = self.table_id(table)?;
+        let attr_idx = self.table(t).rel.borrow().schema().index_of(attr)?;
+        match self.plan_select(table, attr, pred)? {
+            SelectPath::HashLookup => {
+                let idx = self.find_hash(t, attr_idx).expect("planned hash index");
+                let Predicate::Eq(key) = pred else { unreachable!() };
+                Ok(select_hash_index(idx, key))
+            }
+            SelectPath::TreeLookup => {
+                let idx = self.find_ttree(t, attr_idx).expect("planned tree index");
+                Ok(select_tree_index(idx, pred))
+            }
+            SelectPath::SequentialScan => {
+                let rel = self.table(t).rel.borrow();
+                let tids = rel.tids();
+                Ok(select_scan(&rel, attr_idx, &tids, pred)?)
+            }
+        }
+    }
+
+    /// The join method [`join`](Database::join) would pick.
+    pub fn plan_join(
+        &self,
+        outer_table: &str,
+        outer_attr: &str,
+        inner_table: &str,
+        inner_attr: &str,
+    ) -> Result<JoinMethod, DbError> {
+        Ok(self.planner(outer_table, outer_attr, inner_table, inner_attr)?.choose())
+    }
+
+    fn planner(
+        &self,
+        outer_table: &str,
+        outer_attr: &str,
+        inner_table: &str,
+        inner_attr: &str,
+    ) -> Result<JoinPlanner, DbError> {
+        let ot = self.table_id(outer_table)?;
+        let it = self.table_id(inner_table)?;
+        let (o_attr, o_fk) = {
+            let r = self.table(ot).rel.borrow();
+            let a = r.schema().index_of(outer_attr)?;
+            let ty = r.schema().attr(a)?.ty;
+            (a, ty == AttrType::Ptr || ty == AttrType::PtrList)
+        };
+        let i_attr = self
+            .table(it)
+            .rel
+            .borrow()
+            .schema()
+            .index_of(inner_attr)?;
+        Ok(JoinPlanner {
+            outer_card: self.table(ot).rel.borrow().len(),
+            inner_card: self.table(it).rel.borrow().len(),
+            outer: self.availability(ot, o_attr, o_fk),
+            inner: self.availability(it, i_attr, false),
+            duplicate_pct: 0.0,
+            semijoin_pct: 100.0,
+            skewed: false,
+            outer_full: true,
+            inner_full: true,
+        })
+    }
+
+    /// Equijoin with the §4 method preference. Returns the result pairs
+    /// and the method used.
+    pub fn join(
+        &self,
+        outer_table: &str,
+        outer_attr: &str,
+        inner_table: &str,
+        inner_attr: &str,
+    ) -> Result<(JoinOutput, JoinMethod), DbError> {
+        let method = self.plan_join(outer_table, outer_attr, inner_table, inner_attr)?;
+        let out = self.join_with(method, outer_table, outer_attr, inner_table, inner_attr)?;
+        Ok((out, method))
+    }
+
+    /// Equijoin where the outer input is an explicit tuple list (e.g. a
+    /// prior selection's temp list). `outer_full` declares whether the
+    /// list covers the whole relation — a filtered list disables
+    /// index-merge plans (the indices would scan excluded tuples).
+    pub fn join_tids(
+        &self,
+        outer_table: &str,
+        outer_attr: &str,
+        outer_tids: &[TupleId],
+        outer_full: bool,
+        inner_table: &str,
+        inner_attr: &str,
+    ) -> Result<(JoinOutput, JoinMethod), DbError> {
+        let mut planner = self.planner(outer_table, outer_attr, inner_table, inner_attr)?;
+        planner.outer_card = outer_tids.len();
+        planner.outer_full = outer_full;
+        let method = planner.choose();
+        let ot = self.table_id(outer_table)?;
+        let it = self.table_id(inner_table)?;
+        let orel = self.table(ot).rel.borrow();
+        let irel = self.table(it).rel.borrow();
+        let o_attr = orel.schema().index_of(outer_attr)?;
+        let i_attr = irel.schema().index_of(inner_attr)?;
+        let itids = irel.tids();
+        let outer = JoinSide::new(&orel, o_attr, outer_tids);
+        let inner = JoinSide::new(&irel, i_attr, &itids);
+        let out = match method {
+            JoinMethod::Precomputed => precomputed_join(outer)?,
+            JoinMethod::TreeMerge => {
+                let oidx = self
+                    .find_ttree(ot, o_attr)
+                    .ok_or_else(|| DbError::NoSuchIndex(format!("{outer_table}.{outer_attr}")))?;
+                let iidx = self
+                    .find_ttree(it, i_attr)
+                    .ok_or_else(|| DbError::NoSuchIndex(format!("{inner_table}.{inner_attr}")))?;
+                tree_merge_join(&orel, o_attr, oidx, &irel, i_attr, iidx)?
+            }
+            JoinMethod::TreeJoin => {
+                let iidx = self
+                    .find_ttree(it, i_attr)
+                    .ok_or_else(|| DbError::NoSuchIndex(format!("{inner_table}.{inner_attr}")))?;
+                tree_join(outer, iidx)?
+            }
+            JoinMethod::HashJoin => hash_join(outer, inner)?,
+            JoinMethod::SortMerge => sort_merge_join(outer, inner)?,
+            JoinMethod::NestedLoops => nested_loops_join(outer, inner)?,
+        };
+        Ok((out, method))
+    }
+
+    /// Execute an equijoin with an explicit method (benchmarks, tests).
+    pub fn join_with(
+        &self,
+        method: JoinMethod,
+        outer_table: &str,
+        outer_attr: &str,
+        inner_table: &str,
+        inner_attr: &str,
+    ) -> Result<JoinOutput, DbError> {
+        let ot = self.table_id(outer_table)?;
+        let it = self.table_id(inner_table)?;
+        let orel = self.table(ot).rel.borrow();
+        let irel = self.table(it).rel.borrow();
+        let o_attr = orel.schema().index_of(outer_attr)?;
+        let i_attr = irel.schema().index_of(inner_attr)?;
+        let otids = orel.tids();
+        let itids = irel.tids();
+        let outer = JoinSide::new(&orel, o_attr, &otids);
+        let inner = JoinSide::new(&irel, i_attr, &itids);
+        let out = match method {
+            JoinMethod::Precomputed => precomputed_join(outer)?,
+            JoinMethod::TreeMerge => {
+                let oidx = self
+                    .find_ttree(ot, o_attr)
+                    .ok_or_else(|| DbError::NoSuchIndex(format!("{outer_table}.{outer_attr}")))?;
+                let iidx = self
+                    .find_ttree(it, i_attr)
+                    .ok_or_else(|| DbError::NoSuchIndex(format!("{inner_table}.{inner_attr}")))?;
+                tree_merge_join(&orel, o_attr, oidx, &irel, i_attr, iidx)?
+            }
+            JoinMethod::TreeJoin => {
+                let iidx = self
+                    .find_ttree(it, i_attr)
+                    .ok_or_else(|| DbError::NoSuchIndex(format!("{inner_table}.{inner_attr}")))?;
+                tree_join(outer, iidx)?
+            }
+            JoinMethod::HashJoin => hash_join(outer, inner)?,
+            JoinMethod::SortMerge => sort_merge_join(outer, inner)?,
+            JoinMethod::NestedLoops => nested_loops_join(outer, inner)?,
+        };
+        Ok(out)
+    }
+
+    /// Materialize chosen attributes of a temp-list column into owned
+    /// values (the final output step; this is the only copy ever made).
+    pub fn fetch(
+        &self,
+        table: &str,
+        tids: &[TupleId],
+        attrs: &[&str],
+    ) -> Result<Vec<Vec<OwnedValue>>, DbError> {
+        let t = self.table_id(table)?;
+        let rel = self.table(t).rel.borrow();
+        let idxs: Vec<usize> = attrs
+            .iter()
+            .map(|a| rel.schema().index_of(a))
+            .collect::<Result<_, _>>()?;
+        let mut out = Vec::with_capacity(tids.len());
+        for tid in tids {
+            let row: Vec<OwnedValue> = idxs
+                .iter()
+                .map(|i| rel.field(*tid, *i).map(|v| v.to_owned_value()))
+                .collect::<Result<_, _>>()?;
+            out.push(row);
+        }
+        Ok(out)
+    }
+}
+
+/// A database after a crash: only the recovery components survive.
+pub struct CrashedDatabase<S: StableStore> {
+    recovery: RecoveryManager<S>,
+}
+
+impl<S: StableStore> CrashedDatabase<S> {
+    /// The §2.4 restart: rebuild the catalog, load the named working-set
+    /// partitions first (merging unapplied log updates on the fly), then
+    /// the rest, and rebuild all indexes.
+    pub fn recover(
+        self,
+        working_set: &[(&str, u32)],
+    ) -> Result<(Database<S>, RecoveryReport), DbError> {
+        let bytes = self
+            .recovery
+            .read_meta("catalog")?
+            .ok_or_else(|| DbError::Catalog("no catalog on disk copy".into()))?;
+        let meta = decode_catalog(&bytes).map_err(DbError::Catalog)?;
+        let mut db = Database {
+            tables: Vec::new(),
+            indexes: Vec::new(),
+            locks: LockManager::default(),
+            recovery: self.recovery,
+        };
+        for t in &meta.tables {
+            db.tables.push(Table {
+                name: t.name.clone(),
+                rel: Rc::new(RefCell::new(Relation::new(
+                    &t.name,
+                    t.schema.clone(),
+                    t.config,
+                ))),
+            });
+        }
+        // Resolve the working set to partition keys.
+        let mut keys = Vec::with_capacity(working_set.len());
+        for (name, part) in working_set {
+            let t = db.table_id(name)?;
+            keys.push(PartitionKey::new(t as u32, *part));
+        }
+        let plan = db.recovery.restart(&keys)?;
+        let mut loaded = Vec::with_capacity(plan.len());
+        for (key, image, phase) in plan {
+            let t = key.relation as usize;
+            if t >= db.tables.len() {
+                return Err(DbError::Catalog(format!(
+                    "image for unknown relation {}",
+                    key.relation
+                )));
+            }
+            db.tables[t]
+                .rel
+                .borrow_mut()
+                .load_partition_image(key.partition, &image);
+            loaded.push((db.tables[t].name.clone(), key.partition, phase));
+        }
+        // Rebuild indexes from the reloaded relations.
+        let mut rebuilt = 0usize;
+        for im in &meta.indexes {
+            let t = im.table as usize;
+            let adapter = SharedAdapter::new(Rc::clone(&db.tables[t].rel), im.attr as usize);
+            let mut index = match im.kind {
+                IndexKind::TTree => AnyIndex::TTree(TTree::new(
+                    adapter,
+                    TTreeConfig::with_node_size(im.param as usize),
+                )),
+                IndexKind::Hash => {
+                    AnyIndex::Hash(ModifiedLinearHash::new(adapter, im.param as usize))
+                }
+            };
+            for tid in db.tables[t].rel.borrow().tids() {
+                index.insert(tid);
+            }
+            rebuilt += 1;
+            db.indexes.push(IndexDef {
+                name: im.name.clone(),
+                table: t,
+                attr: im.attr as usize,
+                kind: im.kind,
+                param: im.param,
+                index,
+            });
+        }
+        Ok((
+            db,
+            RecoveryReport {
+                loaded,
+                indexes_rebuilt: rebuilt,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdb_storage::{KeyValue, Value};
+
+    fn emp_schema() -> Schema {
+        Schema::of(&[("name", AttrType::Str), ("age", AttrType::Int)])
+    }
+
+    fn seeded_db() -> (Database, Vec<TupleId>) {
+        let mut db = Database::in_memory();
+        db.create_table("emp", emp_schema()).unwrap();
+        db.create_index("emp_age", "emp", "age", IndexKind::TTree)
+            .unwrap();
+        db.create_index("emp_name", "emp", "name", IndexKind::Hash)
+            .unwrap();
+        let mut txn = db.begin();
+        for (n, a) in [
+            ("Dave", 24i64),
+            ("Suzan", 27),
+            ("Yaman", 54),
+            ("Jane", 47),
+            ("Cindy", 22),
+            ("Old", 66),
+        ] {
+            db.insert(&mut txn, "emp", vec![n.into(), a.into()]).unwrap();
+        }
+        let tids = db.commit(txn).unwrap();
+        (db, tids)
+    }
+
+    #[test]
+    fn ddl_dml_select_roundtrip() {
+        let (db, tids) = seeded_db();
+        assert_eq!(db.len("emp").unwrap(), 6);
+        assert_eq!(tids.len(), 6);
+        db.validate_indexes().unwrap();
+        // Tree range (Query 1 of the paper).
+        let old = db
+            .select("emp", "age", &Predicate::greater(KeyValue::Int(65)))
+            .unwrap();
+        assert_eq!(old.len(), 1);
+        // Hash exact match.
+        assert_eq!(
+            db.plan_select("emp", "name", &Predicate::Eq(KeyValue::from("Jane")))
+                .unwrap(),
+            SelectPath::HashLookup
+        );
+        let jane = db
+            .select("emp", "name", &Predicate::Eq(KeyValue::from("Jane")))
+            .unwrap();
+        assert_eq!(jane.len(), 1);
+        let rows = db.fetch("emp", &jane.column(0), &["name", "age"]).unwrap();
+        assert_eq!(rows[0], vec![OwnedValue::from("Jane"), OwnedValue::Int(47)]);
+    }
+
+    #[test]
+    fn insert_requires_an_index() {
+        let mut db = Database::in_memory();
+        db.create_table("t", emp_schema()).unwrap();
+        let mut txn = db.begin();
+        let err = db
+            .insert(&mut txn, "t", vec!["x".into(), OwnedValue::Int(1)])
+            .unwrap_err();
+        assert!(matches!(err, DbError::MissingIndex(_)));
+        db.abort(txn);
+    }
+
+    #[test]
+    fn abort_discards_everything() {
+        let (mut db, _) = seeded_db();
+        let mut txn = db.begin();
+        db.insert(&mut txn, "emp", vec!["Ghost".into(), OwnedValue::Int(1)])
+            .unwrap();
+        db.abort(txn);
+        assert_eq!(db.len("emp").unwrap(), 6);
+        let ghost = db
+            .select("emp", "name", &Predicate::Eq(KeyValue::from("Ghost")))
+            .unwrap();
+        assert!(ghost.is_empty());
+    }
+
+    #[test]
+    fn update_maintains_indexes() {
+        let (mut db, tids) = seeded_db();
+        let mut txn = db.begin();
+        db.update(&mut txn, "emp", tids[0], "age", OwnedValue::Int(99))
+            .unwrap();
+        db.commit(txn).unwrap();
+        db.validate_indexes().unwrap();
+        let hits = db
+            .select("emp", "age", &Predicate::Eq(KeyValue::Int(99)))
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        assert!(db
+            .select("emp", "age", &Predicate::Eq(KeyValue::Int(24)))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn delete_maintains_indexes() {
+        let (mut db, tids) = seeded_db();
+        let mut txn = db.begin();
+        db.delete(&mut txn, "emp", tids[2]).unwrap();
+        db.commit(txn).unwrap();
+        db.validate_indexes().unwrap();
+        assert_eq!(db.len("emp").unwrap(), 5);
+        assert!(db
+            .select("emp", "age", &Predicate::Eq(KeyValue::Int(54)))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn double_delete_in_one_txn_rejected() {
+        let (mut db, tids) = seeded_db();
+        let mut txn = db.begin();
+        db.delete(&mut txn, "emp", tids[0]).unwrap();
+        db.delete(&mut txn, "emp", tids[0]).unwrap();
+        assert!(db.commit(txn).is_err() || db.len("emp").unwrap() == 5);
+    }
+
+    #[test]
+    fn crash_and_recover_committed_state() {
+        let (mut db, tids) = seeded_db();
+        // An extra committed update.
+        let mut txn = db.begin();
+        db.update(&mut txn, "emp", tids[4], "age", OwnedValue::Int(23))
+            .unwrap();
+        db.commit(txn).unwrap();
+        // And an uncommitted one that must vanish.
+        let mut txn = db.begin();
+        db.insert(&mut txn, "emp", vec!["Doomed".into(), OwnedValue::Int(1)])
+            .unwrap();
+        // (never committed)
+        let crashed = db.crash();
+        let (db2, report) = crashed.recover(&[("emp", 0)]).unwrap();
+        assert_eq!(db2.len("emp").unwrap(), 6);
+        assert_eq!(report.indexes_rebuilt, 2);
+        assert_eq!(report.loaded[0].2, RestartPhase::WorkingSet);
+        db2.validate_indexes().unwrap();
+        let cindy = db2
+            .select("emp", "name", &Predicate::Eq(KeyValue::from("Cindy")))
+            .unwrap();
+        let rows = db2.fetch("emp", &cindy.column(0), &["age"]).unwrap();
+        assert_eq!(rows[0][0], OwnedValue::Int(23), "committed update survives");
+        assert!(db2
+            .select("emp", "name", &Predicate::Eq(KeyValue::from("Doomed")))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn join_planning_and_execution() {
+        let mut db = Database::in_memory();
+        db.create_table(
+            "dept",
+            Schema::of(&[("dname", AttrType::Str), ("did", AttrType::Int)]),
+        )
+        .unwrap();
+        db.create_index("dept_id", "dept", "did", IndexKind::TTree)
+            .unwrap();
+        db.create_table(
+            "emp2",
+            Schema::of(&[("ename", AttrType::Str), ("did", AttrType::Int)]),
+        )
+        .unwrap();
+        db.create_index("emp2_did", "emp2", "did", IndexKind::TTree)
+            .unwrap();
+        let mut txn = db.begin();
+        for (d, i) in [("Toy", 1i64), ("Shoe", 2), ("Linen", 3)] {
+            db.insert(&mut txn, "dept", vec![d.into(), i.into()]).unwrap();
+        }
+        for (e, i) in [("Dave", 1i64), ("Cindy", 2), ("Suzan", 1), ("Jane", 9)] {
+            db.insert(&mut txn, "emp2", vec![e.into(), i.into()]).unwrap();
+        }
+        db.commit(txn).unwrap();
+        // Both T-Trees exist → Tree Merge.
+        assert_eq!(
+            db.plan_join("emp2", "did", "dept", "did").unwrap(),
+            JoinMethod::TreeMerge
+        );
+        let (out, method) = db.join("emp2", "did", "dept", "did").unwrap();
+        assert_eq!(method, JoinMethod::TreeMerge);
+        assert_eq!(out.len(), 3, "Dave, Cindy, Suzan match; Jane does not");
+        // Every method agrees.
+        for m in [
+            JoinMethod::HashJoin,
+            JoinMethod::SortMerge,
+            JoinMethod::TreeJoin,
+            JoinMethod::NestedLoops,
+        ] {
+            let alt = db.join_with(m, "emp2", "did", "dept", "did").unwrap();
+            assert_eq!(alt.len(), 3, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn precomputed_join_via_fk_pointer() {
+        let mut db = Database::in_memory();
+        db.create_table(
+            "dept",
+            Schema::of(&[("dname", AttrType::Str)]),
+        )
+        .unwrap();
+        db.create_index("dept_name", "dept", "dname", IndexKind::Hash)
+            .unwrap();
+        db.create_table(
+            "emp3",
+            Schema::of(&[("ename", AttrType::Str), ("dept", AttrType::Ptr)]),
+        )
+        .unwrap();
+        db.create_index("emp3_name", "emp3", "ename", IndexKind::Hash)
+            .unwrap();
+        let mut txn = db.begin();
+        db.insert(&mut txn, "dept", vec!["Toy".into()]).unwrap();
+        let toy = db.commit(txn).unwrap()[0];
+        let mut txn = db.begin();
+        db.insert(&mut txn, "emp3", vec!["Dave".into(), OwnedValue::Ptr(Some(toy))])
+            .unwrap();
+        db.commit(txn).unwrap();
+        assert_eq!(
+            db.plan_join("emp3", "dept", "dept", "dname").unwrap(),
+            JoinMethod::Precomputed
+        );
+        let (out, _) = db.join("emp3", "dept", "dept", "dname").unwrap();
+        assert_eq!(out.len(), 1);
+        let drow = out.pairs.row(0)[1];
+        db.with_relation("dept", |r| {
+            assert_eq!(r.field(drow, 0).unwrap(), Value::Str("Toy"));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut db = Database::in_memory();
+        db.create_table("t", emp_schema()).unwrap();
+        assert!(matches!(
+            db.create_table("t", emp_schema()),
+            Err(DbError::Duplicate(_))
+        ));
+        db.create_index("i", "t", "age", IndexKind::TTree).unwrap();
+        assert!(matches!(
+            db.create_index("i", "t", "name", IndexKind::Hash),
+            Err(DbError::Duplicate(_))
+        ));
+    }
+
+    #[test]
+    fn log_device_propagates_to_disk() {
+        let (mut db, _) = seeded_db();
+        assert_eq!(db.log_device_counters(), (0, 0));
+        db.run_log_device().unwrap();
+        let (pulled, flushed) = db.log_device_counters();
+        assert!(pulled > 0);
+        assert!(flushed > 0);
+    }
+}

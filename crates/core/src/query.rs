@@ -1,0 +1,423 @@
+//! A small fluent query layer over [`Database`]: filter → join… →
+//! project(distinct) pipelines, planned with the §4 preference ordering
+//! and executed entirely on temp lists (§2.3 — tuple pointers until the
+//! final fetch).
+//!
+//! ```
+//! # use mmdb_core::{Database, IndexKind};
+//! # use mmdb_storage::{AttrType, KeyValue, Schema};
+//! # use mmdb_exec::Predicate;
+//! # let mut db = Database::in_memory();
+//! # db.create_table("emp", Schema::of(&[("name", AttrType::Str), ("age", AttrType::Int), ("dept_id", AttrType::Int)])).unwrap();
+//! # db.create_index("e1", "emp", "age", IndexKind::TTree).unwrap();
+//! # db.create_table("dept", Schema::of(&[("dname", AttrType::Str), ("id", AttrType::Int)])).unwrap();
+//! # db.create_index("d1", "dept", "id", IndexKind::TTree).unwrap();
+//! # let mut t = db.begin();
+//! # db.insert(&mut t, "dept", vec!["Toy".into(), 1i64.into()]).unwrap();
+//! # db.insert(&mut t, "emp", vec!["Dave".into(), 70i64.into(), 1i64.into()]).unwrap();
+//! # db.commit(t).unwrap();
+//! let result = db
+//!     .query("emp")
+//!     .filter("age", Predicate::greater(KeyValue::Int(65)))
+//!     .join("dept_id", "dept", "id")
+//!     .project(&[("emp", "name"), ("dept", "dname")])
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(result.rows.len(), 1);
+//! ```
+
+use crate::db::Database;
+use crate::error::DbError;
+use mmdb_exec::{project_hash, Predicate};
+use mmdb_recovery::StableStore;
+use mmdb_storage::{
+    OutputField, OwnedValue, ResultDescriptor, TempList, TupleId,
+};
+use std::collections::HashMap;
+
+/// One join step in a pipeline.
+struct JoinStep {
+    /// Which already-bound source the outer attribute lives on.
+    source_table: String,
+    outer_attr: String,
+    inner_table: String,
+    inner_attr: String,
+}
+
+/// A query under construction (see the module docs for the shape).
+pub struct QueryBuilder<'a, S: StableStore> {
+    db: &'a Database<S>,
+    base: String,
+    filter: Option<(String, Predicate)>,
+    joins: Vec<JoinStep>,
+    projection: Vec<(String, String)>,
+    distinct: bool,
+}
+
+/// A finished query: materialized rows plus the plan that produced them.
+#[derive(Debug)]
+pub struct QueryOutput {
+    /// Output column names (`table.attr`).
+    pub columns: Vec<String>,
+    /// Materialized rows (the single copy the engine ever makes).
+    pub rows: Vec<Vec<OwnedValue>>,
+    /// EXPLAIN-style plan lines, one per executed step.
+    pub plan: Vec<String>,
+}
+
+impl<S: StableStore> Database<S> {
+    /// Start a fluent query rooted at `table`.
+    pub fn query(&self, table: &str) -> QueryBuilder<'_, S> {
+        QueryBuilder {
+            db: self,
+            base: table.to_string(),
+            filter: None,
+            joins: Vec::new(),
+            projection: Vec::new(),
+            distinct: false,
+        }
+    }
+}
+
+impl<S: StableStore> QueryBuilder<'_, S> {
+    /// Filter the base table on one attribute (applied first, through the
+    /// best §4 access path).
+    #[must_use]
+    pub fn filter(mut self, attr: &str, pred: Predicate) -> Self {
+        self.filter = Some((attr.to_string(), pred));
+        self
+    }
+
+    /// Equijoin `base.outer_attr = inner_table.inner_attr`.
+    #[must_use]
+    pub fn join(self, outer_attr: &str, inner_table: &str, inner_attr: &str) -> Self {
+        let base = self.base.clone();
+        self.join_from(&base, outer_attr, inner_table, inner_attr)
+    }
+
+    /// Equijoin from any already-bound table in the pipeline (chained
+    /// joins: `a ⋈ b` then `b ⋈ c`).
+    #[must_use]
+    pub fn join_from(
+        mut self,
+        source_table: &str,
+        outer_attr: &str,
+        inner_table: &str,
+        inner_attr: &str,
+    ) -> Self {
+        self.joins.push(JoinStep {
+            source_table: source_table.to_string(),
+            outer_attr: outer_attr.to_string(),
+            inner_table: inner_table.to_string(),
+            inner_attr: inner_attr.to_string(),
+        });
+        self
+    }
+
+    /// Choose output columns as `(table, attr)` pairs. Without a
+    /// projection, the base table's full schema is returned.
+    #[must_use]
+    pub fn project(mut self, cols: &[(&str, &str)]) -> Self {
+        self.projection = cols
+            .iter()
+            .map(|(t, a)| ((*t).to_string(), (*a).to_string()))
+            .collect();
+        self
+    }
+
+    /// Eliminate duplicate output rows (hash-based, §3.4's winner).
+    #[must_use]
+    pub fn distinct(mut self) -> Self {
+        self.distinct = true;
+        self
+    }
+
+    /// Execute the pipeline.
+    pub fn run(self) -> Result<QueryOutput, DbError> {
+        let db = self.db;
+        let mut plan = Vec::new();
+
+        // Bound sources, in temp-list column order.
+        let mut sources: Vec<String> = vec![self.base.clone()];
+
+        // 1. Base access: filter through the planner, or full scan.
+        let base_tids: Vec<TupleId> = match &self.filter {
+            Some((attr, pred)) => {
+                let path = db.plan_select(&self.base, attr, pred)?;
+                plan.push(format!(
+                    "select {}.{attr} via {path:?}",
+                    self.base
+                ));
+                db.select(&self.base, attr, pred)?.column(0)
+            }
+            None => {
+                plan.push(format!("scan {}", self.base));
+                db.tids(&self.base)?
+            }
+        };
+        let filtered = self.filter.is_some();
+        let mut list = TempList::from_tids(base_tids);
+
+        // 2. Joins, each widening the temp list by one column.
+        for step in &self.joins {
+            let src_col = sources
+                .iter()
+                .position(|s| *s == step.source_table)
+                .ok_or_else(|| {
+                    DbError::BadQuery(format!(
+                        "join source {} is not bound (have: {})",
+                        step.source_table,
+                        sources.join(", ")
+                    ))
+                })?;
+            // Distinct outer tids for the join input.
+            let mut outer_tids = list.column(src_col);
+            outer_tids.sort_unstable();
+            outer_tids.dedup();
+            let outer_full = !filtered && self.joins.is_empty();
+            let (pairs, method) = db.join_tids(
+                &step.source_table,
+                &step.outer_attr,
+                &outer_tids,
+                outer_full && src_col == 0,
+                &step.inner_table,
+                &step.inner_attr,
+            )?;
+            plan.push(format!(
+                "join {}.{} = {}.{} via {method:?} ({} pairs)",
+                step.source_table,
+                step.outer_attr,
+                step.inner_table,
+                step.inner_attr,
+                pairs.len()
+            ));
+            // Expand existing rows by the matches of their source column.
+            let mut matches: HashMap<TupleId, Vec<TupleId>> = HashMap::new();
+            for row in pairs.pairs.iter() {
+                matches.entry(row[0]).or_default().push(row[1]);
+            }
+            let mut widened = TempList::new(list.arity() + 1);
+            for row in list.iter() {
+                if let Some(ms) = matches.get(&row[src_col]) {
+                    for m in ms {
+                        let mut new_row = row.to_vec();
+                        new_row.push(*m);
+                        widened.push(&new_row)?;
+                    }
+                }
+            }
+            list = widened;
+            sources.push(step.inner_table.clone());
+        }
+
+        // 3. Projection descriptor.
+        let projection: Vec<(String, String)> = if self.projection.is_empty() {
+            db.with_relation(&self.base, |r| {
+                r.schema()
+                    .attrs()
+                    .iter()
+                    .map(|a| (self.base.clone(), a.name.clone()))
+                    .collect()
+            })?
+        } else {
+            self.projection.clone()
+        };
+        let mut fields = Vec::with_capacity(projection.len());
+        for (t, a) in &projection {
+            let source = sources.iter().position(|s| s == t).ok_or_else(|| {
+                DbError::BadQuery(format!("projected table {t} is not bound"))
+            })?;
+            let attr = db.with_relation(t, |r| r.schema().index_of(a))??;
+            fields.push(OutputField::new(source, attr, &format!("{t}.{a}")));
+        }
+        let desc = ResultDescriptor::new(fields);
+
+        // 4. Optional duplicate elimination (on the projected fields).
+        let rel_handles: Vec<_> = sources
+            .iter()
+            .map(|s| db.relation_handle(s))
+            .collect::<Result<_, _>>()?;
+        let borrowed: Vec<_> = rel_handles.iter().map(|h| h.borrow()).collect();
+        let rels: Vec<&mmdb_storage::Relation> = borrowed.iter().map(|r| &**r).collect();
+        let final_list = if self.distinct {
+            let out = project_hash(&list, &desc, &rels)?;
+            plan.push(format!(
+                "distinct via Hash ({} → {} rows)",
+                list.len(),
+                out.rows.len()
+            ));
+            out.rows
+        } else {
+            list
+        };
+
+        // 5. Materialize (the only copy).
+        let mut rows = Vec::with_capacity(final_list.len());
+        for i in 0..final_list.len() {
+            let vals = final_list.materialize_row(i, &desc, &rels)?;
+            rows.push(vals.iter().map(mmdb_storage::Value::to_owned_value).collect());
+        }
+        plan.push(format!("fetch {} rows × {} cols", rows.len(), desc.width()));
+        Ok(QueryOutput {
+            columns: desc.column_names().iter().map(|s| (*s).to_string()).collect(),
+            rows,
+            plan,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::IndexKind;
+    use mmdb_storage::{AttrType, KeyValue, Schema};
+
+    fn company_db() -> Database {
+        let mut db = Database::in_memory();
+        db.create_table(
+            "dept",
+            Schema::of(&[("dname", AttrType::Str), ("id", AttrType::Int)]),
+        )
+        .unwrap();
+        db.create_index("dept_id", "dept", "id", IndexKind::TTree).unwrap();
+        db.create_table(
+            "emp",
+            Schema::of(&[
+                ("ename", AttrType::Str),
+                ("age", AttrType::Int),
+                ("dept_id", AttrType::Int),
+            ]),
+        )
+        .unwrap();
+        db.create_index("emp_age", "emp", "age", IndexKind::TTree).unwrap();
+        db.create_index("emp_dept", "emp", "dept_id", IndexKind::TTree)
+            .unwrap();
+        db.create_table(
+            "project",
+            Schema::of(&[("pname", AttrType::Str), ("dept_id", AttrType::Int)]),
+        )
+        .unwrap();
+        db.create_index("proj_dept", "project", "dept_id", IndexKind::TTree)
+            .unwrap();
+        let mut txn = db.begin();
+        for (d, i) in [("Toy", 1i64), ("Shoe", 2), ("Linen", 3)] {
+            db.insert(&mut txn, "dept", vec![d.into(), i.into()]).unwrap();
+        }
+        for (e, a, d) in [
+            ("Dave", 24i64, 1i64),
+            ("Suzan", 70, 1),
+            ("Yaman", 54, 2),
+            ("Jane", 71, 2),
+            ("Cindy", 22, 3),
+        ] {
+            db.insert(&mut txn, "emp", vec![e.into(), a.into(), d.into()])
+                .unwrap();
+        }
+        for (p, d) in [("Blocks", 1i64), ("Sneaker", 2), ("Sandal", 2)] {
+            db.insert(&mut txn, "project", vec![p.into(), d.into()]).unwrap();
+        }
+        db.commit(txn).unwrap();
+        db
+    }
+
+    #[test]
+    fn filter_join_project() {
+        let db = company_db();
+        let out = db
+            .query("emp")
+            .filter("age", Predicate::greater(KeyValue::Int(60)))
+            .join("dept_id", "dept", "id")
+            .project(&[("emp", "ename"), ("dept", "dname")])
+            .run()
+            .unwrap();
+        assert_eq!(out.columns, vec!["emp.ename", "dept.dname"]);
+        let mut got: Vec<(String, String)> = out
+            .rows
+            .iter()
+            .map(|r| match (&r[0], &r[1]) {
+                (OwnedValue::Str(a), OwnedValue::Str(b)) => (a.clone(), b.clone()),
+                _ => unreachable!(),
+            })
+            .collect();
+        got.sort();
+        assert_eq!(
+            got,
+            vec![
+                ("Jane".to_string(), "Shoe".to_string()),
+                ("Suzan".to_string(), "Toy".to_string())
+            ]
+        );
+        assert!(out.plan[0].contains("TreeLookup"));
+    }
+
+    #[test]
+    fn bare_scan_returns_full_schema() {
+        let db = company_db();
+        let out = db.query("dept").run().unwrap();
+        assert_eq!(out.columns, vec!["dept.dname", "dept.id"]);
+        assert_eq!(out.rows.len(), 3);
+    }
+
+    #[test]
+    fn chained_joins() {
+        let db = company_db();
+        // emp → dept → project (via dept_id on dept's side).
+        let out = db
+            .query("emp")
+            .join("dept_id", "dept", "id")
+            .join_from("dept", "id", "project", "dept_id")
+            .project(&[("emp", "ename"), ("project", "pname")])
+            .run()
+            .unwrap();
+        // Toy: Dave, Suzan × Blocks = 2; Shoe: Yaman, Jane × 2 projects = 4.
+        assert_eq!(out.rows.len(), 6);
+    }
+
+    #[test]
+    fn distinct_dedups_projection() {
+        let db = company_db();
+        let out = db
+            .query("emp")
+            .project(&[("emp", "dept_id")])
+            .distinct()
+            .run()
+            .unwrap();
+        assert_eq!(out.rows.len(), 3, "three distinct departments");
+        let with_dups = db.query("emp").project(&[("emp", "dept_id")]).run().unwrap();
+        assert_eq!(with_dups.rows.len(), 5);
+    }
+
+    #[test]
+    fn filtered_join_avoids_tree_merge() {
+        let db = company_db();
+        let out = db
+            .query("emp")
+            .filter("age", Predicate::greater(KeyValue::Int(60)))
+            .join("dept_id", "dept", "id")
+            .run()
+            .unwrap();
+        // The filtered outer list must not claim a full-relation merge.
+        let join_line = out.plan.iter().find(|l| l.starts_with("join")).unwrap();
+        assert!(
+            !join_line.contains("TreeMerge"),
+            "filtered outer cannot tree-merge: {join_line}"
+        );
+    }
+
+    #[test]
+    fn unbound_references_error() {
+        let db = company_db();
+        let err = db
+            .query("emp")
+            .join_from("nope", "x", "dept", "id")
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, DbError::BadQuery(_)));
+        let err = db
+            .query("emp")
+            .project(&[("dept", "dname")])
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, DbError::BadQuery(_)));
+    }
+}

@@ -1,0 +1,122 @@
+//! The owning index adapter used inside the database.
+//!
+//! Index structures store tuple pointers and compare through an adapter
+//! (§2.2). Inside [`crate::Database`], relations live behind
+//! `Rc<RefCell<…>>` so indexes and the catalog can coexist;
+//! [`SharedAdapter`] performs each comparison inside a short borrow — no
+//! reference ever escapes, so index operations and relation updates can
+//! interleave freely (never concurrently, which the `RefCell` enforces).
+
+use mmdb_index::adapter::{Adapter, HashAdapter};
+use mmdb_storage::{value_hash, KeyValue, Relation, TupleId};
+use std::cell::RefCell;
+use std::cmp::Ordering;
+use std::rc::Rc;
+
+/// Adapter over a shared relation handle.
+#[derive(Clone)]
+pub struct SharedAdapter {
+    rel: Rc<RefCell<Relation>>,
+    attr: usize,
+}
+
+impl SharedAdapter {
+    /// Adapter for attribute `attr` of `rel`.
+    #[must_use]
+    pub fn new(rel: Rc<RefCell<Relation>>, attr: usize) -> Self {
+        SharedAdapter { rel, attr }
+    }
+
+    /// The indexed attribute position.
+    #[must_use]
+    pub fn attr(&self) -> usize {
+        self.attr
+    }
+}
+
+impl Adapter for SharedAdapter {
+    type Entry = TupleId;
+    type Key = KeyValue;
+
+    fn cmp_entries(&self, a: &TupleId, b: &TupleId) -> Ordering {
+        let r = self.rel.borrow();
+        let va = r.field(*a, self.attr).expect("index entry must be live");
+        let vb = r.field(*b, self.attr).expect("index entry must be live");
+        va.total_cmp(&vb)
+    }
+
+    fn cmp_entry_key(&self, e: &TupleId, key: &KeyValue) -> Ordering {
+        let r = self.rel.borrow();
+        let v = r.field(*e, self.attr).expect("index entry must be live");
+        key.cmp_value(&v)
+    }
+}
+
+impl HashAdapter for SharedAdapter {
+    fn hash_entry(&self, e: &TupleId) -> u64 {
+        let r = self.rel.borrow();
+        let v = r.field(*e, self.attr).expect("index entry must be live");
+        value_hash(&v)
+    }
+
+    fn hash_key(&self, key: &KeyValue) -> u64 {
+        key.hash()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdb_index::traits::{OrderedIndex, UnorderedIndex};
+    use mmdb_index::{ModifiedLinearHash, TTree, TTreeConfig};
+    use mmdb_storage::{AttrType, OwnedValue, PartitionConfig, Schema};
+
+    fn shared_rel() -> (Rc<RefCell<Relation>>, Vec<TupleId>) {
+        let mut r = Relation::new(
+            "t",
+            Schema::of(&[("v", AttrType::Int)]),
+            PartitionConfig::default(),
+        );
+        let tids = (0..100i64)
+            .map(|i| r.insert(&[OwnedValue::Int(i * 3 % 50)]).unwrap())
+            .collect();
+        (Rc::new(RefCell::new(r)), tids)
+    }
+
+    #[test]
+    fn ttree_over_shared_relation() {
+        let (rel, tids) = shared_rel();
+        let mut idx = TTree::new(
+            SharedAdapter::new(Rc::clone(&rel), 0),
+            TTreeConfig::with_node_size(8),
+        );
+        for t in &tids {
+            idx.insert(*t);
+        }
+        idx.validate().unwrap();
+        let mut hits = Vec::new();
+        idx.search_all(&KeyValue::Int(3), &mut hits);
+        assert!(!hits.is_empty());
+        // Mutating the relation through the shared handle between index
+        // operations is fine (no borrow is held across calls).
+        let new_tid = rel
+            .borrow_mut()
+            .insert(&[OwnedValue::Int(999)])
+            .unwrap();
+        idx.insert(new_tid);
+        assert_eq!(idx.search(&KeyValue::Int(999)), Some(new_tid));
+    }
+
+    #[test]
+    fn hash_index_over_shared_relation() {
+        let (rel, tids) = shared_rel();
+        let mut idx = ModifiedLinearHash::new(SharedAdapter::new(Rc::clone(&rel), 0), 2);
+        for t in &tids {
+            idx.insert(*t);
+        }
+        idx.validate().unwrap();
+        let mut hits = Vec::new();
+        idx.search_all(&KeyValue::Int(0), &mut hits);
+        assert_eq!(hits.len(), 2, "values 0 and 0 (i=0, i=50... i*3%50==0 twice)");
+    }
+}

@@ -1,0 +1,172 @@
+//! Pure Nested Loops join (§3.3.2).
+//!
+//! *"The pure Nested Loops join is an O(N²) algorithm. It uses one
+//! relation as the outer, scanning each of its tuples once. For each outer
+//! tuple, it then scans the entire inner relation looking for tuples with
+//! a matching join column value."*
+//!
+//! Graph 10 / §3.3.4: *"unless one plans to generate full cross products
+//! on a regular basis, nested loops join should simply never be considered
+//! as a practical join method for a main memory DBMS."* It is implemented
+//! here as the baseline that statement is measured against.
+
+use super::{JoinOutput, JoinSide};
+use crate::error::ExecError;
+use mmdb_index::stats::Counters;
+use mmdb_storage::TempList;
+use std::cmp::Ordering;
+
+/// Join by scanning the full inner relation per outer tuple.
+pub fn nested_loops_join(outer: JoinSide<'_>, inner: JoinSide<'_>) -> Result<JoinOutput, ExecError> {
+    theta_nested_loops_join(outer, inner, ThetaOp::Eq)
+}
+
+/// Comparison operators for a theta join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThetaOp {
+    /// `outer = inner`.
+    Eq,
+    /// `outer ≠ inner` — §3.3.5 singles this out as the one non-equijoin
+    /// that *cannot* exploit ordering, leaving nested loops as the only
+    /// method.
+    Ne,
+    /// `inner < outer`.
+    Lt,
+    /// `inner ≤ outer`.
+    Le,
+    /// `inner > outer`.
+    Gt,
+    /// `inner ≥ outer`.
+    Ge,
+}
+
+impl ThetaOp {
+    /// `ord` is `outer_value.cmp(inner_value)`.
+    fn matches(self, ord: Ordering) -> bool {
+        match self {
+            ThetaOp::Eq => ord == Ordering::Equal,
+            ThetaOp::Ne => ord != Ordering::Equal,
+            // outer.cmp(inner) == Greater  ⇔  inner < outer
+            ThetaOp::Lt => ord == Ordering::Greater,
+            ThetaOp::Le => ord != Ordering::Less,
+            ThetaOp::Gt => ord == Ordering::Less,
+            ThetaOp::Ge => ord != Ordering::Greater,
+        }
+    }
+}
+
+/// General theta join by nested loops: the universal (and universally
+/// slow) fallback when no structure applies — O(|R1|·|R2|) comparisons
+/// regardless of the operator.
+pub fn theta_nested_loops_join(
+    outer: JoinSide<'_>,
+    inner: JoinSide<'_>,
+    op: ThetaOp,
+) -> Result<JoinOutput, ExecError> {
+    let counters = Counters::default();
+    let mut out = TempList::new(2);
+    for &ot in outer.tids {
+        let ov = outer.value(ot)?;
+        for &it in inner.tids {
+            let iv = inner.value(it)?;
+            counters.comparisons(1);
+            if op.matches(ov.total_cmp(&iv)) {
+                out.push_pair(ot, it)?;
+            }
+        }
+    }
+    Ok(JoinOutput {
+        pairs: out,
+        stats: counters.snapshot(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::fixtures::*;
+    use super::*;
+
+    #[test]
+    fn empty_inputs() {
+        let (rel, tids) = rel_with_values("r", &[1, 2]);
+        let empty: Vec<mmdb_storage::TupleId> = vec![];
+        let out = nested_loops_join(
+            JoinSide::new(&rel, 1, &empty),
+            JoinSide::new(&rel, 1, &tids),
+        )
+        .unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn matches_reference_with_duplicates() {
+        let ov = random_values(300, 50, 1);
+        let iv = random_values(200, 50, 2);
+        let (orel, otids) = rel_with_values("o", &ov);
+        let (irel, itids) = rel_with_values("i", &iv);
+        let out = nested_loops_join(
+            JoinSide::new(&orel, 1, &otids),
+            JoinSide::new(&irel, 1, &itids),
+        )
+        .unwrap();
+        assert_eq!(normalize(&out.pairs, &orel, &irel), expected_pairs(&ov, &iv));
+    }
+
+    #[test]
+    fn comparison_count_is_quadratic() {
+        let ov = random_values(100, 1000, 3);
+        let iv = random_values(150, 1000, 4);
+        let (orel, otids) = rel_with_values("o", &ov);
+        let (irel, itids) = rel_with_values("i", &iv);
+        let out = nested_loops_join(
+            JoinSide::new(&orel, 1, &otids),
+            JoinSide::new(&irel, 1, &itids),
+        )
+        .unwrap();
+        #[cfg(feature = "stats")]
+        assert_eq!(out.stats.comparisons, 100 * 150);
+        let _ = out;
+    }
+
+    #[test]
+    fn theta_ops_match_brute_force() {
+        let ov = vec![3i64, 7];
+        let iv = vec![1i64, 3, 5, 7, 9];
+        let (orel, otids) = rel_with_values("o", &ov);
+        let (irel, itids) = rel_with_values("i", &iv);
+        let outer = JoinSide::new(&orel, 1, &otids);
+        let inner = JoinSide::new(&irel, 1, &itids);
+        for (op, f) in [
+            (ThetaOp::Eq, (|o: i64, i: i64| i == o) as fn(i64, i64) -> bool),
+            (ThetaOp::Ne, |o, i| i != o),
+            (ThetaOp::Lt, |o, i| i < o),
+            (ThetaOp::Le, |o, i| i <= o),
+            (ThetaOp::Gt, |o, i| i > o),
+            (ThetaOp::Ge, |o, i| i >= o),
+        ] {
+            let out = theta_nested_loops_join(outer, inner, op).unwrap();
+            let mut expect = Vec::new();
+            for (oi, o) in ov.iter().enumerate() {
+                for (ii, i) in iv.iter().enumerate() {
+                    if f(*o, *i) {
+                        expect.push((oi, ii));
+                    }
+                }
+            }
+            expect.sort_unstable();
+            assert_eq!(normalize(&out.pairs, &orel, &irel), expect, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn no_matches() {
+        let (orel, otids) = rel_with_values("o", &[1, 2, 3]);
+        let (irel, itids) = rel_with_values("i", &[10, 20]);
+        let out = nested_loops_join(
+            JoinSide::new(&orel, 1, &otids),
+            JoinSide::new(&irel, 1, &itids),
+        )
+        .unwrap();
+        assert!(out.is_empty());
+    }
+}

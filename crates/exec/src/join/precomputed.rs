@@ -1,0 +1,139 @@
+//! Precomputed joins through foreign-key tuple pointers (§2.1, §3.3.5).
+//!
+//! *"The precomputed join described in Section 2.1 was not tested along
+//! with the other join methods. Intuitively, it would beat each of the
+//! join methods in every case, because the joining tuples have already
+//! been paired. Thus, the tuple pointers for the result relation can
+//! simply be extracted from a single relation."*
+//!
+//! The outer relation's join attribute must be a `Ptr` (one-to-one) or
+//! `PtrList` (one-to-many) foreign key referencing the inner relation.
+
+use super::{JoinOutput, JoinSide};
+use crate::error::ExecError;
+use mmdb_index::stats::Counters;
+use mmdb_storage::{AttrType, TempList, Value};
+
+/// Join by following the outer side's foreign-key pointer field. The inner
+/// relation is never searched — each result pair is read straight out of
+/// the outer tuple.
+pub fn precomputed_join(outer: JoinSide<'_>) -> Result<JoinOutput, ExecError> {
+    let ty = outer.rel.schema().attr(outer.attr).map_err(ExecError::from)?.ty;
+    if ty != AttrType::Ptr && ty != AttrType::PtrList {
+        return Err(ExecError::BadPlan(format!(
+            "precomputed join needs a ptr/ptrlist attribute, got {}",
+            ty.name()
+        )));
+    }
+    let counters = Counters::default();
+    let mut out = TempList::new(2);
+    for &ot in outer.tids {
+        match outer.value(ot)? {
+            Value::Ptr(Some(it)) => {
+                counters.data_moves(1);
+                out.push_pair(ot, it)?;
+            }
+            Value::Ptr(None) => {}
+            Value::PtrList(list) => {
+                counters.data_moves(list.len() as u64);
+                for it in list {
+                    out.push_pair(ot, it)?;
+                }
+            }
+            _ => unreachable!("schema check above"),
+        }
+    }
+    Ok(JoinOutput {
+        pairs: out,
+        stats: counters.snapshot(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdb_storage::{
+        AttrType, OwnedValue, PartitionConfig, Relation, Schema, TupleId,
+    };
+
+    /// The paper's §2.1 example: Employee with a Department FK pointer.
+    fn setup() -> (Relation, Relation, Vec<TupleId>, Vec<TupleId>) {
+        let mut dept = Relation::new(
+            "department",
+            Schema::of(&[("name", AttrType::Str), ("id", AttrType::Int)]),
+            PartitionConfig::default(),
+        );
+        let toy = dept
+            .insert(&[OwnedValue::Str("Toy".into()), OwnedValue::Int(459)])
+            .unwrap();
+        let shoe = dept
+            .insert(&[OwnedValue::Str("Shoe".into()), OwnedValue::Int(409)])
+            .unwrap();
+        let mut emp = Relation::new(
+            "employee",
+            Schema::of(&[
+                ("name", AttrType::Str),
+                ("age", AttrType::Int),
+                ("dept", AttrType::Ptr),
+            ]),
+            PartitionConfig::default(),
+        );
+        let e1 = emp
+            .insert(&[
+                OwnedValue::Str("Dave".into()),
+                OwnedValue::Int(66),
+                OwnedValue::Ptr(Some(toy)),
+            ])
+            .unwrap();
+        let e2 = emp
+            .insert(&[
+                OwnedValue::Str("Cindy".into()),
+                OwnedValue::Int(22),
+                OwnedValue::Ptr(Some(shoe)),
+            ])
+            .unwrap();
+        let e3 = emp
+            .insert(&[
+                OwnedValue::Str("NoDept".into()),
+                OwnedValue::Int(30),
+                OwnedValue::Ptr(None),
+            ])
+            .unwrap();
+        (emp, dept, vec![e1, e2, e3], vec![toy, shoe])
+    }
+
+    #[test]
+    fn follows_pointers_and_skips_nulls() {
+        let (emp, _dept, etids, dtids) = setup();
+        let out = precomputed_join(JoinSide::new(&emp, 2, &etids)).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.pairs.row(0), &[etids[0], dtids[0]]);
+        assert_eq!(out.pairs.row(1), &[etids[1], dtids[1]]);
+    }
+
+    #[test]
+    fn ptr_list_one_to_many() {
+        let mut parent = Relation::new(
+            "parent",
+            Schema::of(&[("kids", AttrType::PtrList)]),
+            PartitionConfig::default(),
+        );
+        let kids = vec![TupleId::new(1, 0), TupleId::new(1, 1), TupleId::new(1, 2)];
+        let p = parent
+            .insert(&[OwnedValue::PtrList(kids.clone())])
+            .unwrap();
+        let tids = vec![p];
+        let out = precomputed_join(JoinSide::new(&parent, 0, &tids)).unwrap();
+        assert_eq!(out.len(), 3);
+        for (i, k) in kids.iter().enumerate() {
+            assert_eq!(out.pairs.row(i), &[p, *k]);
+        }
+    }
+
+    #[test]
+    fn rejects_non_pointer_attribute() {
+        let (emp, _dept, etids, _) = setup();
+        let err = precomputed_join(JoinSide::new(&emp, 1, &etids)).unwrap_err();
+        assert!(matches!(err, ExecError::BadPlan(_)));
+    }
+}

@@ -1,0 +1,251 @@
+//! Selection access paths (§3.2, §4).
+//!
+//! *"There are three possible access paths for selection (hash lookup,
+//! tree lookup, or sequential scan through an unrelated index) … a hash
+//! lookup (exact match only) is always faster than a tree lookup which is
+//! always faster than a sequential scan."*
+//!
+//! All three produce an arity-1 [`TempList`] of tuple pointers — never
+//! copies of tuples (§2.3).
+
+use crate::error::ExecError;
+use crate::{HashTupleAdapter, TupleAdapter};
+use mmdb_index::traits::{OrderedIndex, UnorderedIndex};
+use mmdb_storage::{KeyValue, Relation, TempList, TupleId};
+use std::ops::Bound;
+
+/// A single-attribute selection predicate.
+#[derive(Debug, Clone)]
+pub enum Predicate {
+    /// Exact match.
+    Eq(KeyValue),
+    /// Range with arbitrary bounds (order-preserving indices only).
+    Range {
+        /// Lower bound.
+        lo: Bound<KeyValue>,
+        /// Upper bound.
+        hi: Bound<KeyValue>,
+    },
+}
+
+impl Predicate {
+    /// `attr BETWEEN lo AND hi` (inclusive).
+    #[must_use]
+    pub fn between(lo: KeyValue, hi: KeyValue) -> Self {
+        Predicate::Range {
+            lo: Bound::Included(lo),
+            hi: Bound::Included(hi),
+        }
+    }
+
+    /// `attr > k`.
+    #[must_use]
+    pub fn greater(k: KeyValue) -> Self {
+        Predicate::Range {
+            lo: Bound::Excluded(k),
+            hi: Bound::Unbounded,
+        }
+    }
+
+    /// `attr < k`.
+    #[must_use]
+    pub fn less(k: KeyValue) -> Self {
+        Predicate::Range {
+            lo: Bound::Unbounded,
+            hi: Bound::Excluded(k),
+        }
+    }
+
+    /// Does a directly-extracted value satisfy this predicate?
+    /// (Used by the sequential-scan path.)
+    #[must_use]
+    pub fn matches(&self, v: &mmdb_storage::Value<'_>) -> bool {
+        use std::cmp::Ordering;
+        match self {
+            Predicate::Eq(k) => k.cmp_value(v) == Ordering::Equal,
+            Predicate::Range { lo, hi } => {
+                let lo_ok = match lo {
+                    Bound::Unbounded => true,
+                    Bound::Included(k) => k.cmp_value(v) != Ordering::Less,
+                    Bound::Excluded(k) => k.cmp_value(v) == Ordering::Greater,
+                };
+                let hi_ok = match hi {
+                    Bound::Unbounded => true,
+                    Bound::Included(k) => k.cmp_value(v) != Ordering::Greater,
+                    Bound::Excluded(k) => k.cmp_value(v) == Ordering::Less,
+                };
+                lo_ok && hi_ok
+            }
+        }
+    }
+}
+
+fn as_ref_bound(b: &Bound<KeyValue>) -> Bound<&KeyValue> {
+    match b {
+        Bound::Unbounded => Bound::Unbounded,
+        Bound::Included(k) => Bound::Included(k),
+        Bound::Excluded(k) => Bound::Excluded(k),
+    }
+}
+
+/// Sequential scan: walk `tids` (obtained by scanning any index on the
+/// relation — §2.1 requires all access to go through one) and test the
+/// predicate against the extracted attribute value.
+pub fn select_scan(
+    rel: &Relation,
+    attr: usize,
+    tids: &[TupleId],
+    pred: &Predicate,
+) -> Result<TempList, ExecError> {
+    let mut out = Vec::new();
+    for &tid in tids {
+        let v = rel.field(tid, attr)?;
+        if pred.matches(&v) {
+            out.push(tid);
+        }
+    }
+    Ok(TempList::from_tids(out))
+}
+
+/// Exact-match selection through a hash index over a relation attribute
+/// (the fastest path; hash indices cannot serve range predicates).
+pub fn select_hash_index<A, U>(index: &U, key: &KeyValue) -> TempList
+where
+    A: HashTupleAdapter,
+    U: UnorderedIndex<A>,
+{
+    let mut out = Vec::new();
+    index.search_all(key, &mut out);
+    TempList::from_tids(out)
+}
+
+/// Exact-match or range selection through an order-preserving index over
+/// a relation attribute.
+pub fn select_tree_index<A, O>(index: &O, pred: &Predicate) -> TempList
+where
+    A: TupleAdapter,
+    O: OrderedIndex<A>,
+{
+    let mut out = Vec::new();
+    match pred {
+        Predicate::Eq(k) => index.search_all(k, &mut out),
+        Predicate::Range { lo, hi } => index.range(as_ref_bound(lo), as_ref_bound(hi), &mut out),
+    }
+    TempList::from_tids(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdb_index::{ChainedBucketHash, TTree, TTreeConfig};
+    use mmdb_storage::{
+        AttrAdapter, AttrType, OwnedValue, PartitionConfig, Schema, Value,
+    };
+
+    fn ages_relation() -> (Relation, Vec<TupleId>) {
+        let mut r = Relation::new(
+            "emp",
+            Schema::of(&[("name", AttrType::Str), ("age", AttrType::Int)]),
+            PartitionConfig::default(),
+        );
+        let data = [
+            ("Dave", 24),
+            ("Suzan", 27),
+            ("Yaman", 54),
+            ("Jane", 47),
+            ("Cindy", 22),
+            ("Old1", 66),
+            ("Old2", 70),
+            ("Twin", 47),
+        ];
+        let tids = data
+            .iter()
+            .map(|(n, a)| {
+                r.insert(&[OwnedValue::Str((*n).into()), OwnedValue::Int(*a)])
+                    .unwrap()
+            })
+            .collect();
+        (r, tids)
+    }
+
+    #[test]
+    fn hash_selection_exact_match() {
+        let (r, tids) = ages_relation();
+        let mut idx = ChainedBucketHash::with_capacity(AttrAdapter::new(&r, 1), 16);
+        for t in &tids {
+            idx.insert(*t);
+        }
+        let hits = select_hash_index(&idx, &KeyValue::Int(47));
+        assert_eq!(hits.len(), 2, "Jane and Twin");
+        let none = select_hash_index(&idx, &KeyValue::Int(99));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn tree_selection_point_and_range() {
+        let (r, tids) = ages_relation();
+        let mut idx = TTree::new(AttrAdapter::new(&r, 1), TTreeConfig::with_node_size(4));
+        for t in &tids {
+            idx.insert(*t);
+        }
+        let hits = select_tree_index(&idx, &Predicate::Eq(KeyValue::Int(54)));
+        assert_eq!(hits.len(), 1);
+        // Query 1 of the paper: employees over age 65.
+        let over65 = select_tree_index(&idx, &Predicate::greater(KeyValue::Int(65)));
+        assert_eq!(over65.len(), 2);
+        let mut names: Vec<String> = over65
+            .column(0)
+            .iter()
+            .map(|t| match r.field(*t, 0).unwrap() {
+                Value::Str(s) => s.to_string(),
+                _ => unreachable!(),
+            })
+            .collect();
+        names.sort();
+        assert_eq!(names, vec!["Old1", "Old2"]);
+        // Between.
+        let mid = select_tree_index(
+            &idx,
+            &Predicate::between(KeyValue::Int(24), KeyValue::Int(47)),
+        );
+        assert_eq!(mid.len(), 4, "24, 27, 47, 47");
+    }
+
+    #[test]
+    fn scan_selection_matches_tree() {
+        let (r, tids) = ages_relation();
+        let pred = Predicate::between(KeyValue::Int(25), KeyValue::Int(60));
+        let scanned = select_scan(&r, 1, &tids, &pred).unwrap();
+        let mut idx = TTree::new(AttrAdapter::new(&r, 1), TTreeConfig::with_node_size(4));
+        for t in &tids {
+            idx.insert(*t);
+        }
+        let treed = select_tree_index(&idx, &pred);
+        let mut a = scanned.column(0);
+        let mut b = treed.column(0);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn string_predicates() {
+        let (r, tids) = ages_relation();
+        let pred = Predicate::Eq(KeyValue::from("Cindy"));
+        let hits = select_scan(&r, 0, &tids, &pred).unwrap();
+        assert_eq!(hits.len(), 1);
+        let pred = Predicate::less(KeyValue::from("E"));
+        let hits = select_scan(&r, 0, &tids, &pred).unwrap();
+        assert_eq!(hits.len(), 2, "Cindy and Dave");
+    }
+
+    #[test]
+    fn predicate_matches_edge_bounds() {
+        let v = Value::Int(10);
+        assert!(Predicate::between(KeyValue::Int(10), KeyValue::Int(20)).matches(&v));
+        assert!(!Predicate::greater(KeyValue::Int(10)).matches(&v));
+        assert!(Predicate::greater(KeyValue::Int(9)).matches(&v));
+        assert!(!Predicate::less(KeyValue::Int(10)).matches(&v));
+        assert!(Predicate::Eq(KeyValue::Int(10)).matches(&v));
+    }
+}

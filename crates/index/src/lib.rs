@@ -1,0 +1,65 @@
+//! Main-memory index structures from Lehman & Carey, *Query Processing in
+//! Main Memory Database Management Systems* (SIGMOD 1986).
+//!
+//! This crate implements every index structure evaluated in §3.2 of the
+//! paper, in the same "main memory" style the paper prescribes: an index
+//! stores fixed-size **entries** (in the MM-DBMS these are tuple pointers,
+//! in unit tests they are plain integers) and compares them through an
+//! [`Adapter`], which in the DBMS dereferences the pointer to reach the key
+//! inside the tuple.
+//!
+//! # Structures
+//!
+//! Order-preserving:
+//! * [`TTree`] — the paper's new structure: a balanced binary tree whose
+//!   nodes hold many sorted elements (§3.2.1).
+//! * [`AvlTree`] — classic AVL tree, one element per node.
+//! * [`BTree`] — the *original* B-Tree (data in interior nodes), not B+.
+//! * [`ArrayIndex`] — a sorted array with pure binary search.
+//!
+//! Hash-based:
+//! * [`ChainedBucketHash`] — static table with per-bucket chains \[Knu73\].
+//! * [`ExtendibleHash`] — directory-doubling dynamic hashing \[FNP79\].
+//! * [`LinearHash`] — Litwin's linear hashing driven by storage-utilisation
+//!   bounds \[Lit80\].
+//! * [`ModifiedLinearHash`] — the paper's main-memory variant: single-item
+//!   overflow nodes and directory growth controlled by average chain
+//!   length \[LeC85\].
+//!
+//! # Instrumentation
+//!
+//! The paper validated each implementation by counting comparisons, data
+//! movement, and hash-function calls, then compiled the counters out for
+//! the timed runs. The [`stats`] module reproduces that methodology: with
+//! the `stats` cargo feature (default) every structure maintains
+//! [`stats::Counters`]; without it the counters are zero-sized no-ops.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod adapter;
+pub mod array;
+pub mod avl;
+pub mod btree;
+pub mod chained;
+pub mod extendible;
+pub mod linear;
+pub mod modlinear;
+pub mod sort;
+pub mod stats;
+pub mod traits;
+pub mod ttree;
+
+pub use adapter::{Adapter, HashAdapter, NaturalAdapter};
+pub use array::ArrayIndex;
+pub use avl::AvlTree;
+pub use btree::BTree;
+pub use chained::ChainedBucketHash;
+pub use extendible::ExtendibleHash;
+pub use linear::LinearHash;
+pub use modlinear::ModifiedLinearHash;
+pub use traits::{IndexError, OrderedIndex, UnorderedIndex};
+pub use ttree::{TTree, TTreeConfig, TTreeCursor, TTreeMark};
+
+#[cfg(test)]
+pub(crate) mod testkit;

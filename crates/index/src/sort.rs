@@ -1,0 +1,271 @@
+//! The paper's sort kernel (§3.3.2, footnote 6).
+//!
+//! *"The sort was done using quicksort with an insertion sort for subarrays
+//! of ten elements or less. We ran a test to determine the optimal subarray
+//! size for switching from quicksort to insertion sort; the optimal
+//! subarray size was 10."*
+//!
+//! Used by the Sort Merge join (sorting freshly built array indexes) and by
+//! the Sort Scan duplicate-elimination method. Instrumented with the same
+//! comparison / data-movement counters as the index structures so the
+//! experiment harness can validate operation counts.
+
+use crate::stats::Counters;
+use std::cmp::Ordering;
+
+/// Subarray size at or below which quicksort hands off to insertion sort —
+/// the paper's empirically tuned value.
+pub const INSERTION_CUTOFF: usize = 10;
+
+/// Sort `data` in place with `cmp`, using the paper's hybrid
+/// quicksort/insertion-sort with the default cutoff of
+/// [`INSERTION_CUTOFF`].
+pub fn quicksort<T: Copy>(data: &mut [T], stats: &Counters, mut cmp: impl FnMut(&T, &T) -> Ordering) {
+    quicksort_with_cutoff(data, INSERTION_CUTOFF, stats, &mut cmp);
+}
+
+/// Sort with an explicit insertion-sort cutoff (exposed for the ablation
+/// benchmark that re-runs the paper's footnote-6 tuning experiment).
+pub fn quicksort_with_cutoff<T: Copy>(
+    data: &mut [T],
+    cutoff: usize,
+    stats: &Counters,
+    cmp: &mut impl FnMut(&T, &T) -> Ordering,
+) {
+    if data.len() > 1 {
+        qsort_rec(data, cutoff, stats, cmp);
+        insertion_sort(data, stats, cmp);
+    }
+}
+
+/// Plain insertion sort; fast on nearly-sorted and tiny inputs. The paper
+/// notes it also benefits from heavy duplication ("with many equal values,
+/// the subarray in quicksort is often already sorted by the time it is
+/// passed to the insertion sort").
+pub fn insertion_sort<T: Copy>(
+    data: &mut [T],
+    stats: &Counters,
+    cmp: &mut impl FnMut(&T, &T) -> Ordering,
+) {
+    for i in 1..data.len() {
+        let v = data[i];
+        let mut j = i;
+        while j > 0 {
+            stats.comparisons(1);
+            if cmp(&data[j - 1], &v) == Ordering::Greater {
+                data[j] = data[j - 1];
+                stats.data_moves(1);
+                j -= 1;
+            } else {
+                break;
+            }
+        }
+        if j != i {
+            data[j] = v;
+            stats.data_moves(1);
+        }
+    }
+}
+
+fn qsort_rec<T: Copy>(
+    data: &mut [T],
+    cutoff: usize,
+    stats: &Counters,
+    cmp: &mut impl FnMut(&T, &T) -> Ordering,
+) {
+    let mut lo = 0usize;
+    let mut hi = data.len();
+    // Iterate on the larger side, recurse on the smaller: O(log n) stack.
+    // Partitioning needs at least 3 elements (median-of-three), so slices
+    // at or below max(cutoff, 2) are left to the final insertion sort.
+    while hi - lo > cutoff.max(2) {
+        let p = partition(&mut data[lo..hi], stats, cmp) + lo;
+        if p - lo < hi - p - 1 {
+            qsort_rec_range(data, lo, p, cutoff, stats, cmp);
+            lo = p + 1;
+        } else {
+            qsort_rec_range(data, p + 1, hi, cutoff, stats, cmp);
+            hi = p;
+        }
+    }
+}
+
+fn qsort_rec_range<T: Copy>(
+    data: &mut [T],
+    lo: usize,
+    hi: usize,
+    cutoff: usize,
+    stats: &Counters,
+    cmp: &mut impl FnMut(&T, &T) -> Ordering,
+) {
+    if hi - lo > cutoff.max(2) {
+        qsort_rec(&mut data[lo..hi], cutoff, stats, cmp);
+    }
+}
+
+/// Hoare-style partition with median-of-three pivot selection; returns the
+/// final pivot position.
+fn partition<T: Copy>(
+    data: &mut [T],
+    stats: &Counters,
+    cmp: &mut impl FnMut(&T, &T) -> Ordering,
+) -> usize {
+    let n = data.len();
+    let mid = n / 2;
+    // Median-of-three: order data[0], data[mid], data[n-1].
+    stats.comparisons(3);
+    if cmp(&data[mid], &data[0]) == Ordering::Less {
+        data.swap(mid, 0);
+        stats.data_moves(2);
+    }
+    if cmp(&data[n - 1], &data[0]) == Ordering::Less {
+        data.swap(n - 1, 0);
+        stats.data_moves(2);
+    }
+    if cmp(&data[n - 1], &data[mid]) == Ordering::Less {
+        data.swap(n - 1, mid);
+        stats.data_moves(2);
+    }
+    // Use the median (now at mid) as pivot; park it at n-2.
+    data.swap(mid, n - 2);
+    stats.data_moves(2);
+    let pivot = data[n - 2];
+    let mut i = 0usize;
+    let mut j = n - 2;
+    loop {
+        loop {
+            i += 1;
+            stats.comparisons(1);
+            if i >= n - 2 || cmp(&data[i], &pivot) != Ordering::Less {
+                break;
+            }
+        }
+        loop {
+            j -= 1;
+            stats.comparisons(1);
+            if j == 0 || cmp(&pivot, &data[j]) != Ordering::Less {
+                break;
+            }
+        }
+        if i >= j {
+            break;
+        }
+        data.swap(i, j);
+        stats.data_moves(2);
+    }
+    data.swap(i, n - 2);
+    stats.data_moves(2);
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Counters;
+
+    fn check_sorts(mut v: Vec<u64>) {
+        let stats = Counters::default();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        quicksort(&mut v, &stats, |a, b| a.cmp(b));
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn sorts_empty_and_singleton() {
+        check_sorts(vec![]);
+        check_sorts(vec![7]);
+    }
+
+    #[test]
+    fn sorts_small_arrays() {
+        check_sorts(vec![3, 1, 2]);
+        check_sorts(vec![2, 1]);
+        check_sorts((0..10).rev().collect());
+    }
+
+    #[test]
+    fn sorts_already_sorted() {
+        check_sorts((0..1000).collect());
+    }
+
+    #[test]
+    fn sorts_reverse_sorted() {
+        check_sorts((0..1000).rev().collect());
+    }
+
+    #[test]
+    fn sorts_random() {
+        // Deterministic pseudo-random input.
+        let mut x = 0x1234_5678_u64;
+        let v: Vec<u64> = (0..5000)
+            .map(|_| {
+                x = crate::adapter::mix64(x);
+                x % 10_000
+            })
+            .collect();
+        check_sorts(v);
+    }
+
+    #[test]
+    fn sorts_all_duplicates() {
+        check_sorts(vec![5; 2000]);
+    }
+
+    #[test]
+    fn sorts_few_distinct_values() {
+        let mut x = 9u64;
+        let v: Vec<u64> = (0..3000)
+            .map(|_| {
+                x = crate::adapter::mix64(x);
+                x % 3
+            })
+            .collect();
+        check_sorts(v);
+    }
+
+    #[test]
+    fn cutoff_zero_and_large_both_sort() {
+        for cutoff in [0, 1, 2, 50, 10_000] {
+            let mut x = 42u64;
+            let mut v: Vec<u64> = (0..2500)
+                .map(|_| {
+                    x = crate::adapter::mix64(x);
+                    x % 500
+                })
+                .collect();
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            let stats = Counters::default();
+            quicksort_with_cutoff(&mut v, cutoff, &stats, &mut |a, b| a.cmp(b));
+            assert_eq!(v, expect, "cutoff {cutoff}");
+        }
+    }
+
+    #[cfg(feature = "stats")]
+    #[test]
+    fn counts_comparisons_roughly_n_log_n() {
+        let n = 4096u64;
+        let mut x = 7u64;
+        let mut v: Vec<u64> = (0..n)
+            .map(|_| {
+                x = crate::adapter::mix64(x);
+                x
+            })
+            .collect();
+        let stats = Counters::default();
+        quicksort(&mut v, &stats, |a, b| a.cmp(b));
+        let c = stats.snapshot().comparisons as f64;
+        let nlogn = (n as f64) * (n as f64).log2();
+        assert!(c > nlogn * 0.5, "too few comparisons: {c} vs {nlogn}");
+        assert!(c < nlogn * 6.0, "too many comparisons: {c} vs {nlogn}");
+    }
+
+    #[test]
+    fn insertion_sort_standalone() {
+        let stats = Counters::default();
+        let mut v = vec![5u64, 4, 3, 2, 1, 10, 9, 8];
+        insertion_sort(&mut v, &stats, &mut |a, b| a.cmp(b));
+        assert_eq!(v, vec![1, 2, 3, 4, 5, 8, 9, 10]);
+    }
+}

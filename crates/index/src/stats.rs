@@ -1,0 +1,252 @@
+//! Operation counters mirroring the paper's validation methodology (§3.1).
+//!
+//! The paper: *"the validity of the execution times … was verified by
+//! recording and examining the number of comparisons, the amount of data
+//! movement, the number of hash function calls, and other miscellaneous
+//! operations … These counters were compiled out of the code when the
+//! final performance tests were run."*
+//!
+//! With the `stats` feature (default) [`Counters`] records everything via
+//! interior mutability so read-only operations (`search`) can count too.
+//! Without the feature, `Counters` is a zero-sized type and every method is
+//! an inlined no-op — the counters are "compiled out" exactly as in the
+//! paper, so benchmark binaries can disable them.
+
+/// A plain-old-data snapshot of the counters, safe to copy around and
+/// compare in tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Key comparisons performed (the dominant cost in main memory).
+    pub comparisons: u64,
+    /// Entries moved/copied (array shifts, node spills, rotations' payload).
+    pub data_moves: u64,
+    /// Hash-function evaluations.
+    pub hash_calls: u64,
+    /// Tree/bucket nodes visited.
+    pub node_visits: u64,
+    /// Balance rotations performed (tree structures).
+    pub rotations: u64,
+    /// Structural reorganisations: node splits/merges, bucket splits,
+    /// directory doublings, linear-hash expansions/contractions.
+    pub restructures: u64,
+}
+
+impl Snapshot {
+    /// Field-wise sum (combining counters from several structures that
+    /// cooperated in one operation, e.g. a hash join's build and probe).
+    #[must_use]
+    pub fn plus(&self, other: &Snapshot) -> Snapshot {
+        Snapshot {
+            comparisons: self.comparisons + other.comparisons,
+            data_moves: self.data_moves + other.data_moves,
+            hash_calls: self.hash_calls + other.hash_calls,
+            node_visits: self.node_visits + other.node_visits,
+            rotations: self.rotations + other.rotations,
+            restructures: self.restructures + other.restructures,
+        }
+    }
+
+    /// Difference between two snapshots (`self` after, `earlier` before).
+    #[must_use]
+    pub fn since(&self, earlier: &Snapshot) -> Snapshot {
+        Snapshot {
+            comparisons: self.comparisons - earlier.comparisons,
+            data_moves: self.data_moves - earlier.data_moves,
+            hash_calls: self.hash_calls - earlier.hash_calls,
+            node_visits: self.node_visits - earlier.node_visits,
+            rotations: self.rotations - earlier.rotations,
+            restructures: self.restructures - earlier.restructures,
+        }
+    }
+}
+
+#[cfg(feature = "stats")]
+mod imp {
+    use super::Snapshot;
+    use std::cell::Cell;
+
+    /// Live operation counters (`stats` feature enabled).
+    #[derive(Debug, Default)]
+    pub struct Counters {
+        comparisons: Cell<u64>,
+        data_moves: Cell<u64>,
+        hash_calls: Cell<u64>,
+        node_visits: Cell<u64>,
+        rotations: Cell<u64>,
+        restructures: Cell<u64>,
+    }
+
+    impl Clone for Counters {
+        fn clone(&self) -> Self {
+            let c = Counters::default();
+            c.comparisons.set(self.comparisons.get());
+            c.data_moves.set(self.data_moves.get());
+            c.hash_calls.set(self.hash_calls.get());
+            c.node_visits.set(self.node_visits.get());
+            c.rotations.set(self.rotations.get());
+            c.restructures.set(self.restructures.get());
+            c
+        }
+    }
+
+    impl Counters {
+        /// Record `n` key comparisons.
+        #[inline]
+        pub fn comparisons(&self, n: u64) {
+            self.comparisons.set(self.comparisons.get() + n);
+        }
+        /// Record `n` entry moves.
+        #[inline]
+        pub fn data_moves(&self, n: u64) {
+            self.data_moves.set(self.data_moves.get() + n);
+        }
+        /// Record `n` hash-function calls.
+        #[inline]
+        pub fn hash_calls(&self, n: u64) {
+            self.hash_calls.set(self.hash_calls.get() + n);
+        }
+        /// Record `n` node visits.
+        #[inline]
+        pub fn node_visits(&self, n: u64) {
+            self.node_visits.set(self.node_visits.get() + n);
+        }
+        /// Record `n` rotations.
+        #[inline]
+        pub fn rotations(&self, n: u64) {
+            self.rotations.set(self.rotations.get() + n);
+        }
+        /// Record `n` structural reorganisations.
+        #[inline]
+        pub fn restructures(&self, n: u64) {
+            self.restructures.set(self.restructures.get() + n);
+        }
+        /// Copy the current counter values out.
+        #[inline]
+        pub fn snapshot(&self) -> Snapshot {
+            Snapshot {
+                comparisons: self.comparisons.get(),
+                data_moves: self.data_moves.get(),
+                hash_calls: self.hash_calls.get(),
+                node_visits: self.node_visits.get(),
+                rotations: self.rotations.get(),
+                restructures: self.restructures.get(),
+            }
+        }
+        /// Zero every counter.
+        #[inline]
+        pub fn reset(&self) {
+            self.comparisons.set(0);
+            self.data_moves.set(0);
+            self.hash_calls.set(0);
+            self.node_visits.set(0);
+            self.rotations.set(0);
+            self.restructures.set(0);
+        }
+    }
+}
+
+#[cfg(not(feature = "stats"))]
+mod imp {
+    use super::Snapshot;
+
+    /// Zero-sized no-op counters (`stats` feature disabled): the paper's
+    /// "counters were compiled out of the code".
+    #[derive(Debug, Default, Clone)]
+    pub struct Counters;
+
+    impl Counters {
+        /// No-op.
+        #[inline(always)]
+        pub fn comparisons(&self, _n: u64) {}
+        /// No-op.
+        #[inline(always)]
+        pub fn data_moves(&self, _n: u64) {}
+        /// No-op.
+        #[inline(always)]
+        pub fn hash_calls(&self, _n: u64) {}
+        /// No-op.
+        #[inline(always)]
+        pub fn node_visits(&self, _n: u64) {}
+        /// No-op.
+        #[inline(always)]
+        pub fn rotations(&self, _n: u64) {}
+        /// No-op.
+        #[inline(always)]
+        pub fn restructures(&self, _n: u64) {}
+        /// Always the zero snapshot.
+        #[inline(always)]
+        pub fn snapshot(&self) -> Snapshot {
+            Snapshot::default()
+        }
+        /// No-op.
+        #[inline(always)]
+        pub fn reset(&self) {}
+    }
+}
+
+pub use imp::Counters;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_since_subtracts_fieldwise() {
+        let a = Snapshot {
+            comparisons: 10,
+            data_moves: 4,
+            hash_calls: 3,
+            node_visits: 8,
+            rotations: 2,
+            restructures: 1,
+        };
+        let b = Snapshot {
+            comparisons: 25,
+            data_moves: 10,
+            hash_calls: 3,
+            node_visits: 9,
+            rotations: 4,
+            restructures: 2,
+        };
+        let d = b.since(&a);
+        assert_eq!(d.comparisons, 15);
+        assert_eq!(d.data_moves, 6);
+        assert_eq!(d.hash_calls, 0);
+        assert_eq!(d.node_visits, 1);
+        assert_eq!(d.rotations, 2);
+        assert_eq!(d.restructures, 1);
+    }
+
+    #[cfg(feature = "stats")]
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let c = Counters::default();
+        c.comparisons(3);
+        c.comparisons(2);
+        c.data_moves(7);
+        c.hash_calls(1);
+        c.node_visits(4);
+        c.rotations(1);
+        c.restructures(1);
+        let s = c.snapshot();
+        assert_eq!(s.comparisons, 5);
+        assert_eq!(s.data_moves, 7);
+        assert_eq!(s.hash_calls, 1);
+        assert_eq!(s.node_visits, 4);
+        assert_eq!(s.rotations, 1);
+        assert_eq!(s.restructures, 1);
+        c.reset();
+        assert_eq!(c.snapshot(), Snapshot::default());
+    }
+
+    #[cfg(feature = "stats")]
+    #[test]
+    fn counters_clone_is_independent() {
+        let c = Counters::default();
+        c.comparisons(5);
+        let d = c.clone();
+        c.comparisons(1);
+        assert_eq!(d.snapshot().comparisons, 5);
+        assert_eq!(c.snapshot().comparisons, 6);
+    }
+}

@@ -1,0 +1,25 @@
+//! Partition-granularity locking (§2.4).
+//!
+//! *"Transactions will be much shorter in the absence of disk accesses. In
+//! this environment, it will be reasonable to lock large items, as locks
+//! will be held for only a short time … We expect to set locks at the
+//! partition level, a fairly coarse level of granularity, as tuple-level
+//! locking would be prohibitively expensive here. (A lock table is
+//! basically a hashed relation, so the cost of locking a tuple would be
+//! comparable to the cost of accessing it — thus doubling the cost of
+//! tuple accesses if tuple-level locking is used.)"*
+//!
+//! This crate provides exactly that: a hashed lock table over
+//! [`LockTarget`]s (relation, partition), shared/exclusive modes with
+//! upgrade, strict two-phase locking (all locks released together at
+//! commit/abort), and waits-for-graph deadlock detection that aborts the
+//! requester closing the cycle.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod manager;
+pub mod table;
+
+pub use manager::{LockError, LockManager, LockMode, TxnId};
+pub use table::LockTarget;

@@ -1,0 +1,555 @@
+//! The lock manager: strict 2PL over a hashed lock table with
+//! waits-for-graph deadlock detection.
+
+use crate::table::LockTarget;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+
+/// Transaction identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxnId(pub u64);
+
+/// Lock modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    /// Shared (readers).
+    Shared,
+    /// Exclusive (writers).
+    Exclusive,
+}
+
+/// Lock acquisition failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockError {
+    /// Granting the request would close a waits-for cycle; the requester
+    /// is chosen as the victim and should abort.
+    Deadlock,
+    /// The transaction is unknown (already finished).
+    UnknownTxn,
+}
+
+impl std::fmt::Display for LockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LockError::Deadlock => write!(f, "deadlock detected; abort the transaction"),
+            LockError::UnknownTxn => write!(f, "unknown transaction"),
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+#[derive(Debug)]
+struct Request {
+    txn: TxnId,
+    mode: LockMode,
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    holders: Vec<(TxnId, LockMode)>,
+    queue: VecDeque<Request>,
+}
+
+impl LockState {
+    fn held_by(&self, txn: TxnId) -> Option<LockMode> {
+        self.holders.iter().find(|(t, _)| *t == txn).map(|(_, m)| *m)
+    }
+
+    /// Can `txn` acquire `mode` right now?
+    fn grantable(&self, txn: TxnId, mode: LockMode) -> bool {
+        match mode {
+            LockMode::Shared => self
+                .holders
+                .iter()
+                .all(|(t, m)| *t == txn || *m == LockMode::Shared),
+            LockMode::Exclusive => self.holders.iter().all(|(t, _)| *t == txn),
+        }
+    }
+}
+
+/// One chain entry in the hashed lock table.
+type Chain = Vec<(LockTarget, LockState)>;
+
+struct State {
+    /// The hashed lock table: fixed bucket array of chains.
+    buckets: Vec<Chain>,
+    /// Locks held per live transaction (for strict-2PL release).
+    held: std::collections::HashMap<TxnId, Vec<LockTarget>>,
+    next_txn: u64,
+    /// Total lock requests served (the §2.4 cost argument is about this
+    /// count relative to tuple accesses).
+    requests: u64,
+}
+
+/// A strict two-phase lock manager at partition granularity.
+pub struct LockManager {
+    state: Mutex<State>,
+    wakeup: Condvar,
+}
+
+impl Default for LockManager {
+    fn default() -> Self {
+        LockManager::new(256)
+    }
+}
+
+impl LockManager {
+    /// Create a manager with a lock table of `buckets` buckets.
+    #[must_use]
+    pub fn new(buckets: usize) -> Self {
+        LockManager {
+            state: Mutex::new(State {
+                buckets: (0..buckets.max(1)).map(|_| Vec::new()).collect(),
+                held: std::collections::HashMap::new(),
+                next_txn: 1,
+                requests: 0,
+            }),
+            wakeup: Condvar::new(),
+        }
+    }
+
+    /// Start a transaction.
+    pub fn begin(&self) -> TxnId {
+        let mut s = self.state.lock();
+        let id = TxnId(s.next_txn);
+        s.next_txn += 1;
+        s.held.insert(id, Vec::new());
+        id
+    }
+
+    /// Total lock requests served so far.
+    pub fn request_count(&self) -> u64 {
+        self.state.lock().requests
+    }
+
+    /// Targets currently locked by `txn`.
+    pub fn held(&self, txn: TxnId) -> Vec<LockTarget> {
+        self.state
+            .lock()
+            .held
+            .get(&txn)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Acquire `mode` on `target`, blocking until granted. Returns
+    /// [`LockError::Deadlock`] when waiting would close a cycle — the
+    /// caller must then abort (release) the transaction.
+    ///
+    /// Grant discipline: FIFO. A request is granted when it is compatible
+    /// with the current holders **and** no other transaction's request is
+    /// queued ahead of it (no barging, no starvation). The one exception
+    /// is a lock *upgrade* (S → X by a current holder): it is granted as
+    /// soon as the holder is alone, regardless of queue position —
+    /// otherwise an upgrader behind a queued writer could never proceed
+    /// (that writer cannot run while the upgrader still holds S; the
+    /// waits-for check turns the cycle into a deadlock abort instead).
+    pub fn lock(&self, txn: TxnId, target: LockTarget, mode: LockMode) -> Result<(), LockError> {
+        let mut s = self.state.lock();
+        if !s.held.contains_key(&txn) {
+            return Err(LockError::UnknownTxn);
+        }
+        s.requests += 1;
+        // Re-entrant fast paths.
+        let held_mode = state_lock(&mut s, target).held_by(txn);
+        if let Some(held_mode) = held_mode {
+            if held_mode == LockMode::Exclusive || mode == LockMode::Shared {
+                return Ok(()); // already strong enough
+            }
+        }
+        let is_upgrade = held_mode.is_some();
+        loop {
+            let st = state_lock(&mut s, target);
+            let front_is_me = st.queue.front().is_none_or(|r| r.txn == txn);
+            let can_grant =
+                st.grantable(txn, mode) && (front_is_me || is_upgrade);
+            if can_grant {
+                // Grant (or upgrade in place).
+                st.holders.retain(|(t, _)| *t != txn);
+                st.holders.push((txn, mode));
+                st.queue.retain(|r| r.txn != txn);
+                if !s.held.get(&txn).map(|v| v.contains(&target)).unwrap_or(false) {
+                    s.held.get_mut(&txn).ok_or(LockError::UnknownTxn)?.push(target);
+                }
+                // Cascade: compatible requests behind this one (e.g. a run
+                // of shared locks) must re-evaluate now, not at release.
+                self.wakeup.notify_all();
+                return Ok(());
+            }
+            // Must wait: enqueue (once) and check for deadlock.
+            if !state_lock(&mut s, target).queue.iter().any(|r| r.txn == txn) {
+                state_lock(&mut s, target)
+                    .queue
+                    .push_back(Request { txn, mode });
+            }
+            if self.would_deadlock(&s, txn) {
+                state_lock(&mut s, target).queue.retain(|r| r.txn != txn);
+                self.wakeup.notify_all();
+                return Err(LockError::Deadlock);
+            }
+            self.wakeup.wait(&mut s);
+            if !s.held.contains_key(&txn) {
+                return Err(LockError::UnknownTxn);
+            }
+        }
+    }
+
+    /// Non-blocking acquire; `Ok(false)` if the lock is busy.
+    pub fn try_lock(
+        &self,
+        txn: TxnId,
+        target: LockTarget,
+        mode: LockMode,
+    ) -> Result<bool, LockError> {
+        let mut s = self.state.lock();
+        if !s.held.contains_key(&txn) {
+            return Err(LockError::UnknownTxn);
+        }
+        s.requests += 1;
+        let st = state_lock(&mut s, target);
+        if let Some(held_mode) = st.held_by(txn) {
+            if held_mode == LockMode::Exclusive || mode == LockMode::Shared {
+                return Ok(true);
+            }
+        }
+        let st = state_lock(&mut s, target);
+        if st.grantable(txn, mode) && st.queue.is_empty() {
+            st.holders.retain(|(t, _)| *t != txn);
+            st.holders.push((txn, mode));
+            if !s.held.get(&txn).map(|v| v.contains(&target)).unwrap_or(false) {
+                s.held.get_mut(&txn).ok_or(LockError::UnknownTxn)?.push(target);
+            }
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Strict 2PL release: drop every lock and queued request of `txn`
+    /// (commit and abort both end here), waking waiters.
+    pub fn release_all(&self, txn: TxnId) {
+        let mut s = self.state.lock();
+        let targets = s.held.remove(&txn).unwrap_or_default();
+        for target in targets {
+            let st = state_lock(&mut s, target);
+            st.holders.retain(|(t, _)| *t != txn);
+            st.queue.retain(|r| r.txn != txn);
+        }
+        // Drop any queued requests on targets it never held.
+        for chain in &mut s.buckets {
+            for (_, st) in chain.iter_mut() {
+                st.queue.retain(|r| r.txn != txn);
+            }
+        }
+        self.wakeup.notify_all();
+    }
+
+    /// Would `txn` (which has a queued request) be waiting on a cycle?
+    ///
+    /// Edges: a queued transaction waits for every *conflicting* holder of
+    /// the same target and every conflicting request queued ahead of it.
+    fn would_deadlock(&self, s: &State, start: TxnId) -> bool {
+        // Build edges lazily with DFS from `start`.
+        let mut stack = vec![start];
+        let mut visited = std::collections::HashSet::new();
+        let mut first = true;
+        while let Some(cur) = stack.pop() {
+            if !first && cur == start {
+                return true;
+            }
+            first = false;
+            if !visited.insert(cur) {
+                continue;
+            }
+            for chain in &s.buckets {
+                for (_, st) in chain {
+                    let Some(pos) = st.queue.iter().position(|r| r.txn == cur) else {
+                        continue;
+                    };
+                    let mode = st.queue[pos].mode;
+                    for (holder, hmode) in &st.holders {
+                        if *holder != cur && conflicts(mode, *hmode) {
+                            if *holder == start {
+                                return true;
+                            }
+                            stack.push(*holder);
+                        }
+                    }
+                    for earlier in st.queue.iter().take(pos) {
+                        if earlier.txn != cur && conflicts(mode, earlier.mode) {
+                            if earlier.txn == start {
+                                return true;
+                            }
+                            stack.push(earlier.txn);
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+fn conflicts(a: LockMode, b: LockMode) -> bool {
+    a == LockMode::Exclusive || b == LockMode::Exclusive
+}
+
+/// Find (or create) the lock state for `target` in the hashed table.
+fn state_lock(s: &mut State, target: LockTarget) -> &mut LockState {
+    let b = target.bucket(s.buckets.len());
+    let chain = &mut s.buckets[b];
+    if let Some(pos) = chain.iter().position(|(t, _)| *t == target) {
+        return &mut chain[pos].1;
+    }
+    chain.push((target, LockState::default()));
+    let last = chain.len() - 1;
+    &mut chain[last].1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn t(p: u32) -> LockTarget {
+        LockTarget::new(0, p)
+    }
+
+    #[test]
+    fn shared_locks_are_compatible() {
+        let m = LockManager::default();
+        let a = m.begin();
+        let b = m.begin();
+        m.lock(a, t(1), LockMode::Shared).unwrap();
+        m.lock(b, t(1), LockMode::Shared).unwrap();
+        assert_eq!(m.held(a), vec![t(1)]);
+        assert_eq!(m.held(b), vec![t(1)]);
+        m.release_all(a);
+        m.release_all(b);
+    }
+
+    #[test]
+    fn exclusive_blocks_and_try_lock_reports_busy() {
+        let m = LockManager::default();
+        let a = m.begin();
+        let b = m.begin();
+        m.lock(a, t(1), LockMode::Exclusive).unwrap();
+        assert!(!m.try_lock(b, t(1), LockMode::Shared).unwrap());
+        m.release_all(a);
+        assert!(m.try_lock(b, t(1), LockMode::Shared).unwrap());
+        m.release_all(b);
+    }
+
+    #[test]
+    fn reentrant_and_noop_downgrade() {
+        let m = LockManager::default();
+        let a = m.begin();
+        m.lock(a, t(2), LockMode::Exclusive).unwrap();
+        m.lock(a, t(2), LockMode::Exclusive).unwrap();
+        m.lock(a, t(2), LockMode::Shared).unwrap(); // no-op
+        assert_eq!(m.held(a).len(), 1);
+        m.release_all(a);
+    }
+
+    #[test]
+    fn upgrade_when_sole_holder() {
+        let m = LockManager::default();
+        let a = m.begin();
+        m.lock(a, t(3), LockMode::Shared).unwrap();
+        m.lock(a, t(3), LockMode::Exclusive).unwrap();
+        let b = m.begin();
+        assert!(!m.try_lock(b, t(3), LockMode::Shared).unwrap());
+        m.release_all(a);
+        m.release_all(b);
+    }
+
+    #[test]
+    fn blocking_handoff_across_threads() {
+        let m = Arc::new(LockManager::default());
+        let a = m.begin();
+        m.lock(a, t(4), LockMode::Exclusive).unwrap();
+        let m2 = Arc::clone(&m);
+        let b = m.begin();
+        let h = std::thread::spawn(move || {
+            m2.lock(b, t(4), LockMode::Exclusive).unwrap();
+            m2.release_all(b);
+            true
+        });
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        m.release_all(a);
+        assert!(h.join().unwrap());
+    }
+
+    #[test]
+    fn multiple_waiters_drain_fifo() {
+        // Regression: with ≥2 queued waiters, each must eventually be
+        // granted (the old grant condition required an empty queue and
+        // live-locked here).
+        let m = Arc::new(LockManager::default());
+        let a = m.begin();
+        m.lock(a, t(30), LockMode::Exclusive).unwrap();
+        let mut handles = Vec::new();
+        for _ in 0..6 {
+            let m2 = Arc::clone(&m);
+            let b = m.begin();
+            handles.push(std::thread::spawn(move || {
+                m2.lock(b, t(30), LockMode::Exclusive).unwrap();
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                m2.release_all(b);
+            }));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        m.release_all(a);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn shared_run_granted_together_behind_writer() {
+        // Writer holds X; several readers queue; all readers proceed when
+        // the writer releases (cascade wakeups).
+        let m = Arc::new(LockManager::default());
+        let w = m.begin();
+        m.lock(w, t(31), LockMode::Exclusive).unwrap();
+        let mut handles = Vec::new();
+        for _ in 0..5 {
+            let m2 = Arc::clone(&m);
+            let r = m.begin();
+            handles.push(std::thread::spawn(move || {
+                m2.lock(r, t(31), LockMode::Shared).unwrap();
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                m2.release_all(r);
+            }));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        m.release_all(w);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let m = Arc::new(LockManager::default());
+        let a = m.begin();
+        let b = m.begin();
+        m.lock(a, t(10), LockMode::Exclusive).unwrap();
+        m.lock(b, t(11), LockMode::Exclusive).unwrap();
+        let m2 = Arc::clone(&m);
+        let h = std::thread::spawn(move || {
+            // b waits for t(10) held by a.
+            let r = m2.lock(b, t(10), LockMode::Exclusive);
+            match r {
+                Ok(()) => {
+                    m2.release_all(b);
+                    Ok(())
+                }
+                Err(e) => {
+                    m2.release_all(b);
+                    Err(e)
+                }
+            }
+        });
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        // a requests t(11) held by b → cycle; one side must see Deadlock.
+        let r = m.lock(a, t(11), LockMode::Exclusive);
+        m.release_all(a);
+        let other = h.join().unwrap().err();
+        let deadlocks = usize::from(r.is_err()) + usize::from(other.is_some());
+        assert!(deadlocks >= 1, "at least one side must detect the deadlock");
+    }
+
+    #[test]
+    fn upgrade_deadlock_detected() {
+        // Two transactions holding S both requesting X.
+        let m = Arc::new(LockManager::default());
+        let a = m.begin();
+        let b = m.begin();
+        m.lock(a, t(20), LockMode::Shared).unwrap();
+        m.lock(b, t(20), LockMode::Shared).unwrap();
+        let m2 = Arc::clone(&m);
+        let h = std::thread::spawn(move || {
+            let r = m2.lock(b, t(20), LockMode::Exclusive);
+            m2.release_all(b);
+            r
+        });
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let r = m.lock(a, t(20), LockMode::Exclusive);
+        m.release_all(a);
+        let rb = h.join().unwrap();
+        assert!(
+            r.is_err() || rb.is_err(),
+            "one upgrader must be chosen as deadlock victim"
+        );
+        // And at least one should have succeeded after the victim aborted.
+        assert!(
+            r.is_ok() || rb.is_ok(),
+            "the survivor should eventually get the X lock"
+        );
+    }
+
+    #[test]
+    fn throughput_many_threads_disjoint_partitions() {
+        let m = Arc::new(LockManager::new(64));
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for round in 0..200 {
+                        let txn = m.begin();
+                        m.lock(txn, t(i), LockMode::Exclusive).unwrap();
+                        m.lock(txn, LockTarget::new(1, i), LockMode::Shared).unwrap();
+                        let _ = round;
+                        m.release_all(txn);
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        assert!(m.request_count() >= 8 * 200 * 2);
+    }
+
+    #[test]
+    fn contended_counter_is_serialized() {
+        // Classic isolation smoke test: X-locked read-modify-write.
+        let m = Arc::new(LockManager::new(16));
+        let counter = Arc::new(Mutex::new(0u64));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                let counter = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        let txn = m.begin();
+                        m.lock(txn, t(0), LockMode::Exclusive).unwrap();
+                        let mut c = counter.lock();
+                        let v = *c;
+                        std::thread::yield_now();
+                        *c = v + 1;
+                        drop(c);
+                        m.release_all(txn);
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        assert_eq!(*counter.lock(), 400);
+    }
+
+    #[test]
+    fn unknown_txn_rejected() {
+        let m = LockManager::default();
+        let a = m.begin();
+        m.release_all(a);
+        assert_eq!(
+            m.lock(a, t(0), LockMode::Shared),
+            Err(LockError::UnknownTxn)
+        );
+    }
+}

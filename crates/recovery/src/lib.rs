@@ -1,0 +1,60 @@
+//! MM-DBMS recovery (§2.4, Figure 2).
+//!
+//! The paper's recovery architecture has four components, all implemented
+//! here:
+//!
+//! ```text
+//!   CPU ⟷ DBMS (volatile, memory-resident database)
+//!            │ writes log records BEFORE updating the database
+//!            ▼
+//!   Stable Log Buffer (battery-backed RAM — survives crashes)
+//!            │ committed records only
+//!            ▼
+//!   Log Device (holds a change-accumulation log)
+//!            │ batched propagation
+//!            ▼
+//!   Disk Copy of the Database (partition images)
+//! ```
+//!
+//! Key protocol properties, straight from §2.4:
+//!
+//! * *"The MM-DBMS writes all log information directly into a stable log
+//!   buffer before the actual update is done to the database … If the
+//!   transaction aborts, then the log entry is removed and no undo is
+//!   needed."* — redo-only logging; [`StableLogBuffer::abort`] just drops
+//!   the records.
+//! * *"The log device holds a change accumulation log, so it does not
+//!   need to update the disk version of the database every time a
+//!   partition is modified."* — [`LogDevice`] keeps only the newest image
+//!   per partition between flushes.
+//! * *"Each partition that participates in the working set is read from
+//!   the disk copy … The log device is checked for any updates to that
+//!   partition that have not yet been propagated to the disk copy. Any
+//!   updates that exist are merged with the partition on the fly … Once
+//!   the working set has been read in, the MM-DBMS should be able to run
+//!   at close to its normal rate while the remainder of the database is
+//!   read in by a background process."* — [`RecoveryManager::restart`].
+//!
+//! ## Substitution note (see DESIGN.md)
+//!
+//! The paper assumes battery-backed RAM for the stable buffer and a
+//! hardware "log device". Here both are in-process data structures that
+//! deliberately survive [`RecoveryManager::crash_volatile`] (which models
+//! losing the memory-resident database), and the disk copy is a
+//! [`StableStore`] with in-memory and real-file backends. The protocol —
+//! what is written where, and in which order — is exactly the paper's.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod background;
+pub mod device;
+pub mod disk;
+pub mod log;
+pub mod manager;
+
+pub use background::ActiveLogDevice;
+pub use device::LogDevice;
+pub use disk::{FileDisk, MemDisk, StableStore};
+pub use log::{LogRecord, PartitionKey, StableLogBuffer};
+pub use manager::{RecoveryManager, RestartPhase};

@@ -1,0 +1,184 @@
+//! The stable log buffer (§2.4): redo-only, write-ahead, abort-by-discard.
+
+/// Identifies one partition of one relation — the unit of recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PartitionKey {
+    /// Catalog relation id.
+    pub relation: u32,
+    /// Partition number within the relation.
+    pub partition: u32,
+}
+
+impl PartitionKey {
+    /// Construct a key.
+    #[must_use]
+    pub fn new(relation: u32, partition: u32) -> Self {
+        PartitionKey {
+            relation,
+            partition,
+        }
+    }
+}
+
+/// One redo record: the after-image of a partition touched by a
+/// transaction.
+#[derive(Debug, Clone)]
+pub struct LogRecord {
+    /// Log sequence number (assigned by the buffer; monotone).
+    pub lsn: u64,
+    /// Writing transaction.
+    pub txn: u64,
+    /// Which partition this image replaces.
+    pub key: PartitionKey,
+    /// The partition's byte image after the update.
+    pub image: Vec<u8>,
+}
+
+/// The stable log buffer: survives crashes (battery-backed RAM in the
+/// paper). Uncommitted records are staged per transaction; commit makes
+/// them visible to the log device in LSN order; abort discards them —
+/// *"the log entry is removed and no undo is needed"*.
+#[derive(Debug, Default)]
+pub struct StableLogBuffer {
+    next_lsn: u64,
+    /// Staged records of live (uncommitted) transactions.
+    staged: Vec<LogRecord>,
+    /// Committed records awaiting the log device, in commit order.
+    committed: Vec<LogRecord>,
+}
+
+impl StableLogBuffer {
+    /// Create an empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        StableLogBuffer::default()
+    }
+
+    /// Write-ahead: stage the after-image of `key` for `txn`. Must be
+    /// called *before* the in-memory database applies the update.
+    pub fn log(&mut self, txn: u64, key: PartitionKey, image: Vec<u8>) {
+        let lsn = self.next_lsn;
+        self.next_lsn += 1;
+        self.staged.push(LogRecord {
+            lsn,
+            txn,
+            key,
+            image,
+        });
+    }
+
+    /// Commit: move the transaction's records to the committed queue.
+    pub fn commit(&mut self, txn: u64) {
+        let mut moved: Vec<LogRecord> = Vec::new();
+        self.staged.retain_mut(|r| {
+            if r.txn == txn {
+                moved.push(LogRecord {
+                    lsn: r.lsn,
+                    txn: r.txn,
+                    key: r.key,
+                    image: std::mem::take(&mut r.image),
+                });
+                false
+            } else {
+                true
+            }
+        });
+        moved.sort_by_key(|r| r.lsn);
+        self.committed.extend(moved);
+    }
+
+    /// Abort: discard the transaction's staged records.
+    pub fn abort(&mut self, txn: u64) {
+        self.staged.retain(|r| r.txn != txn);
+    }
+
+    /// Drain the committed queue (called by the log device).
+    pub fn drain_committed(&mut self) -> Vec<LogRecord> {
+        std::mem::take(&mut self.committed)
+    }
+
+    /// Committed records not yet drained, newest image per key — used at
+    /// restart to merge updates the log device has not seen yet.
+    #[must_use]
+    pub fn committed_images(&self) -> std::collections::HashMap<PartitionKey, &LogRecord> {
+        let mut map = std::collections::HashMap::new();
+        for r in &self.committed {
+            let e = map.entry(r.key).or_insert(r);
+            if r.lsn >= e.lsn {
+                *e = r;
+            }
+        }
+        map
+    }
+
+    /// Number of staged (uncommitted) records.
+    #[must_use]
+    pub fn staged_len(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Number of committed records awaiting the log device.
+    #[must_use]
+    pub fn committed_len(&self) -> usize {
+        self.committed.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(p: u32) -> PartitionKey {
+        PartitionKey::new(0, p)
+    }
+
+    #[test]
+    fn commit_moves_records_in_lsn_order() {
+        let mut b = StableLogBuffer::new();
+        b.log(1, k(0), vec![1]);
+        b.log(2, k(1), vec![2]);
+        b.log(1, k(2), vec![3]);
+        b.commit(1);
+        assert_eq!(b.staged_len(), 1);
+        let drained = b.drain_committed();
+        assert_eq!(drained.len(), 2);
+        assert!(drained[0].lsn < drained[1].lsn);
+        assert_eq!(drained[0].key, k(0));
+        assert_eq!(drained[1].key, k(2));
+    }
+
+    #[test]
+    fn abort_discards_without_undo() {
+        let mut b = StableLogBuffer::new();
+        b.log(1, k(0), vec![1]);
+        b.log(1, k(1), vec![2]);
+        b.abort(1);
+        assert_eq!(b.staged_len(), 0);
+        b.commit(1); // no-op
+        assert!(b.drain_committed().is_empty());
+    }
+
+    #[test]
+    fn committed_images_keeps_newest_per_key() {
+        let mut b = StableLogBuffer::new();
+        b.log(1, k(5), vec![1]);
+        b.log(1, k(5), vec![2]);
+        b.commit(1);
+        b.log(2, k(5), vec![3]);
+        b.commit(2);
+        let map = b.committed_images();
+        assert_eq!(map[&k(5)].image, vec![3]);
+    }
+
+    #[test]
+    fn interleaved_transactions_stay_separate() {
+        let mut b = StableLogBuffer::new();
+        b.log(1, k(0), vec![1]);
+        b.log(2, k(0), vec![2]);
+        b.abort(1);
+        b.commit(2);
+        let drained = b.drain_committed();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].image, vec![2]);
+    }
+}

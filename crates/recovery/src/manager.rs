@@ -1,0 +1,279 @@
+//! The recovery manager: ties buffer, device, and disk copy together and
+//! implements the §2.4 restart protocol (working set first, background
+//! reload after).
+
+use crate::device::LogDevice;
+use crate::disk::StableStore;
+use crate::log::{PartitionKey, StableLogBuffer};
+use std::collections::HashSet;
+
+/// Which restart phase produced a recovered partition image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestartPhase {
+    /// Requested by a current transaction's working set — loaded first so
+    /// "normal processing \[can\] continue immediately".
+    WorkingSet,
+    /// Loaded afterwards "by a background process".
+    Background,
+}
+
+/// The recovery manager. `S` is the disk-copy backend.
+pub struct RecoveryManager<S: StableStore> {
+    buffer: StableLogBuffer,
+    device: LogDevice,
+    disk: S,
+}
+
+impl<S: StableStore> RecoveryManager<S> {
+    /// Create a manager over a disk copy.
+    pub fn new(disk: S) -> Self {
+        RecoveryManager {
+            buffer: StableLogBuffer::new(),
+            device: LogDevice::new(),
+            disk,
+        }
+    }
+
+    /// Write-ahead (§2.4: before the in-memory update) the after-image of
+    /// a partition.
+    pub fn log_update(&mut self, txn: u64, key: PartitionKey, image: Vec<u8>) {
+        self.buffer.log(txn, key, image);
+    }
+
+    /// Commit a transaction: its records become visible to the log device.
+    pub fn commit(&mut self, txn: u64) {
+        self.buffer.commit(txn);
+    }
+
+    /// Abort: drop the transaction's records; no undo is ever needed.
+    pub fn abort(&mut self, txn: u64) {
+        self.buffer.abort(txn);
+    }
+
+    /// One cycle of the active log device: pull committed records and
+    /// propagate accumulated images to the disk copy.
+    pub fn run_log_device(&mut self) -> std::io::Result<()> {
+        self.device.poll(&mut self.buffer);
+        self.device.flush(&mut self.disk)
+    }
+
+    /// Pull committed records into the accumulation log *without*
+    /// flushing (models the device lagging behind the log).
+    pub fn run_log_device_poll_only(&mut self) {
+        self.device.poll(&mut self.buffer);
+    }
+
+    /// Persist a metadata blob (the catalog) on the disk copy.
+    pub fn write_meta(&mut self, name: &str, bytes: &[u8]) -> std::io::Result<()> {
+        self.disk.write_meta(name, bytes)
+    }
+
+    /// Read a metadata blob.
+    pub fn read_meta(&self, name: &str) -> std::io::Result<Option<Vec<u8>>> {
+        self.disk.read_meta(name)
+    }
+
+    /// Model a crash: the volatile (memory-resident) database is gone.
+    /// The stable log buffer, the log device's accumulation log, and the
+    /// disk copy all survive — that is the §2.4 hardware assumption. Any
+    /// *staged* (uncommitted) records are discarded, exactly as a redo-only
+    /// log requires.
+    pub fn crash_volatile(&mut self) {
+        // Discard uncommitted work: in-flight transactions died with the
+        // CPU. (Committed-but-unflushed records survive in the buffer.)
+        if self.buffer.staged_len() > 0 {
+            // There is no per-txn enumeration need: clearing staged
+            // records for all txns is equivalent after a crash.
+            let mut tmp = StableLogBuffer::new();
+            std::mem::swap(&mut tmp, &mut self.buffer);
+            // Rebuild: keep only the committed queue.
+            for r in tmp.drain_committed() {
+                self.buffer.log(r.txn, r.key, r.image);
+                self.buffer.commit(r.txn);
+            }
+        }
+    }
+
+    /// The freshest recoverable image of `key`: committed-but-unpulled log
+    /// records first, then the device's accumulation log, then the disk
+    /// copy.
+    pub fn recover_image(&self, key: PartitionKey) -> std::io::Result<Option<Vec<u8>>> {
+        let committed = self.buffer.committed_images();
+        let from_buffer = committed.get(&key).map(|r| (r.lsn, r.image.clone()));
+        let from_device = self
+            .device
+            .pending(key)
+            .map(|(lsn, img)| (lsn, img.to_vec()));
+        let freshest = match (from_buffer, from_device) {
+            (Some(a), Some(b)) => Some(if a.0 >= b.0 { a } else { b }),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        };
+        if let Some((_, img)) = freshest {
+            return Ok(Some(img));
+        }
+        self.disk.read(key)
+    }
+
+    /// The §2.4 restart sequence: yields `(key, image, phase)` with every
+    /// working-set partition first (disk image merged with unapplied log
+    /// updates on the fly), then the remainder of the database.
+    pub fn restart(
+        &self,
+        working_set: &[PartitionKey],
+    ) -> std::io::Result<Vec<(PartitionKey, Vec<u8>, RestartPhase)>> {
+        let mut out = Vec::new();
+        let mut seen: HashSet<PartitionKey> = HashSet::new();
+        for &key in working_set {
+            if seen.insert(key) {
+                if let Some(img) = self.recover_image(key)? {
+                    out.push((key, img, RestartPhase::WorkingSet));
+                }
+            }
+        }
+        // Background phase: every other partition known to any layer.
+        let mut rest: Vec<PartitionKey> = self.disk.keys()?;
+        rest.extend(self.device.pending_keys());
+        rest.extend(self.buffer.committed_images().keys().copied());
+        rest.sort_unstable();
+        rest.dedup();
+        for key in rest {
+            if seen.insert(key) {
+                if let Some(img) = self.recover_image(key)? {
+                    out.push((key, img, RestartPhase::Background));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Access the disk copy (tests, tools).
+    pub fn disk(&self) -> &S {
+        &self.disk
+    }
+
+    /// Log-device diagnostics: `(records pulled, images flushed)`.
+    pub fn device_counters(&self) -> (u64, u64) {
+        (self.device.pulled(), self.device.flushed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::MemDisk;
+
+    fn k(p: u32) -> PartitionKey {
+        PartitionKey::new(0, p)
+    }
+
+    fn mgr() -> RecoveryManager<MemDisk> {
+        RecoveryManager::new(MemDisk::new())
+    }
+
+    #[test]
+    fn committed_work_survives_crash_at_every_stage() {
+        // Stage 1: committed, still in the stable buffer.
+        let mut m = mgr();
+        m.log_update(1, k(0), vec![1]);
+        m.commit(1);
+        m.crash_volatile();
+        assert_eq!(m.recover_image(k(0)).unwrap(), Some(vec![1]));
+
+        // Stage 2: pulled into the device's accumulation log.
+        let mut m = mgr();
+        m.log_update(1, k(0), vec![2]);
+        m.commit(1);
+        m.run_log_device_poll_only();
+        m.crash_volatile();
+        assert_eq!(m.recover_image(k(0)).unwrap(), Some(vec![2]));
+
+        // Stage 3: flushed to the disk copy.
+        let mut m = mgr();
+        m.log_update(1, k(0), vec![3]);
+        m.commit(1);
+        m.run_log_device().unwrap();
+        m.crash_volatile();
+        assert_eq!(m.recover_image(k(0)).unwrap(), Some(vec![3]));
+    }
+
+    #[test]
+    fn uncommitted_work_never_survives() {
+        let mut m = mgr();
+        m.log_update(1, k(0), vec![1]);
+        m.commit(1);
+        m.log_update(2, k(0), vec![99]); // uncommitted overwrite attempt
+        m.crash_volatile();
+        assert_eq!(m.recover_image(k(0)).unwrap(), Some(vec![1]));
+    }
+
+    #[test]
+    fn aborted_work_never_survives() {
+        let mut m = mgr();
+        m.log_update(1, k(0), vec![1]);
+        m.abort(1);
+        m.run_log_device().unwrap();
+        assert_eq!(m.recover_image(k(0)).unwrap(), None);
+    }
+
+    #[test]
+    fn freshest_image_wins_across_layers() {
+        let mut m = mgr();
+        // Old image on disk.
+        m.log_update(1, k(0), vec![1]);
+        m.commit(1);
+        m.run_log_device().unwrap();
+        // Newer image stuck in the device.
+        m.log_update(2, k(0), vec![2]);
+        m.commit(2);
+        m.run_log_device_poll_only();
+        // Newest image still in the buffer.
+        m.log_update(3, k(0), vec![3]);
+        m.commit(3);
+        m.crash_volatile();
+        assert_eq!(m.recover_image(k(0)).unwrap(), Some(vec![3]));
+    }
+
+    #[test]
+    fn restart_orders_working_set_first() {
+        let mut m = mgr();
+        for p in 0..6u32 {
+            m.log_update(u64::from(p), k(p), vec![p as u8]);
+            m.commit(u64::from(p));
+        }
+        m.run_log_device().unwrap();
+        m.crash_volatile();
+        let plan = m.restart(&[k(4), k(1)]).unwrap();
+        assert_eq!(plan.len(), 6);
+        assert_eq!(plan[0].0, k(4));
+        assert_eq!(plan[0].2, RestartPhase::WorkingSet);
+        assert_eq!(plan[1].0, k(1));
+        assert_eq!(plan[1].2, RestartPhase::WorkingSet);
+        for (key, img, phase) in &plan[2..] {
+            assert_eq!(*phase, RestartPhase::Background);
+            assert_eq!(img[0] as u32, key.partition);
+        }
+    }
+
+    #[test]
+    fn restart_merges_unapplied_updates_on_the_fly() {
+        let mut m = mgr();
+        m.log_update(1, k(0), vec![1]);
+        m.commit(1);
+        m.run_log_device().unwrap(); // on disk: [1]
+        m.log_update(2, k(0), vec![2]);
+        m.commit(2); // newer, only in buffer
+        m.crash_volatile();
+        let plan = m.restart(&[k(0)]).unwrap();
+        assert_eq!(plan[0].1, vec![2], "restart must merge the log update");
+    }
+
+    #[test]
+    fn meta_blobs_roundtrip() {
+        let mut m = mgr();
+        m.write_meta("catalog", b"abc").unwrap();
+        assert_eq!(m.read_meta("catalog").unwrap(), Some(b"abc".to_vec()));
+        assert_eq!(m.read_meta("missing").unwrap(), None);
+    }
+}

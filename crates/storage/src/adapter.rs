@@ -1,0 +1,383 @@
+//! Index adapters over relations: the §2.2 "main memory index" style.
+//!
+//! *"a single tuple pointer provides the index with access to both the
+//! attribute value of a tuple and the tuple itself"* — an index entry is a
+//! [`TupleId`]; comparisons dereference it through the relation to reach
+//! the indexed attribute. [`AttrAdapter`] is that dereference.
+
+use crate::relation::Relation;
+use crate::value::{TupleId, Value};
+use mmdb_index::adapter::{mix64, Adapter, HashAdapter};
+use std::cmp::Ordering;
+
+/// An owned probe key for index searches over relation attributes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KeyValue {
+    /// Integer key.
+    Int(i64),
+    /// String key.
+    Str(String),
+    /// Tuple-pointer key (for pointer-comparison joins, §2.1 Query 2).
+    Ptr(TupleId),
+}
+
+impl KeyValue {
+    /// Total order consistent with [`AttrAdapter`]'s entry comparisons.
+    #[must_use]
+    pub fn cmp_value(&self, v: &Value<'_>) -> Ordering {
+        match (v, self) {
+            (Value::Int(a), KeyValue::Int(b)) => a.cmp(b),
+            (Value::Str(a), KeyValue::Str(b)) => (*a).cmp(b.as_str()),
+            (Value::Ptr(a), KeyValue::Ptr(b)) => {
+                a.unwrap_or_else(TupleId::null).cmp(b)
+            }
+            // Heterogeneous comparisons order by type tag; they only occur
+            // on user error (probing an int index with a string).
+            _ => rank_value(v).cmp(&rank_key(self)),
+        }
+    }
+
+    /// Hash consistent with [`AttrAdapter`]'s entry hashing.
+    #[must_use]
+    pub fn hash(&self) -> u64 {
+        match self {
+            KeyValue::Int(i) => mix64(*i as u64),
+            KeyValue::Str(s) => hash_str(s),
+            KeyValue::Ptr(t) => hash_tid(*t),
+        }
+    }
+}
+
+impl From<i64> for KeyValue {
+    fn from(i: i64) -> Self {
+        KeyValue::Int(i)
+    }
+}
+
+impl From<&str> for KeyValue {
+    fn from(s: &str) -> Self {
+        KeyValue::Str(s.to_string())
+    }
+}
+
+impl From<TupleId> for KeyValue {
+    fn from(t: TupleId) -> Self {
+        KeyValue::Ptr(t)
+    }
+}
+
+fn rank_value(v: &Value<'_>) -> u8 {
+    match v {
+        Value::Int(_) => 0,
+        Value::Str(_) => 1,
+        Value::Ptr(_) => 2,
+        Value::PtrList(_) => 3,
+    }
+}
+
+fn rank_key(k: &KeyValue) -> u8 {
+    match k {
+        KeyValue::Int(_) => 0,
+        KeyValue::Str(_) => 1,
+        KeyValue::Ptr(_) => 2,
+    }
+}
+
+/// FNV-1a over string bytes.
+fn hash_str(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    mix64(h)
+}
+
+fn hash_tid(t: TupleId) -> u64 {
+    mix64((u64::from(t.partition) << 32) | u64::from(t.slot))
+}
+
+/// Hash a field value, consistently with [`KeyValue::hash`]. Public so
+/// query operators (hash join build, hash-based duplicate elimination) can
+/// hash extracted attribute values directly.
+#[must_use]
+pub fn value_hash(v: &Value<'_>) -> u64 {
+    match v {
+        Value::Int(i) => mix64(*i as u64),
+        Value::Str(s) => hash_str(s),
+        Value::Ptr(p) => hash_tid(p.unwrap_or_else(TupleId::null)),
+        Value::PtrList(l) => {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for t in l {
+                h ^= hash_tid(*t);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            mix64(h)
+        }
+    }
+}
+
+/// Adapter that dereferences [`TupleId`] entries to an attribute of one
+/// relation.
+#[derive(Clone, Copy)]
+pub struct AttrAdapter<'a> {
+    rel: &'a Relation,
+    attr: usize,
+}
+
+impl<'a> AttrAdapter<'a> {
+    /// Index `rel` on attribute `attr`.
+    #[must_use]
+    pub fn new(rel: &'a Relation, attr: usize) -> Self {
+        AttrAdapter { rel, attr }
+    }
+
+    /// Index `rel` on the named attribute.
+    pub fn by_name(rel: &'a Relation, name: &str) -> Result<Self, crate::StorageError> {
+        Ok(AttrAdapter {
+            rel,
+            attr: rel.schema().index_of(name)?,
+        })
+    }
+
+    /// The underlying relation.
+    #[must_use]
+    pub fn relation(&self) -> &'a Relation {
+        self.rel
+    }
+
+    /// The indexed attribute position.
+    #[must_use]
+    pub fn attr(&self) -> usize {
+        self.attr
+    }
+
+    /// Extract the indexed attribute of a tuple.
+    #[must_use]
+    pub fn value_of(&self, tid: TupleId) -> Value<'a> {
+        self.rel
+            .field(tid, self.attr)
+            .expect("index entry must reference a live tuple")
+    }
+}
+
+impl Adapter for AttrAdapter<'_> {
+    type Entry = TupleId;
+    type Key = KeyValue;
+
+    fn cmp_entries(&self, a: &TupleId, b: &TupleId) -> Ordering {
+        self.value_of(*a).total_cmp(&self.value_of(*b))
+    }
+
+    fn cmp_entry_key(&self, e: &TupleId, key: &KeyValue) -> Ordering {
+        key.cmp_value(&self.value_of(*e))
+    }
+}
+
+impl HashAdapter for AttrAdapter<'_> {
+    fn hash_entry(&self, e: &TupleId) -> u64 {
+        value_hash(&self.value_of(*e))
+    }
+
+    fn hash_key(&self, key: &KeyValue) -> u64 {
+        key.hash()
+    }
+}
+
+/// Adapter that indexes the rows of a **temporary list** (§2.3: *"it is
+/// also possible to have an index on a temporary list"*). Entries are row
+/// numbers into the list; the key is one field of one source relation,
+/// reached through the row's tuple pointer.
+#[derive(Clone, Copy)]
+pub struct TempListAdapter<'a> {
+    list: &'a crate::templist::TempList,
+    rel: &'a Relation,
+    /// Which source column of the list holds the tuple pointer.
+    source: usize,
+    /// Which attribute of that source relation is the key.
+    attr: usize,
+}
+
+impl<'a> TempListAdapter<'a> {
+    /// Index `list` on `rel`'s attribute `attr`, reached through source
+    /// column `source` of each row.
+    #[must_use]
+    pub fn new(
+        list: &'a crate::templist::TempList,
+        rel: &'a Relation,
+        source: usize,
+        attr: usize,
+    ) -> Self {
+        TempListAdapter {
+            list,
+            rel,
+            source,
+            attr,
+        }
+    }
+
+    /// Extract the key value of row `row`.
+    #[must_use]
+    pub fn value_of(&self, row: u32) -> Value<'a> {
+        let tid = self.list.row(row as usize)[self.source];
+        self.rel
+            .field(tid, self.attr)
+            .expect("temp-list row must reference a live tuple")
+    }
+}
+
+impl Adapter for TempListAdapter<'_> {
+    type Entry = u32;
+    type Key = KeyValue;
+
+    fn cmp_entries(&self, a: &u32, b: &u32) -> Ordering {
+        self.value_of(*a).total_cmp(&self.value_of(*b))
+    }
+
+    fn cmp_entry_key(&self, e: &u32, key: &KeyValue) -> Ordering {
+        key.cmp_value(&self.value_of(*e))
+    }
+}
+
+impl HashAdapter for TempListAdapter<'_> {
+    fn hash_entry(&self, e: &u32) -> u64 {
+        value_hash(&self.value_of(*e))
+    }
+
+    fn hash_key(&self, key: &KeyValue) -> u64 {
+        key.hash()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::PartitionConfig;
+    use crate::schema::{AttrType, Schema};
+    use crate::value::OwnedValue;
+    use mmdb_index::traits::OrderedIndex;
+    use mmdb_index::{TTree, TTreeConfig};
+
+    fn people() -> (Relation, Vec<TupleId>) {
+        let mut r = Relation::new(
+            "people",
+            Schema::of(&[("name", AttrType::Str), ("age", AttrType::Int)]),
+            PartitionConfig::default(),
+        );
+        let names = ["Dave", "Suzan", "Yaman", "Jane", "Cindy"];
+        let ages = [24i64, 27, 54, 47, 22];
+        let tids = names
+            .iter()
+            .zip(ages)
+            .map(|(n, a)| {
+                r.insert(&[OwnedValue::Str((*n).into()), OwnedValue::Int(a)])
+                    .unwrap()
+            })
+            .collect();
+        (r, tids)
+    }
+
+    #[test]
+    fn cmp_entries_orders_by_attribute() {
+        let (r, tids) = people();
+        let by_age = AttrAdapter::by_name(&r, "age").unwrap();
+        // Dave(24) < Suzan(27)
+        assert_eq!(by_age.cmp_entries(&tids[0], &tids[1]), Ordering::Less);
+        let by_name = AttrAdapter::by_name(&r, "name").unwrap();
+        // "Cindy" < "Dave"
+        assert_eq!(by_name.cmp_entries(&tids[4], &tids[0]), Ordering::Less);
+    }
+
+    #[test]
+    fn key_comparisons() {
+        let (r, tids) = people();
+        let by_age = AttrAdapter::by_name(&r, "age").unwrap();
+        assert_eq!(
+            by_age.cmp_entry_key(&tids[0], &KeyValue::Int(24)),
+            Ordering::Equal
+        );
+        assert_eq!(
+            by_age.cmp_entry_key(&tids[0], &KeyValue::Int(30)),
+            Ordering::Less
+        );
+        let by_name = AttrAdapter::by_name(&r, "name").unwrap();
+        assert_eq!(
+            by_name.cmp_entry_key(&tids[1], &KeyValue::from("Suzan")),
+            Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn hash_agreement_entry_vs_key() {
+        let (r, tids) = people();
+        let by_name = AttrAdapter::by_name(&r, "name").unwrap();
+        assert_eq!(
+            by_name.hash_entry(&tids[2]),
+            by_name.hash_key(&KeyValue::from("Yaman"))
+        );
+        let by_age = AttrAdapter::by_name(&r, "age").unwrap();
+        assert_eq!(
+            by_age.hash_entry(&tids[3]),
+            by_age.hash_key(&KeyValue::Int(47))
+        );
+    }
+
+    #[test]
+    fn ttree_over_relation_attribute() {
+        // End-to-end §2.2: a T-Tree whose entries are tuple pointers.
+        let (r, tids) = people();
+        let adapter = AttrAdapter::by_name(&r, "age").unwrap();
+        let mut idx = TTree::new(adapter, TTreeConfig::with_node_size(4));
+        for t in &tids {
+            idx.insert(*t);
+        }
+        idx.validate().unwrap();
+        let hit = idx.search(&KeyValue::Int(54)).unwrap();
+        assert_eq!(r.field_by_name(hit, "name").unwrap(), Value::Str("Yaman"));
+        // Ordered scan returns people in age order.
+        let mut ages = Vec::new();
+        idx.scan(&mut |t| {
+            ages.push(r.field_by_name(*t, "age").unwrap().as_int().unwrap());
+        });
+        assert_eq!(ages, vec![22, 24, 27, 47, 54]);
+    }
+
+    #[test]
+    fn templist_adapter_indexes_rows() {
+        use crate::templist::TempList;
+        let (r, tids) = people();
+        // An arity-1 temp list of everyone, indexed on age.
+        let list = TempList::from_tids(tids);
+        let ad = TempListAdapter::new(&list, &r, 0, 1);
+        let mut idx = TTree::new(ad, TTreeConfig::with_node_size(3));
+        for row in 0..list.len() as u32 {
+            idx.insert(row);
+        }
+        idx.validate().unwrap();
+        // Search by age through the temp-list index.
+        let row = idx.search(&KeyValue::Int(47)).unwrap();
+        assert_eq!(
+            r.field(list.row(row as usize)[0], 0).unwrap(),
+            Value::Str("Jane")
+        );
+        // Ordered scan respects age order.
+        let mut ages = Vec::new();
+        idx.scan(&mut |row| {
+            ages.push(
+                r.field(list.row(*row as usize)[0], 1)
+                    .unwrap()
+                    .as_int()
+                    .unwrap(),
+            );
+        });
+        assert_eq!(ages, vec![22, 24, 27, 47, 54]);
+    }
+
+    #[test]
+    fn key_value_conversions() {
+        assert_eq!(KeyValue::from(5i64), KeyValue::Int(5));
+        assert_eq!(KeyValue::from("x"), KeyValue::Str("x".into()));
+        let t = TupleId::new(1, 2);
+        assert_eq!(KeyValue::from(t), KeyValue::Ptr(t));
+    }
+}

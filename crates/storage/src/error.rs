@@ -1,0 +1,84 @@
+//! Storage-layer errors.
+
+use crate::value::TupleId;
+
+/// Errors raised by partitions, relations, and temporary lists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A `TupleId` referred to a partition that does not exist.
+    NoSuchPartition(u32),
+    /// A `TupleId` referred to a slot outside the partition.
+    NoSuchSlot(TupleId),
+    /// The slot addressed is not occupied.
+    SlotEmpty(TupleId),
+    /// A value's type did not match the attribute's declared type.
+    TypeMismatch {
+        /// Attribute position in the schema.
+        attr: usize,
+        /// What the schema declares.
+        expected: &'static str,
+        /// What was supplied.
+        found: &'static str,
+    },
+    /// Wrong number of values for the relation's schema.
+    ArityMismatch {
+        /// Schema arity.
+        expected: usize,
+        /// Supplied arity.
+        found: usize,
+    },
+    /// Attribute index out of range.
+    NoSuchAttribute(usize),
+    /// Named attribute not present in the schema.
+    UnknownAttribute(String),
+    /// The partition's heap cannot hold the value and relocation failed.
+    HeapExhausted,
+    /// A forwarding chain was longer than the storage engine permits
+    /// (indicates corruption).
+    ForwardingCycle(TupleId),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::NoSuchPartition(p) => write!(f, "no such partition: {p}"),
+            StorageError::NoSuchSlot(t) => write!(f, "no such slot: {t:?}"),
+            StorageError::SlotEmpty(t) => write!(f, "slot is empty: {t:?}"),
+            StorageError::TypeMismatch {
+                attr,
+                expected,
+                found,
+            } => write!(f, "attribute {attr}: expected {expected}, found {found}"),
+            StorageError::ArityMismatch { expected, found } => {
+                write!(f, "expected {expected} values, found {found}")
+            }
+            StorageError::NoSuchAttribute(i) => write!(f, "no such attribute index: {i}"),
+            StorageError::UnknownAttribute(n) => write!(f, "unknown attribute: {n}"),
+            StorageError::HeapExhausted => write!(f, "partition heap exhausted"),
+            StorageError::ForwardingCycle(t) => write!(f, "forwarding cycle at {t:?}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let t = TupleId::new(1, 2);
+        assert!(StorageError::NoSuchPartition(3).to_string().contains('3'));
+        assert!(StorageError::SlotEmpty(t).to_string().contains("empty"));
+        assert!(StorageError::ArityMismatch {
+            expected: 3,
+            found: 2
+        }
+        .to_string()
+        .contains("3"));
+        assert!(StorageError::UnknownAttribute("x".into())
+            .to_string()
+            .contains('x'));
+    }
+}

@@ -1,0 +1,598 @@
+//! Partitions: the unit of recovery (§2.1).
+//!
+//! A partition is a fixed-budget region "on the order of one or two disk
+//! tracks" holding tuple slots plus a heap for variable-length fields.
+//! The byte layout matters here — the recovery subsystem checkpoints and
+//! reloads whole partitions as byte images, and the lock manager locks at
+//! partition granularity (§2.4).
+//!
+//! ## Slot layout
+//!
+//! Every tuple occupies `8 × arity` bytes, one 8-byte cell per attribute:
+//!
+//! | type    | encoding                                               |
+//! |---------|--------------------------------------------------------|
+//! | int     | `i64` little-endian                                    |
+//! | str     | `u32` heap offset, `u32` length                        |
+//! | ptr     | `u32` partition, `u32` slot (`MAX,MAX` = NULL)         |
+//! | ptrlist | `u32` heap offset, `u32` element count (8 bytes each)  |
+//!
+//! A tuple never moves when a variable-length field grows: the new bytes
+//! are appended to the heap and the cell is repointed (the old bytes
+//! become garbage until the partition is rewritten at checkpoint). If the
+//! heap is exhausted, the *relation* relocates the tuple to another
+//! partition and a forwarding address is left behind (footnote 1).
+
+use crate::error::StorageError;
+use crate::schema::{AttrType, Schema};
+use crate::value::{OwnedValue, TupleId, Value};
+
+/// Construction parameters for partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionConfig {
+    /// Total byte budget per partition ("one or two disk tracks"; a 1986
+    /// track held ~25–50 KB).
+    pub partition_bytes: usize,
+    /// Fraction of the budget reserved for the variable-length heap,
+    /// in percent.
+    pub heap_percent: usize,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        PartitionConfig {
+            partition_bytes: 64 * 1024,
+            heap_percent: 25,
+        }
+    }
+}
+
+impl PartitionConfig {
+    /// A tiny configuration for tests that want to force partition
+    /// overflow and tuple relocation quickly.
+    #[must_use]
+    pub fn tiny() -> Self {
+        PartitionConfig {
+            partition_bytes: 1024,
+            heap_percent: 25,
+        }
+    }
+}
+
+/// State of one tuple slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotState {
+    /// Never used or freed.
+    Empty,
+    /// Holds a live tuple.
+    Occupied,
+    /// Tuple was relocated; the slot body holds the forwarding `TupleId`.
+    Forwarded,
+}
+
+/// A partition: tuple slots + variable-length heap.
+pub struct Partition {
+    slot_size: usize,
+    capacity: usize,
+    heap_budget: usize,
+    slots: Vec<u8>,
+    states: Vec<SlotState>,
+    heap: Vec<u8>,
+    free_slots: Vec<u32>,
+    live: usize,
+}
+
+impl Partition {
+    /// Create a partition for tuples of `arity` attributes under `config`.
+    #[must_use]
+    pub fn new(arity: usize, config: PartitionConfig) -> Self {
+        let slot_size = 8 * arity.max(1);
+        let heap_budget = config.partition_bytes * config.heap_percent / 100;
+        let slot_budget = config.partition_bytes - heap_budget;
+        let capacity = (slot_budget / slot_size).max(1);
+        Partition {
+            slot_size,
+            capacity,
+            heap_budget,
+            slots: Vec::new(),
+            states: Vec::new(),
+            heap: Vec::new(),
+            free_slots: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Maximum number of tuple slots.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of live tuples.
+    #[must_use]
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// True if a new tuple can be placed here (slot available).
+    #[must_use]
+    pub fn has_slot(&self) -> bool {
+        !self.free_slots.is_empty() || self.states.len() < self.capacity
+    }
+
+    /// Bytes of heap still unreserved.
+    #[must_use]
+    pub fn heap_remaining(&self) -> usize {
+        self.heap_budget.saturating_sub(self.heap.len())
+    }
+
+    /// State of slot `slot`.
+    pub fn slot_state(&self, slot: u32) -> Result<SlotState, StorageError> {
+        self.states
+            .get(slot as usize)
+            .copied()
+            .ok_or(StorageError::NoSuchSlot(TupleId::new(u32::MAX, slot)))
+    }
+
+    fn cell(&self, slot: u32, attr: usize) -> &[u8] {
+        let base = slot as usize * self.slot_size + attr * 8;
+        &self.slots[base..base + 8]
+    }
+
+    fn cell_mut(&mut self, slot: u32, attr: usize) -> &mut [u8] {
+        let base = slot as usize * self.slot_size + attr * 8;
+        &mut self.slots[base..base + 8]
+    }
+
+    fn write_cell(&mut self, slot: u32, attr: usize, a: u32, b: u32) {
+        let c = self.cell_mut(slot, attr);
+        c[..4].copy_from_slice(&a.to_le_bytes());
+        c[4..].copy_from_slice(&b.to_le_bytes());
+    }
+
+    fn read_cell_pair(&self, slot: u32, attr: usize) -> (u32, u32) {
+        let c = self.cell(slot, attr);
+        (
+            u32::from_le_bytes(c[..4].try_into().expect("4 bytes")),
+            u32::from_le_bytes(c[4..].try_into().expect("4 bytes")),
+        )
+    }
+
+    /// Append `bytes` to the heap; returns the offset, or `HeapExhausted`.
+    fn heap_alloc(&mut self, bytes: &[u8]) -> Result<u32, StorageError> {
+        if self.heap.len() + bytes.len() > self.heap_budget {
+            return Err(StorageError::HeapExhausted);
+        }
+        let off = self.heap.len() as u32;
+        self.heap.extend_from_slice(bytes);
+        Ok(off)
+    }
+
+    /// Heap bytes a row of values would need.
+    #[must_use]
+    pub fn heap_needed(values: &[OwnedValue]) -> usize {
+        values
+            .iter()
+            .map(|v| match v {
+                OwnedValue::Str(s) => s.len(),
+                OwnedValue::PtrList(l) => l.len() * 8,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    fn write_value(
+        &mut self,
+        slot: u32,
+        attr: usize,
+        value: &OwnedValue,
+    ) -> Result<(), StorageError> {
+        match value {
+            OwnedValue::Int(i) => {
+                self.cell_mut(slot, attr).copy_from_slice(&i.to_le_bytes());
+            }
+            OwnedValue::Str(s) => {
+                let off = self.heap_alloc(s.as_bytes())?;
+                self.write_cell(slot, attr, off, s.len() as u32);
+            }
+            OwnedValue::Ptr(p) => {
+                let t = p.unwrap_or_else(TupleId::null);
+                self.write_cell(slot, attr, t.partition, t.slot);
+            }
+            OwnedValue::PtrList(l) => {
+                let mut bytes = Vec::with_capacity(l.len() * 8);
+                for t in l {
+                    bytes.extend_from_slice(&t.partition.to_le_bytes());
+                    bytes.extend_from_slice(&t.slot.to_le_bytes());
+                }
+                let off = self.heap_alloc(&bytes)?;
+                self.write_cell(slot, attr, off, l.len() as u32);
+            }
+        }
+        Ok(())
+    }
+
+    /// Insert a (schema-checked) row; returns the slot. The caller must
+    /// ensure `has_slot()` and sufficient heap (`heap_needed ≤
+    /// heap_remaining`); on heap exhaustion mid-write the slot is rolled
+    /// back and `HeapExhausted` returned.
+    pub fn insert(&mut self, values: &[OwnedValue]) -> Result<u32, StorageError> {
+        let slot = if let Some(s) = self.free_slots.pop() {
+            s
+        } else {
+            if self.states.len() >= self.capacity {
+                return Err(StorageError::HeapExhausted);
+            }
+            self.states.push(SlotState::Empty);
+            self.slots.resize(self.states.len() * self.slot_size, 0);
+            (self.states.len() - 1) as u32
+        };
+        for (i, v) in values.iter().enumerate() {
+            if let Err(e) = self.write_value(slot, i, v) {
+                self.free_slots.push(slot);
+                return Err(e);
+            }
+        }
+        self.states[slot as usize] = SlotState::Occupied;
+        self.live += 1;
+        Ok(slot)
+    }
+
+    /// Read attribute `attr` of the tuple in `slot` according to `schema`.
+    pub fn read(&self, slot: u32, attr: usize, schema: &Schema) -> Result<Value<'_>, StorageError> {
+        match self.slot_state(slot)? {
+            SlotState::Occupied => {}
+            _ => return Err(StorageError::SlotEmpty(TupleId::new(u32::MAX, slot))),
+        }
+        let ty = schema.attr(attr)?.ty;
+        Ok(match ty {
+            AttrType::Int => {
+                let c = self.cell(slot, attr);
+                Value::Int(i64::from_le_bytes(c.try_into().expect("8 bytes")))
+            }
+            AttrType::Str => {
+                let (off, len) = self.read_cell_pair(slot, attr);
+                let bytes = &self.heap[off as usize..off as usize + len as usize];
+                Value::Str(std::str::from_utf8(bytes).expect("heap strings are valid UTF-8"))
+            }
+            AttrType::Ptr => {
+                let (p, s) = self.read_cell_pair(slot, attr);
+                let t = TupleId::new(p, s);
+                Value::Ptr(if t.is_null() { None } else { Some(t) })
+            }
+            AttrType::PtrList => {
+                let (off, count) = self.read_cell_pair(slot, attr);
+                let mut list = Vec::with_capacity(count as usize);
+                for i in 0..count as usize {
+                    let base = off as usize + i * 8;
+                    let p = u32::from_le_bytes(self.heap[base..base + 4].try_into().expect("4"));
+                    let s =
+                        u32::from_le_bytes(self.heap[base + 4..base + 8].try_into().expect("4"));
+                    list.push(TupleId::new(p, s));
+                }
+                Value::PtrList(list)
+            }
+        })
+    }
+
+    /// Overwrite attribute `attr` in `slot`. Fixed-size values update in
+    /// place; variable-length values append to the heap and repoint.
+    pub fn update(
+        &mut self,
+        slot: u32,
+        attr: usize,
+        value: &OwnedValue,
+        schema: &Schema,
+    ) -> Result<(), StorageError> {
+        match self.slot_state(slot)? {
+            SlotState::Occupied => {}
+            _ => return Err(StorageError::SlotEmpty(TupleId::new(u32::MAX, slot))),
+        }
+        let a = schema.attr(attr)?;
+        if !a.ty.admits(value) {
+            return Err(StorageError::TypeMismatch {
+                attr,
+                expected: a.ty.name(),
+                found: value.type_name(),
+            });
+        }
+        self.write_value(slot, attr, value)
+    }
+
+    /// Read all attributes of the tuple in `slot` (owned copies).
+    pub fn read_row(&self, slot: u32, schema: &Schema) -> Result<Vec<OwnedValue>, StorageError> {
+        (0..schema.arity())
+            .map(|i| self.read(slot, i, schema).map(|v| v.to_owned_value()))
+            .collect()
+    }
+
+    /// Free the slot (tuple deleted).
+    pub fn delete(&mut self, slot: u32) -> Result<(), StorageError> {
+        match self.slot_state(slot)? {
+            SlotState::Occupied => {}
+            _ => return Err(StorageError::SlotEmpty(TupleId::new(u32::MAX, slot))),
+        }
+        self.states[slot as usize] = SlotState::Empty;
+        self.free_slots.push(slot);
+        self.live -= 1;
+        Ok(())
+    }
+
+    /// Mark the slot as relocated to `to` (footnote 1's forwarding
+    /// address). The slot body's first cell stores the forwarding id.
+    pub fn forward(&mut self, slot: u32, to: TupleId) -> Result<(), StorageError> {
+        match self.slot_state(slot)? {
+            SlotState::Occupied => {}
+            _ => return Err(StorageError::SlotEmpty(TupleId::new(u32::MAX, slot))),
+        }
+        self.write_cell(slot, 0, to.partition, to.slot);
+        self.states[slot as usize] = SlotState::Forwarded;
+        self.live -= 1;
+        Ok(())
+    }
+
+    /// Read the forwarding address from a forwarded slot.
+    pub fn forwarding_of(&self, slot: u32) -> Result<TupleId, StorageError> {
+        match self.slot_state(slot)? {
+            SlotState::Forwarded => {}
+            _ => return Err(StorageError::SlotEmpty(TupleId::new(u32::MAX, slot))),
+        }
+        let (p, s) = self.read_cell_pair(slot, 0);
+        Ok(TupleId::new(p, s))
+    }
+
+    /// Mark a slot empty without state checks (crate-internal: used when
+    /// freeing the slots of a forwarding chain).
+    pub(crate) fn mark_empty(&mut self, slot: u32) {
+        if self.states[slot as usize] == SlotState::Occupied {
+            self.live -= 1;
+        }
+        self.states[slot as usize] = SlotState::Empty;
+        self.free_slots.push(slot);
+    }
+
+    /// Slots currently occupied (live tuples only).
+    pub fn occupied_slots(&self) -> impl Iterator<Item = u32> + '_ {
+        self.states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == SlotState::Occupied)
+            .map(|(i, _)| i as u32)
+    }
+
+    /// Serialize the partition to a byte image (recovery checkpointing).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.slot_size as u64).to_le_bytes());
+        out.extend_from_slice(&(self.capacity as u64).to_le_bytes());
+        out.extend_from_slice(&(self.heap_budget as u64).to_le_bytes());
+        out.extend_from_slice(&(self.states.len() as u64).to_le_bytes());
+        for s in &self.states {
+            out.push(match s {
+                SlotState::Empty => 0,
+                SlotState::Occupied => 1,
+                SlotState::Forwarded => 2,
+            });
+        }
+        out.extend_from_slice(&(self.slots.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.slots);
+        out.extend_from_slice(&(self.heap.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.heap);
+        out
+    }
+
+    /// Reconstruct a partition from [`Partition::to_bytes`] output.
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let mut pos = 0usize;
+        let read_u64 = |pos: &mut usize| {
+            let v = u64::from_le_bytes(bytes[*pos..*pos + 8].try_into().expect("8 bytes"));
+            *pos += 8;
+            v as usize
+        };
+        let slot_size = read_u64(&mut pos);
+        let capacity = read_u64(&mut pos);
+        let heap_budget = read_u64(&mut pos);
+        let n_states = read_u64(&mut pos);
+        let mut states = Vec::with_capacity(n_states);
+        let mut free_slots = Vec::new();
+        let mut live = 0usize;
+        for i in 0..n_states {
+            let s = match bytes[pos] {
+                1 => {
+                    live += 1;
+                    SlotState::Occupied
+                }
+                2 => SlotState::Forwarded,
+                _ => {
+                    free_slots.push(i as u32);
+                    SlotState::Empty
+                }
+            };
+            pos += 1;
+            states.push(s);
+        }
+        let n_slots = read_u64(&mut pos);
+        let slots = bytes[pos..pos + n_slots].to_vec();
+        pos += n_slots;
+        let n_heap = read_u64(&mut pos);
+        let heap = bytes[pos..pos + n_heap].to_vec();
+        Partition {
+            slot_size,
+            capacity,
+            heap_budget,
+            slots,
+            states,
+            heap,
+            free_slots,
+            live,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttrType, Schema};
+
+    fn schema() -> Schema {
+        Schema::of(&[
+            ("name", AttrType::Str),
+            ("id", AttrType::Int),
+            ("dept", AttrType::Ptr),
+            ("kids", AttrType::PtrList),
+        ])
+    }
+
+    fn row(name: &str, id: i64) -> Vec<OwnedValue> {
+        vec![
+            OwnedValue::Str(name.into()),
+            OwnedValue::Int(id),
+            OwnedValue::Ptr(Some(TupleId::new(7, 9))),
+            OwnedValue::PtrList(vec![TupleId::new(1, 2), TupleId::new(3, 4)]),
+        ]
+    }
+
+    #[test]
+    fn insert_and_read_every_type() {
+        let s = schema();
+        let mut p = Partition::new(s.arity(), PartitionConfig::default());
+        let slot = p.insert(&row("Dave", 23)).unwrap();
+        assert_eq!(p.read(slot, 0, &s).unwrap(), Value::Str("Dave"));
+        assert_eq!(p.read(slot, 1, &s).unwrap(), Value::Int(23));
+        assert_eq!(
+            p.read(slot, 2, &s).unwrap(),
+            Value::Ptr(Some(TupleId::new(7, 9)))
+        );
+        assert_eq!(
+            p.read(slot, 3, &s).unwrap(),
+            Value::PtrList(vec![TupleId::new(1, 2), TupleId::new(3, 4)])
+        );
+    }
+
+    #[test]
+    fn null_pointer_roundtrip() {
+        let s = Schema::of(&[("p", AttrType::Ptr)]);
+        let mut p = Partition::new(1, PartitionConfig::default());
+        let slot = p.insert(&[OwnedValue::Ptr(None)]).unwrap();
+        assert_eq!(p.read(slot, 0, &s).unwrap(), Value::Ptr(None));
+    }
+
+    #[test]
+    fn delete_frees_slot_for_reuse() {
+        let s = schema();
+        let mut p = Partition::new(s.arity(), PartitionConfig::default());
+        let a = p.insert(&row("A", 1)).unwrap();
+        let _b = p.insert(&row("B", 2)).unwrap();
+        assert_eq!(p.live(), 2);
+        p.delete(a).unwrap();
+        assert_eq!(p.live(), 1);
+        assert!(matches!(
+            p.read(a, 0, &s),
+            Err(StorageError::SlotEmpty(_))
+        ));
+        let c = p.insert(&row("C", 3)).unwrap();
+        assert_eq!(c, a, "freed slot must be reused");
+    }
+
+    #[test]
+    fn update_in_place_and_varlen_regrow() {
+        let s = schema();
+        let mut p = Partition::new(s.arity(), PartitionConfig::default());
+        let slot = p.insert(&row("Al", 1)).unwrap();
+        p.update(slot, 1, &OwnedValue::Int(99), &s).unwrap();
+        assert_eq!(p.read(slot, 1, &s).unwrap(), Value::Int(99));
+        // Growing a string must not move the tuple (same slot).
+        p.update(slot, 0, &OwnedValue::Str("Alexander-the-Great".into()), &s)
+            .unwrap();
+        assert_eq!(
+            p.read(slot, 0, &s).unwrap(),
+            Value::Str("Alexander-the-Great")
+        );
+    }
+
+    #[test]
+    fn update_type_mismatch_rejected() {
+        let s = schema();
+        let mut p = Partition::new(s.arity(), PartitionConfig::default());
+        let slot = p.insert(&row("A", 1)).unwrap();
+        assert!(matches!(
+            p.update(slot, 1, &OwnedValue::Str("no".into()), &s),
+            Err(StorageError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn heap_exhaustion_reported_and_rolled_back() {
+        let _schema = Schema::of(&[("s", AttrType::Str)]);
+        let mut p = Partition::new(1, PartitionConfig::tiny());
+        let big = "x".repeat(10_000);
+        let err = p.insert(&[OwnedValue::Str(big)]).unwrap_err();
+        assert_eq!(err, StorageError::HeapExhausted);
+        assert_eq!(p.live(), 0);
+        // Partition still usable.
+        p.insert(&[OwnedValue::Str("ok".into())]).unwrap();
+    }
+
+    #[test]
+    fn forwarding_address() {
+        let s = schema();
+        let mut p = Partition::new(s.arity(), PartitionConfig::default());
+        let slot = p.insert(&row("A", 1)).unwrap();
+        let target = TupleId::new(5, 42);
+        p.forward(slot, target).unwrap();
+        assert_eq!(p.slot_state(slot).unwrap(), SlotState::Forwarded);
+        assert_eq!(p.forwarding_of(slot).unwrap(), target);
+        assert!(p.read(slot, 0, &s).is_err(), "forwarded slot is not readable");
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let s = Schema::of(&[("i", AttrType::Int)]);
+        let mut p = Partition::new(1, PartitionConfig::tiny());
+        let cap = p.capacity();
+        for i in 0..cap {
+            p.insert(&[OwnedValue::Int(i as i64)]).unwrap();
+        }
+        assert!(!p.has_slot());
+        assert!(p.insert(&[OwnedValue::Int(-1)]).is_err());
+        let _ = s;
+    }
+
+    #[test]
+    fn byte_image_roundtrip() {
+        let s = schema();
+        let mut p = Partition::new(s.arity(), PartitionConfig::default());
+        let a = p.insert(&row("Dave", 23)).unwrap();
+        let b = p.insert(&row("Suzan", 12)).unwrap();
+        let c = p.insert(&row("Yaman", 44)).unwrap();
+        p.delete(a).unwrap();
+        p.forward(b, TupleId::new(9, 9)).unwrap();
+        let img = p.to_bytes();
+        let q = Partition::from_bytes(&img);
+        assert_eq!(q.live(), p.live());
+        assert_eq!(q.capacity(), p.capacity());
+        assert_eq!(q.slot_state(a).unwrap(), SlotState::Empty);
+        assert_eq!(q.slot_state(b).unwrap(), SlotState::Forwarded);
+        assert_eq!(q.forwarding_of(b).unwrap(), TupleId::new(9, 9));
+        assert_eq!(q.read(c, 0, &s).unwrap(), Value::Str("Yaman"));
+        assert_eq!(q.read(c, 1, &s).unwrap(), Value::Int(44));
+        // Freed slots survive the roundtrip.
+        let mut q = q;
+        let d = q.insert(&row("New", 1)).unwrap();
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn occupied_slots_iterates_live_only() {
+        let s = schema();
+        let mut p = Partition::new(s.arity(), PartitionConfig::default());
+        let a = p.insert(&row("A", 1)).unwrap();
+        let b = p.insert(&row("B", 2)).unwrap();
+        let c = p.insert(&row("C", 3)).unwrap();
+        p.delete(b).unwrap();
+        let live: Vec<u32> = p.occupied_slots().collect();
+        assert_eq!(live, vec![a, c]);
+    }
+}

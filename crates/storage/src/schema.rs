@@ -1,0 +1,200 @@
+//! Relation schemas.
+
+use crate::error::StorageError;
+use crate::value::OwnedValue;
+
+/// Declared type of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttrType {
+    /// 64-bit integer.
+    Int,
+    /// Variable-length string, stored in the partition heap.
+    Str,
+    /// Foreign-key tuple pointer (§2.1: the MM-DBMS "can substitute a
+    /// tuple pointer field for the foreign key field").
+    Ptr,
+    /// One-to-many foreign-key pointer list.
+    PtrList,
+}
+
+impl AttrType {
+    /// Short name (matches [`OwnedValue::type_name`]).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            AttrType::Int => "int",
+            AttrType::Str => "str",
+            AttrType::Ptr => "ptr",
+            AttrType::PtrList => "ptrlist",
+        }
+    }
+
+    /// Does `v` inhabit this type?
+    #[must_use]
+    pub fn admits(&self, v: &OwnedValue) -> bool {
+        matches!(
+            (self, v),
+            (AttrType::Int, OwnedValue::Int(_))
+                | (AttrType::Str, OwnedValue::Str(_))
+                | (AttrType::Ptr, OwnedValue::Ptr(_))
+                | (AttrType::PtrList, OwnedValue::PtrList(_))
+        )
+    }
+}
+
+/// One attribute of a relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name.
+    pub name: String,
+    /// Declared type.
+    pub ty: AttrType,
+}
+
+impl Attribute {
+    /// Construct an attribute.
+    #[must_use]
+    pub fn new(name: &str, ty: AttrType) -> Self {
+        Attribute {
+            name: name.to_string(),
+            ty,
+        }
+    }
+}
+
+/// An ordered list of attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    attrs: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Build a schema from attributes.
+    #[must_use]
+    pub fn new(attrs: Vec<Attribute>) -> Self {
+        Schema { attrs }
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    #[must_use]
+    pub fn of(pairs: &[(&str, AttrType)]) -> Self {
+        Schema {
+            attrs: pairs
+                .iter()
+                .map(|(n, t)| Attribute::new(n, *t))
+                .collect(),
+        }
+    }
+
+    /// Number of attributes.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// All attributes in order.
+    #[must_use]
+    pub fn attrs(&self) -> &[Attribute] {
+        &self.attrs
+    }
+
+    /// Attribute at position `i`.
+    pub fn attr(&self, i: usize) -> Result<&Attribute, StorageError> {
+        self.attrs.get(i).ok_or(StorageError::NoSuchAttribute(i))
+    }
+
+    /// Position of the attribute named `name`.
+    pub fn index_of(&self, name: &str) -> Result<usize, StorageError> {
+        self.attrs
+            .iter()
+            .position(|a| a.name == name)
+            .ok_or_else(|| StorageError::UnknownAttribute(name.to_string()))
+    }
+
+    /// Check a full row of values against this schema.
+    pub fn check_row(&self, values: &[OwnedValue]) -> Result<(), StorageError> {
+        if values.len() != self.attrs.len() {
+            return Err(StorageError::ArityMismatch {
+                expected: self.attrs.len(),
+                found: values.len(),
+            });
+        }
+        for (i, (a, v)) in self.attrs.iter().zip(values).enumerate() {
+            if !a.ty.admits(v) {
+                return Err(StorageError::TypeMismatch {
+                    attr: i,
+                    expected: a.ty.name(),
+                    found: v.type_name(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::TupleId;
+
+    fn emp() -> Schema {
+        Schema::of(&[
+            ("name", AttrType::Str),
+            ("id", AttrType::Int),
+            ("age", AttrType::Int),
+            ("dept", AttrType::Ptr),
+        ])
+    }
+
+    #[test]
+    fn index_of_and_arity() {
+        let s = emp();
+        assert_eq!(s.arity(), 4);
+        assert_eq!(s.index_of("age").unwrap(), 2);
+        assert!(matches!(
+            s.index_of("nope"),
+            Err(StorageError::UnknownAttribute(_))
+        ));
+        assert_eq!(s.attr(3).unwrap().ty, AttrType::Ptr);
+        assert!(s.attr(9).is_err());
+    }
+
+    #[test]
+    fn check_row_accepts_valid() {
+        let s = emp();
+        s.check_row(&[
+            OwnedValue::Str("Dave".into()),
+            OwnedValue::Int(23),
+            OwnedValue::Int(24),
+            OwnedValue::Ptr(Some(TupleId::new(0, 1))),
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn check_row_rejects_bad_arity_and_types() {
+        let s = emp();
+        assert!(matches!(
+            s.check_row(&[OwnedValue::Int(1)]),
+            Err(StorageError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            s.check_row(&[
+                OwnedValue::Int(1),
+                OwnedValue::Int(2),
+                OwnedValue::Int(3),
+                OwnedValue::Ptr(None),
+            ]),
+            Err(StorageError::TypeMismatch { attr: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn admits_covers_all_types() {
+        assert!(AttrType::Int.admits(&OwnedValue::Int(1)));
+        assert!(AttrType::Str.admits(&OwnedValue::Str("s".into())));
+        assert!(AttrType::Ptr.admits(&OwnedValue::Ptr(None)));
+        assert!(AttrType::PtrList.admits(&OwnedValue::PtrList(vec![])));
+        assert!(!AttrType::Int.admits(&OwnedValue::Str("s".into())));
+    }
+}

@@ -1,0 +1,230 @@
+//! Tuple identifiers and field values.
+
+/// A stable tuple pointer: `(partition, slot)`.
+///
+/// §2.1: *"The tuples in a partition will be referred to directly by
+/// memory addresses, so tuples must not change locations once they have
+/// been entered into the database."* A `TupleId` is this crate's safe
+/// equivalent of that memory address — resolving one is two array
+/// indexings, and it stays valid for the life of the tuple (relocated
+/// tuples leave a forwarding address).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TupleId {
+    /// Partition number within the relation.
+    pub partition: u32,
+    /// Slot number within the partition.
+    pub slot: u32,
+}
+
+impl TupleId {
+    /// Construct a tuple id.
+    #[must_use]
+    pub fn new(partition: u32, slot: u32) -> Self {
+        TupleId { partition, slot }
+    }
+
+    /// The reserved "null pointer" value (used by nullable foreign keys).
+    #[must_use]
+    pub fn null() -> Self {
+        TupleId {
+            partition: u32::MAX,
+            slot: u32::MAX,
+        }
+    }
+
+    /// True for the reserved null value.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        self.partition == u32::MAX && self.slot == u32::MAX
+    }
+}
+
+/// A field value read from or written to a tuple.
+///
+/// `Str` borrows directly from the partition heap on reads — extracting an
+/// attribute never copies string bytes (§2.2's rationale for storing
+/// pointers in indices: "a single tuple pointer provides the index with
+/// access to both the attribute value of a tuple and the tuple itself").
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value<'a> {
+    /// 64-bit integer.
+    Int(i64),
+    /// Variable-length string (borrowed from the partition heap).
+    Str(&'a str),
+    /// Foreign-key tuple pointer; `None` encodes NULL.
+    Ptr(Option<TupleId>),
+    /// One-to-many foreign-key pointer list.
+    PtrList(Vec<TupleId>),
+}
+
+impl Value<'_> {
+    /// Total order over values: same-type values compare naturally
+    /// (integers numerically, strings lexicographically, pointers by
+    /// `(partition, slot)`); heterogeneous values order by type tag.
+    /// This is *the* comparison used by every index adapter and join.
+    #[must_use]
+    pub fn total_cmp(&self, other: &Value<'_>) -> std::cmp::Ordering {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Ptr(a), Value::Ptr(b)) => a
+                .unwrap_or_else(TupleId::null)
+                .cmp(&b.unwrap_or_else(TupleId::null)),
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Int(_) => 0,
+            Value::Str(_) => 1,
+            Value::Ptr(_) => 2,
+            Value::PtrList(_) => 3,
+        }
+    }
+
+    /// Short name of the value's type (for error messages).
+    #[must_use]
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Str(_) => "str",
+            Value::Ptr(_) => "ptr",
+            Value::PtrList(_) => "ptrlist",
+        }
+    }
+
+    /// The integer payload, if this is an `Int`.
+    #[must_use]
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a `Str`.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The pointer payload, if this is a `Ptr`.
+    #[must_use]
+    pub fn as_ptr(&self) -> Option<Option<TupleId>> {
+        match self {
+            Value::Ptr(p) => Some(*p),
+            _ => None,
+        }
+    }
+
+    /// Convert to an owned value (copies string bytes).
+    #[must_use]
+    pub fn to_owned_value(&self) -> OwnedValue {
+        match self {
+            Value::Int(i) => OwnedValue::Int(*i),
+            Value::Str(s) => OwnedValue::Str((*s).to_string()),
+            Value::Ptr(p) => OwnedValue::Ptr(*p),
+            Value::PtrList(l) => OwnedValue::PtrList(l.clone()),
+        }
+    }
+}
+
+/// An owned field value, used when building tuples for insertion.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OwnedValue {
+    /// 64-bit integer.
+    Int(i64),
+    /// Variable-length string.
+    Str(String),
+    /// Foreign-key tuple pointer; `None` encodes NULL.
+    Ptr(Option<TupleId>),
+    /// One-to-many foreign-key pointer list.
+    PtrList(Vec<TupleId>),
+}
+
+impl OwnedValue {
+    /// Short name of the value's type (for error messages).
+    #[must_use]
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            OwnedValue::Int(_) => "int",
+            OwnedValue::Str(_) => "str",
+            OwnedValue::Ptr(_) => "ptr",
+            OwnedValue::PtrList(_) => "ptrlist",
+        }
+    }
+
+    /// Borrowed view of this value.
+    #[must_use]
+    pub fn as_value(&self) -> Value<'_> {
+        match self {
+            OwnedValue::Int(i) => Value::Int(*i),
+            OwnedValue::Str(s) => Value::Str(s),
+            OwnedValue::Ptr(p) => Value::Ptr(*p),
+            OwnedValue::PtrList(l) => Value::PtrList(l.clone()),
+        }
+    }
+}
+
+impl From<i64> for OwnedValue {
+    fn from(i: i64) -> Self {
+        OwnedValue::Int(i)
+    }
+}
+
+impl From<&str> for OwnedValue {
+    fn from(s: &str) -> Self {
+        OwnedValue::Str(s.to_string())
+    }
+}
+
+impl From<String> for OwnedValue {
+    fn from(s: String) -> Self {
+        OwnedValue::Str(s)
+    }
+}
+
+impl From<TupleId> for OwnedValue {
+    fn from(t: TupleId) -> Self {
+        OwnedValue::Ptr(Some(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_tuple_id() {
+        assert!(TupleId::null().is_null());
+        assert!(!TupleId::new(0, 0).is_null());
+    }
+
+    #[test]
+    fn tuple_id_orders_by_partition_then_slot() {
+        assert!(TupleId::new(0, 5) < TupleId::new(1, 0));
+        assert!(TupleId::new(1, 2) < TupleId::new(1, 3));
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Str("x").as_str(), Some("x"));
+        assert_eq!(Value::Int(7).as_str(), None);
+        let t = TupleId::new(2, 3);
+        assert_eq!(Value::Ptr(Some(t)).as_ptr(), Some(Some(t)));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(OwnedValue::from(42i64), OwnedValue::Int(42));
+        assert_eq!(OwnedValue::from("hi"), OwnedValue::Str("hi".into()));
+        let v = OwnedValue::Str("abc".into());
+        assert_eq!(v.as_value(), Value::Str("abc"));
+        assert_eq!(Value::Str("abc").to_owned_value(), v);
+    }
+}

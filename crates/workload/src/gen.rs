@@ -1,0 +1,309 @@
+//! Join-column value generation (§3.3.1).
+
+use crate::dist::TruncatedNormal;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of one generated relation.
+#[derive(Debug, Clone, Copy)]
+pub struct RelationSpec {
+    /// Number of tuples |R|.
+    pub cardinality: usize,
+    /// Percentage of tuples that are duplicates of another tuple's join
+    /// value (0–100; the paper's "duplicate percentage").
+    pub duplicate_pct: f64,
+    /// Standard deviation of the duplicate distribution (Graph 3: 0.1
+    /// skewed, 0.4 moderate, 0.8 near-uniform).
+    pub sigma: f64,
+    /// RNG seed — every experiment is reproducible.
+    pub seed: u64,
+}
+
+impl RelationSpec {
+    /// A relation of unique keys ("0% duplicates" in the paper's tests).
+    #[must_use]
+    pub fn unique(cardinality: usize, seed: u64) -> Self {
+        RelationSpec {
+            cardinality,
+            duplicate_pct: 0.0,
+            sigma: 0.8,
+            seed,
+        }
+    }
+
+    /// Number of distinct join values this spec yields.
+    #[must_use]
+    pub fn unique_count(&self) -> usize {
+        let n = self.cardinality;
+        let dups = (n as f64 * self.duplicate_pct / 100.0).round() as usize;
+        n.saturating_sub(dups).max(1)
+    }
+}
+
+/// A generated multiset of join-column values.
+#[derive(Debug, Clone)]
+pub struct ValueSet {
+    /// One join value per tuple, in insertion (shuffled) order.
+    pub values: Vec<i64>,
+    /// The distinct values, in generation order (index 0 receives the most
+    /// duplicates under skew).
+    pub unique: Vec<i64>,
+}
+
+impl ValueSet {
+    /// Generate a value multiset with fresh distinct values.
+    #[must_use]
+    pub fn generate(spec: &RelationSpec) -> Self {
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let u = spec.unique_count();
+        let unique = fresh_values(&mut rng, u);
+        Self::expand(spec, unique, &mut rng)
+    }
+
+    /// Generate a multiset whose distinct values overlap `other`'s by
+    /// `semijoin_pct` percent — the paper's semijoin-selectivity control
+    /// ("the smaller relation was built with a specified number of values
+    /// from the larger relation"). Non-matching values are guaranteed
+    /// fresh.
+    #[must_use]
+    pub fn generate_matching(spec: &RelationSpec, other: &ValueSet, semijoin_pct: f64) -> Self {
+        let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x5E31_u64);
+        let u = spec.unique_count();
+        let m = ((u as f64) * semijoin_pct / 100.0).round() as usize;
+        let m = m.min(other.unique.len()).min(u);
+        let mut unique: Vec<i64> = other
+            .unique
+            .choose_multiple(&mut rng, m)
+            .copied()
+            .collect();
+        // Fresh values live in a disjoint (negative) key space so they can
+        // never accidentally match.
+        let fresh = fresh_values(&mut rng, u - m);
+        unique.extend(fresh.iter().map(|v| -v - 1));
+        unique.shuffle(&mut rng);
+        Self::expand(spec, unique, &mut rng)
+    }
+
+    /// Generate a multiset by sampling `cardinality` values directly from
+    /// `other`'s **tuples** (with replacement). This is how the paper built
+    /// R2 for the skewed duplicate test (Test 4): "the values for R2 were
+    /// chosen from R1, which already contained a non-uniform distribution
+    /// of duplicates. Therefore \[the\] number of duplicates in R2 is greater
+    /// than that of R1" — the two relations' skews *correlate*, which is
+    /// what makes high-duplicate skewed joins produce enormous outputs
+    /// (Graph 7).
+    #[must_use]
+    pub fn generate_correlated(cardinality: usize, other: &ValueSet, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0DE);
+        let values: Vec<i64> = (0..cardinality)
+            .map(|_| other.values[rng.gen_range(0..other.values.len())])
+            .collect();
+        let mut unique = values.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        ValueSet { values, unique }
+    }
+
+    fn expand(spec: &RelationSpec, unique: Vec<i64>, rng: &mut StdRng) -> Self {
+        let n = spec.cardinality;
+        let u = unique.len();
+        let mut counts = vec![1usize; u];
+        if n > u {
+            let tn = TruncatedNormal::new(spec.sigma);
+            for _ in 0..(n - u) {
+                counts[tn.sample_index(rng, u)] += 1;
+            }
+        }
+        let mut values = Vec::with_capacity(n);
+        for (v, c) in unique.iter().zip(&counts) {
+            for _ in 0..*c {
+                values.push(*v);
+            }
+        }
+        values.shuffle(rng);
+        ValueSet { values, unique }
+    }
+
+    /// Number of tuples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Measured duplicate percentage (tuples beyond the first occurrence
+    /// of their value, as a share of all tuples).
+    #[must_use]
+    pub fn duplicate_pct(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        100.0 * (self.values.len() - self.unique.len()) as f64 / self.values.len() as f64
+    }
+}
+
+/// `n` distinct pseudo-random positive values.
+fn fresh_values(rng: &mut StdRng, n: usize) -> Vec<i64> {
+    // Sequential base with random low bits keeps values distinct without a
+    // dedup pass, while still looking random to hash functions.
+    let offset: i64 = rng.gen_range(0..1 << 20);
+    (0..n as i64)
+        .map(|i| (i + offset) * 4096 + rng.gen_range(0..4096))
+        .collect()
+}
+
+/// Graph 3's cumulative curve: for a value multiset, returns
+/// `(percent of values, percent of tuples)` points with values ordered by
+/// descending occurrence count.
+#[must_use]
+pub fn cumulative_duplicate_curve(values: &[i64], points: usize) -> Vec<(f64, f64)> {
+    use std::collections::HashMap;
+    let mut counts: HashMap<i64, usize> = HashMap::new();
+    for v in values {
+        *counts.entry(*v).or_insert(0) += 1;
+    }
+    let mut occ: Vec<usize> = counts.into_values().collect();
+    occ.sort_unstable_by(|a, b| b.cmp(a));
+    let total_tuples: usize = values.len();
+    let total_values = occ.len();
+    let mut out = Vec::with_capacity(points);
+    let mut acc = 0usize;
+    let mut next_probe = 1usize;
+    for (i, c) in occ.iter().enumerate() {
+        acc += c;
+        // Emit `points` evenly spaced sample points.
+        while next_probe <= points
+            && (i + 1) * points >= next_probe * total_values
+        {
+            out.push((
+                100.0 * (i + 1) as f64 / total_values as f64,
+                100.0 * acc as f64 / total_tuples as f64,
+            ));
+            next_probe += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unique_spec_has_no_duplicates() {
+        let spec = RelationSpec::unique(1000, 1);
+        let vs = ValueSet::generate(&spec);
+        assert_eq!(vs.len(), 1000);
+        assert_eq!(vs.unique.len(), 1000);
+        let mut sorted = vs.values.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 1000);
+    }
+
+    #[test]
+    fn duplicate_percentage_respected() {
+        for pct in [10.0, 50.0, 90.0] {
+            let spec = RelationSpec {
+                cardinality: 10_000,
+                duplicate_pct: pct,
+                sigma: 0.4,
+                seed: 3,
+            };
+            let vs = ValueSet::generate(&spec);
+            assert_eq!(vs.len(), 10_000);
+            assert!(
+                (vs.duplicate_pct() - pct).abs() < 1.0,
+                "pct {pct}: got {}",
+                vs.duplicate_pct()
+            );
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_duplicates() {
+        let mk = |sigma: f64| {
+            let spec = RelationSpec {
+                cardinality: 20_000,
+                duplicate_pct: 100.0 - 0.5, // ~100 unique values
+                sigma,
+                seed: 9,
+            };
+            // With ~100% duplicates almost all tuples pile onto few values.
+            let spec = RelationSpec {
+                duplicate_pct: 99.5,
+                ..spec
+            };
+            ValueSet::generate(&spec)
+        };
+        let skewed = mk(0.1);
+        let uniform = mk(0.8);
+        let top_share = |vs: &ValueSet| {
+            let curve = cumulative_duplicate_curve(&vs.values, 10);
+            curve[1].1 // % tuples covered by top 20% of values
+        };
+        let s = top_share(&skewed);
+        let u = top_share(&uniform);
+        assert!(s > 85.0, "skewed top-20% share {s}");
+        assert!(u < 60.0, "uniform top-20% share {u}");
+    }
+
+    #[test]
+    fn semijoin_selectivity_controls_overlap() {
+        let big_spec = RelationSpec::unique(10_000, 5);
+        let big = ValueSet::generate(&big_spec);
+        for sel in [0.0, 25.0, 100.0] {
+            let small_spec = RelationSpec::unique(10_000, 6);
+            let small = ValueSet::generate_matching(&small_spec, &big, sel);
+            let big_set: std::collections::HashSet<i64> =
+                big.unique.iter().copied().collect();
+            let matching = small
+                .unique
+                .iter()
+                .filter(|v| big_set.contains(v))
+                .count();
+            let got = 100.0 * matching as f64 / small.unique.len() as f64;
+            assert!(
+                (got - sel).abs() < 1.0,
+                "selectivity {sel}: got {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let spec = RelationSpec {
+            cardinality: 500,
+            duplicate_pct: 30.0,
+            sigma: 0.4,
+            seed: 77,
+        };
+        assert_eq!(ValueSet::generate(&spec).values, ValueSet::generate(&spec).values);
+    }
+
+    #[test]
+    fn cumulative_curve_is_monotone_and_complete() {
+        let spec = RelationSpec {
+            cardinality: 5000,
+            duplicate_pct: 60.0,
+            sigma: 0.1,
+            seed: 4,
+        };
+        let vs = ValueSet::generate(&spec);
+        let curve = cumulative_duplicate_curve(&vs.values, 20);
+        assert!(!curve.is_empty());
+        for w in curve.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        let last = curve.last().unwrap();
+        assert!((last.0 - 100.0).abs() < 1e-6);
+        assert!((last.1 - 100.0).abs() < 1e-6);
+    }
+}

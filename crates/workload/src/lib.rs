@@ -1,0 +1,31 @@
+//! Workload generation for the SIGMOD 1986 experiments (§3.3.1).
+//!
+//! The paper's join tests vary three relation parameters:
+//!
+//! 1. **cardinality** |R|;
+//! 2. **duplicate percentage** and its *distribution* — "the number of
+//!    occurrences of each of these values was determined using a random
+//!    sampling procedure based on a truncated normal distribution with a
+//!    variable standard deviation" (σ = 0.1 skewed, 0.4 moderate, 0.8
+//!    near-uniform; Graph 3);
+//! 3. **semijoin selectivity** — "the smaller relation was built with a
+//!    specified number of values from the larger relation".
+//!
+//! [`ValueSet`] generates join-column value multisets under those controls;
+//! [`build_join_relation`] materializes them as storage-crate relations so
+//! the full §2 pipeline (partitions, tuple pointers, indices) is exercised
+//! by every experiment.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dist;
+pub mod gen;
+pub mod relations;
+
+pub use dist::TruncatedNormal;
+pub use gen::{cumulative_duplicate_curve, RelationSpec, ValueSet};
+pub use relations::{
+    build_correlated_relation, build_join_relation, build_matching_relation,
+    build_single_column, JoinRelation,
+};

@@ -1,0 +1,155 @@
+//! Materialize generated value sets as storage-layer relations.
+
+use crate::gen::{RelationSpec, ValueSet};
+use mmdb_storage::{AttrType, OwnedValue, PartitionConfig, Relation, Schema, TupleId};
+
+/// A join-test relation: `(pk INT, jcol INT)` — a unique primary key plus
+/// the generated join column — together with its tuple ids and the raw
+/// value set.
+pub struct JoinRelation {
+    /// The stored relation.
+    pub relation: Relation,
+    /// Tuple ids in insertion order (`tids[i]` holds `values.values[i]`).
+    pub tids: Vec<TupleId>,
+    /// The generated value multiset.
+    pub values: ValueSet,
+}
+
+impl JoinRelation {
+    /// Attribute index of the join column.
+    pub const JCOL: usize = 1;
+
+    /// Attribute index of the primary key.
+    pub const PK: usize = 0;
+}
+
+/// Build a join-test relation from a spec.
+#[must_use]
+pub fn build_join_relation(name: &str, spec: &RelationSpec) -> JoinRelation {
+    let values = ValueSet::generate(spec);
+    materialize(name, values)
+}
+
+/// Build a join-test relation whose values overlap `other` by
+/// `semijoin_pct` percent.
+#[must_use]
+pub fn build_matching_relation(
+    name: &str,
+    spec: &RelationSpec,
+    other: &JoinRelation,
+    semijoin_pct: f64,
+) -> JoinRelation {
+    let values = ValueSet::generate_matching(spec, &other.values, semijoin_pct);
+    materialize(name, values)
+}
+
+/// Build a relation whose values are drawn from `other`'s tuples with
+/// replacement — correlated duplicate skew (the paper's Test 4
+/// construction).
+#[must_use]
+pub fn build_correlated_relation(
+    name: &str,
+    cardinality: usize,
+    other: &JoinRelation,
+    seed: u64,
+) -> JoinRelation {
+    let values = ValueSet::generate_correlated(cardinality, &other.values, seed);
+    materialize(name, values)
+}
+
+fn materialize(name: &str, values: ValueSet) -> JoinRelation {
+    let schema = Schema::of(&[("pk", AttrType::Int), ("jcol", AttrType::Int)]);
+    let mut relation = Relation::new(name, schema, PartitionConfig::default());
+    let mut tids = Vec::with_capacity(values.len());
+    for (i, v) in values.values.iter().enumerate() {
+        let tid = relation
+            .insert(&[OwnedValue::Int(i as i64), OwnedValue::Int(*v)])
+            .expect("workload insert cannot fail");
+        tids.push(tid);
+    }
+    JoinRelation {
+        relation,
+        tids,
+        values,
+    }
+}
+
+/// Build a single-column `(val INT)` relation for the projection tests
+/// (§3.4: "these tests were performed using single column relations").
+#[must_use]
+pub fn build_single_column(name: &str, spec: &RelationSpec) -> (Relation, Vec<TupleId>) {
+    let values = ValueSet::generate(spec);
+    let schema = Schema::of(&[("val", AttrType::Int)]);
+    let mut relation = Relation::new(name, schema, PartitionConfig::default());
+    let mut tids = Vec::with_capacity(values.len());
+    for v in &values.values {
+        let tid = relation
+            .insert(&[OwnedValue::Int(*v)])
+            .expect("workload insert cannot fail");
+        tids.push(tid);
+    }
+    (relation, tids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdb_storage::Value;
+
+    #[test]
+    fn join_relation_stores_values_in_order() {
+        let spec = RelationSpec {
+            cardinality: 500,
+            duplicate_pct: 40.0,
+            sigma: 0.4,
+            seed: 11,
+        };
+        let jr = build_join_relation("r1", &spec);
+        assert_eq!(jr.relation.len(), 500);
+        assert_eq!(jr.tids.len(), 500);
+        for (i, tid) in jr.tids.iter().enumerate() {
+            assert_eq!(
+                jr.relation.field(*tid, JoinRelation::JCOL).unwrap(),
+                Value::Int(jr.values.values[i])
+            );
+            assert_eq!(
+                jr.relation.field(*tid, JoinRelation::PK).unwrap(),
+                Value::Int(i as i64)
+            );
+        }
+    }
+
+    #[test]
+    fn matching_relation_overlaps() {
+        let big = build_join_relation("r1", &RelationSpec::unique(2000, 1));
+        let small = build_matching_relation(
+            "r2",
+            &RelationSpec::unique(1000, 2),
+            &big,
+            50.0,
+        );
+        let big_vals: std::collections::HashSet<i64> =
+            big.values.unique.iter().copied().collect();
+        let matching = small
+            .values
+            .unique
+            .iter()
+            .filter(|v| big_vals.contains(v))
+            .count();
+        assert!((matching as i64 - 500).abs() <= 10, "matching {matching}");
+    }
+
+    #[test]
+    fn single_column_relation() {
+        let spec = RelationSpec {
+            cardinality: 300,
+            duplicate_pct: 50.0,
+            sigma: 0.8,
+            seed: 2,
+        };
+        let (rel, tids) = build_single_column("proj", &spec);
+        assert_eq!(rel.len(), 300);
+        assert_eq!(rel.schema().arity(), 1);
+        assert_eq!(tids.len(), 300);
+    }
+}

@@ -1,0 +1,78 @@
+//! A live miniature of Graphs 1 and 2: race all eight index structures on
+//! your machine (the `figures` binary runs the full paper-scale sweeps).
+//!
+//! ```sh
+//! cargo run --release --example index_shootout [n]
+//! ```
+
+use mmdb_bench::indexes::{shuffled_keys, IndexKindB};
+use std::time::Instant;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30_000);
+    let node_size = 30;
+    let keys = shuffled_keys(n, 1);
+    let probes = shuffled_keys(n, 2);
+
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>14}",
+        format!("structure (n={n})"),
+        "build s",
+        "search s",
+        "mix s",
+        "bytes (factor)"
+    );
+    let payload = (n * 8) as f64;
+    for kind in IndexKindB::all() {
+        let mut idx = kind.build(node_size, n);
+
+        let t = Instant::now();
+        for k in &keys {
+            idx.insert(*k);
+        }
+        let build = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let mut hits = 0usize;
+        for k in &probes {
+            if idx.search(*k) {
+                hits += 1;
+            }
+        }
+        let search = t.elapsed().as_secs_f64();
+        assert_eq!(hits, n);
+
+        // 60/20/20 search/insert/delete mix.
+        let t = Instant::now();
+        let mut fresh = n as u64;
+        for (i, k) in probes.iter().enumerate() {
+            match i % 5 {
+                0 => {
+                    idx.delete(*k);
+                }
+                1 => {
+                    idx.insert(fresh);
+                    fresh += 1;
+                }
+                _ => {
+                    idx.search(*k);
+                }
+            }
+        }
+        let mixed = t.elapsed().as_secs_f64();
+        let bytes = idx.storage_bytes();
+        println!(
+            "{:<22} {:>10.4} {:>10.4} {:>10.4} {:>9} ({:.2}x)",
+            kind.name(),
+            build,
+            search,
+            mixed,
+            bytes,
+            bytes as f64 / payload
+        );
+    }
+    println!("\n(Node size {node_size}; the paper's Table 1 qualitative ratings should be visible.)");
+}

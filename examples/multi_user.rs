@@ -1,0 +1,107 @@
+//! Multiple users, one memory-resident database (§2.4): a bank-teller
+//! workload from eight client threads, executed serially by the database
+//! thread — the paper's "complete serialization" regime for short
+//! transactions.
+//!
+//! ```sh
+//! cargo run --release --example multi_user
+//! ```
+
+use mmdb_core::{DbServer, IndexKind};
+use mmdb_exec::Predicate;
+use mmdb_storage::{AttrType, KeyValue, OwnedValue, Schema};
+use std::time::Instant;
+
+const ACCOUNTS: i64 = 64;
+const CLIENTS: usize = 8;
+const TXNS_PER_CLIENT: usize = 500;
+
+fn main() {
+    let server = DbServer::in_memory();
+    server.with(|db| {
+        db.create_table(
+            "acct",
+            Schema::of(&[("owner", AttrType::Int), ("balance", AttrType::Int)]),
+        )
+        .unwrap();
+        db.create_index("acct_owner", "acct", "owner", IndexKind::Hash)
+            .unwrap();
+        let mut txn = db.begin();
+        for owner in 0..ACCOUNTS {
+            db.insert(&mut txn, "acct", vec![owner.into(), 1000i64.into()])
+                .unwrap();
+        }
+        db.commit(txn).unwrap();
+    });
+
+    let start = Instant::now();
+    let threads: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let client = server.client();
+            std::thread::spawn(move || {
+                let mut seed = (c as u64 + 1) * 0x9E37_79B9;
+                for _ in 0..TXNS_PER_CLIENT {
+                    seed ^= seed << 13;
+                    seed ^= seed >> 7;
+                    seed ^= seed << 17;
+                    let from = (seed % ACCOUNTS as u64) as i64;
+                    let to = ((seed >> 8) % ACCOUNTS as u64) as i64;
+                    if from == to {
+                        continue;
+                    }
+                    // One short transfer transaction, executed atomically
+                    // on the database thread.
+                    client.with(move |db| {
+                        let get = |db: &mmdb_core::Database, owner: i64| {
+                            let hit = db
+                                .select("acct", "owner", &Predicate::Eq(KeyValue::Int(owner)))
+                                .unwrap();
+                            let tid = hit.column(0)[0];
+                            let bal = match db.fetch("acct", &[tid], &["balance"]).unwrap()[0][0]
+                            {
+                                OwnedValue::Int(v) => v,
+                                _ => unreachable!(),
+                            };
+                            (tid, bal)
+                        };
+                        let (ftid, fbal) = get(db, from);
+                        let (ttid, tbal) = get(db, to);
+                        let mut txn = db.begin();
+                        db.update(&mut txn, "acct", ftid, "balance", OwnedValue::Int(fbal - 10))
+                            .unwrap();
+                        db.update(&mut txn, "acct", ttid, "balance", OwnedValue::Int(tbal + 10))
+                            .unwrap();
+                        db.commit(txn).unwrap();
+                    });
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let elapsed = start.elapsed();
+
+    let (total, n) = server.with(|db| {
+        let tids = db.tids("acct").unwrap();
+        let total: i64 = tids
+            .iter()
+            .map(|t| match db.fetch("acct", &[*t], &["balance"]).unwrap()[0][0] {
+                OwnedValue::Int(v) => v,
+                _ => unreachable!(),
+            })
+            .sum();
+        (total, tids.len())
+    });
+    println!(
+        "{} clients × {} transfer txns in {:.3}s ({:.0} txn/s)",
+        CLIENTS,
+        TXNS_PER_CLIENT,
+        elapsed.as_secs_f64(),
+        (CLIENTS * TXNS_PER_CLIENT) as f64 / elapsed.as_secs_f64()
+    );
+    println!("accounts: {n}, total balance: {total}");
+    assert_eq!(total, ACCOUNTS * 1000, "money is conserved");
+    println!("money conserved under serial multi-user execution ✓");
+    server.shutdown();
+}

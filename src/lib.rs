@@ -1,0 +1,60 @@
+//! `mmqp` — umbrella crate for the MM-DBMS reproduction of Lehman &
+//! Carey, *Query Processing in Main Memory Database Management Systems*
+//! (SIGMOD 1986).
+//!
+//! This crate re-exports the workspace members under stable paths; depend
+//! on it to get the whole system, or on the individual `mmdb-*` crates
+//! for just one substrate. See the repository README for a tour and
+//! DESIGN.md for the paper-to-module map.
+//!
+//! ```
+//! use mmqp::core::{Database, IndexKind};
+//! use mmqp::exec::Predicate;
+//! use mmqp::storage::{AttrType, KeyValue, Schema};
+//!
+//! let mut db = Database::in_memory();
+//! db.create_table("emp", Schema::of(&[("name", AttrType::Str), ("age", AttrType::Int)])).unwrap();
+//! db.create_index("emp_age", "emp", "age", IndexKind::TTree).unwrap();
+//! let mut txn = db.begin();
+//! db.insert(&mut txn, "emp", vec!["Dave".into(), 66i64.into()]).unwrap();
+//! db.commit(txn).unwrap();
+//! let hits = db.select("emp", "age", &Predicate::greater(KeyValue::Int(65))).unwrap();
+//! assert_eq!(hits.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use mmdb_bench as bench;
+pub use mmdb_core as core;
+pub use mmdb_exec as exec;
+pub use mmdb_index as index;
+pub use mmdb_lock as lock;
+pub use mmdb_recovery as recovery;
+pub use mmdb_storage as storage;
+pub use mmdb_workload as workload;
+
+/// Library version (workspace-wide).
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_set() {
+        assert!(!super::VERSION.is_empty());
+    }
+
+    #[test]
+    fn umbrella_paths_resolve() {
+        // Compile-time smoke: the key public types are reachable through
+        // the umbrella paths.
+        use crate::core::Database;
+        use crate::exec::JoinMethod;
+        use crate::index::TTreeConfig;
+        use crate::storage::TupleId;
+        let _ = Database::in_memory();
+        let _ = JoinMethod::TreeMerge;
+        let _ = TTreeConfig::default();
+        let _ = TupleId::null();
+    }
+}

@@ -1,0 +1,224 @@
+//! Property tests: every index structure, driven over relations through
+//! tuple-pointer adapters (the §2.2 configuration), stays equivalent to a
+//! model under arbitrary operation sequences.
+
+use mmdb_index::traits::{OrderedIndex, UnorderedIndex};
+use mmdb_index::{
+    ArrayIndex, AvlTree, BTree, ChainedBucketHash, ExtendibleHash, LinearHash,
+    ModifiedLinearHash, TTree, TTreeConfig,
+};
+use mmdb_core::SharedAdapter;
+use mmdb_storage::{
+    AttrType, KeyValue, OwnedValue, PartitionConfig, Relation, Schema, TupleId, Value,
+};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64),
+    DeleteKey(i64),
+    Search(i64),
+    Range(i64, i64),
+}
+
+fn ops_strategy(n: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => (-40i64..40).prop_map(Op::Insert),
+            2 => (-40i64..40).prop_map(Op::DeleteKey),
+            2 => (-40i64..40).prop_map(Op::Search),
+            1 => ((-40i64..40), (-40i64..40)).prop_map(|(a, b)| Op::Range(a.min(b), a.max(b))),
+        ],
+        0..n,
+    )
+}
+
+/// Model: multiset of keys → count, plus a tuple-id pool per key.
+#[derive(Default)]
+struct Model {
+    by_key: BTreeMap<i64, Vec<TupleId>>,
+}
+
+impl Model {
+    fn len(&self) -> usize {
+        self.by_key.values().map(Vec::len).sum()
+    }
+}
+
+fn key_of(rel: &Relation, tid: TupleId) -> i64 {
+    match rel.field(tid, 0).unwrap() {
+        Value::Int(i) => i,
+        _ => unreachable!(),
+    }
+}
+
+macro_rules! drive {
+    ($idx:expr, $rel:expr, $ops:expr) => {{
+        let idx = &mut $idx;
+        let rel = &$rel;
+        let mut model = Model::default();
+        for op in $ops {
+            match op {
+                Op::Insert(k) => {
+                    let tid = rel.borrow_mut().insert(&[OwnedValue::Int(*k)]).unwrap();
+                    idx.insert(tid);
+                    model.by_key.entry(*k).or_default().push(tid);
+                }
+                Op::DeleteKey(k) => {
+                    let got = idx.delete(&KeyValue::Int(*k));
+                    let entry = model.by_key.get_mut(k);
+                    match (got, entry) {
+                        (Some(tid), Some(pool)) => {
+                            let r = rel.borrow();
+                            prop_assert_eq!(key_of(&r, tid), *k);
+                            drop(r);
+                            let pos = pool.iter().position(|t| *t == tid).expect("tid in model");
+                            pool.remove(pos);
+                            if pool.is_empty() {
+                                model.by_key.remove(k);
+                            }
+                            // Keep relation in sync: tuple removed.
+                            rel.borrow_mut().delete(tid).unwrap();
+                        }
+                        (None, None) => {}
+                        (None, Some(pool)) if pool.is_empty() => {}
+                        (got, entry) => {
+                            let pool_size = entry.map(|p| p.len());
+                            prop_assert!(
+                                false,
+                                "delete({}) => {:?} but model had {:?}",
+                                k,
+                                got,
+                                pool_size
+                            );
+                        }
+                    }
+                }
+                Op::Search(k) => {
+                    let got = idx.search(&KeyValue::Int(*k));
+                    let expect = model.by_key.get(k).map_or(0, Vec::len);
+                    prop_assert_eq!(got.is_some(), expect > 0, "search({})", k);
+                    let mut all = Vec::new();
+                    idx.search_all(&KeyValue::Int(*k), &mut all);
+                    prop_assert_eq!(all.len(), expect, "search_all({})", k);
+                }
+                Op::Range(_, _) => { /* handled in the ordered macro */ }
+            }
+            prop_assert_eq!(idx.len(), model.len());
+        }
+        idx.validate().map_err(|e| TestCaseError::fail(e))?;
+        model
+    }};
+}
+
+macro_rules! drive_ordered {
+    ($idx:expr, $rel:expr, $ops:expr) => {{
+        let model = drive!($idx, $rel, $ops);
+        // Ordered extras: full scan sorted + range correctness.
+        let mut scanned: Vec<i64> = Vec::new();
+        {
+            let r = $rel.borrow();
+            $idx.scan(&mut |t| scanned.push(key_of(&r, *t)));
+        }
+        let mut expect: Vec<i64> = model
+            .by_key
+            .iter()
+            .flat_map(|(k, pool)| std::iter::repeat(*k).take(pool.len()))
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(&scanned, &expect, "ordered scan");
+        for op in $ops {
+            if let Op::Range(lo, hi) = op {
+                let mut out = Vec::new();
+                $idx.range(
+                    std::ops::Bound::Included(&KeyValue::Int(*lo)),
+                    std::ops::Bound::Included(&KeyValue::Int(*hi)),
+                    &mut out,
+                );
+                let expect_n: usize = model
+                    .by_key
+                    .range(*lo..=*hi)
+                    .map(|(_, pool)| pool.len())
+                    .sum();
+                prop_assert_eq!(out.len(), expect_n, "range [{}, {}]", lo, hi);
+            }
+        }
+    }};
+}
+
+/// A shared relation plus its index adapter: `SharedAdapter` performs
+/// each comparison inside a short `RefCell` borrow, so the test can
+/// interleave relation mutations with index operations — exactly how the
+/// `mmdb_core::Database` wires indexes to relations.
+fn fresh_rel() -> (Rc<RefCell<Relation>>, SharedAdapter) {
+    let rel = Rc::new(RefCell::new(Relation::new(
+        "t",
+        Schema::of(&[("k", AttrType::Int)]),
+        PartitionConfig::default(),
+    )));
+    let adapter = SharedAdapter::new(Rc::clone(&rel), 0);
+    (rel, adapter)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn ttree_model_equivalence(ops in ops_strategy(120), ns in 1usize..12) {
+        let (rel, adapter) = fresh_rel();
+        let mut idx = TTree::new(adapter, TTreeConfig::with_node_size(ns));
+        drive_ordered!(idx, rel, &ops);
+    }
+
+    #[test]
+    fn btree_model_equivalence(ops in ops_strategy(120), ns in 2usize..12) {
+        let (rel, adapter) = fresh_rel();
+        let mut idx = BTree::new(adapter, ns);
+        drive_ordered!(idx, rel, &ops);
+    }
+
+    #[test]
+    fn avl_model_equivalence(ops in ops_strategy(120)) {
+        let (rel, adapter) = fresh_rel();
+        let mut idx = AvlTree::new(adapter);
+        drive_ordered!(idx, rel, &ops);
+    }
+
+    #[test]
+    fn array_model_equivalence(ops in ops_strategy(80)) {
+        let (rel, adapter) = fresh_rel();
+        let mut idx = ArrayIndex::new(adapter);
+        drive_ordered!(idx, rel, &ops);
+    }
+
+    #[test]
+    fn chained_model_equivalence(ops in ops_strategy(120)) {
+        let (rel, adapter) = fresh_rel();
+        let mut idx = ChainedBucketHash::with_capacity(adapter, 32);
+        drive!(idx, rel, &ops);
+    }
+
+    #[test]
+    fn extendible_model_equivalence(ops in ops_strategy(120), cap in 1usize..8) {
+        let (rel, adapter) = fresh_rel();
+        let mut idx = ExtendibleHash::new(adapter, cap);
+        drive!(idx, rel, &ops);
+    }
+
+    #[test]
+    fn linear_model_equivalence(ops in ops_strategy(120), cap in 1usize..8) {
+        let (rel, adapter) = fresh_rel();
+        let mut idx = LinearHash::new(adapter, cap);
+        drive!(idx, rel, &ops);
+    }
+
+    #[test]
+    fn modlinear_model_equivalence(ops in ops_strategy(120), chain in 1usize..6) {
+        let (rel, adapter) = fresh_rel();
+        let mut idx = ModifiedLinearHash::new(adapter, chain);
+        drive!(idx, rel, &ops);
+    }
+}

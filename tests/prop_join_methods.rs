@@ -1,0 +1,171 @@
+//! Property test: every join method computes exactly the reference
+//! equijoin, over arbitrary value multisets (duplicates, skew, partial
+//! overlap, empty sides).
+
+use mmdb_exec::{
+    hash_join, nested_loops_join, sort_merge_join, tree_join, tree_merge_join, JoinSide,
+};
+use mmdb_index::traits::OrderedIndex;
+use mmdb_index::{TTree, TTreeConfig};
+use mmdb_storage::{
+    AttrAdapter, AttrType, OwnedValue, PartitionConfig, Relation, Schema, TupleId, Value,
+};
+use proptest::prelude::*;
+
+fn rel_with_values(name: &str, values: &[i64]) -> (Relation, Vec<TupleId>) {
+    let schema = Schema::of(&[("pk", AttrType::Int), ("jcol", AttrType::Int)]);
+    let mut rel = Relation::new(name, schema, PartitionConfig::default());
+    let tids = values
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            rel.insert(&[OwnedValue::Int(i as i64), OwnedValue::Int(*v)])
+                .unwrap()
+        })
+        .collect();
+    (rel, tids)
+}
+
+fn reference(outer: &[i64], inner: &[i64]) -> Vec<(usize, usize)> {
+    let mut by_val: std::collections::HashMap<i64, Vec<usize>> = std::collections::HashMap::new();
+    for (j, v) in inner.iter().enumerate() {
+        by_val.entry(*v).or_default().push(j);
+    }
+    let mut out = Vec::new();
+    for (i, v) in outer.iter().enumerate() {
+        if let Some(js) = by_val.get(v) {
+            out.extend(js.iter().map(|j| (i, *j)));
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+fn normalize(
+    pairs: &mmdb_storage::TempList,
+    outer: &Relation,
+    inner: &Relation,
+) -> Vec<(usize, usize)> {
+    let mut out: Vec<(usize, usize)> = pairs
+        .iter()
+        .map(|row| {
+            let o = match outer.field(row[0], 0).unwrap() {
+                Value::Int(i) => i as usize,
+                _ => unreachable!(),
+            };
+            let i = match inner.field(row[1], 0).unwrap() {
+                Value::Int(i) => i as usize,
+                _ => unreachable!(),
+            };
+            (o, i)
+        })
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+fn values_strategy(max_len: usize) -> impl Strategy<Value = Vec<i64>> {
+    // Small key space forces heavy duplication and overlap.
+    prop::collection::vec(-8i64..8, 0..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_methods_equal_reference(
+        ov in values_strategy(60),
+        iv in values_strategy(60),
+        node_size in 1usize..20,
+    ) {
+        let (orel, otids) = rel_with_values("o", &ov);
+        let (irel, itids) = rel_with_values("i", &iv);
+        let outer = JoinSide::new(&orel, 1, &otids);
+        let inner = JoinSide::new(&irel, 1, &itids);
+        let expect = reference(&ov, &iv);
+
+        let mut oidx = TTree::new(
+            AttrAdapter::new(&orel, 1),
+            TTreeConfig::with_node_size(node_size),
+        );
+        for t in &otids { oidx.insert(*t); }
+        let mut iidx = TTree::new(
+            AttrAdapter::new(&irel, 1),
+            TTreeConfig::with_node_size(node_size),
+        );
+        for t in &itids { iidx.insert(*t); }
+        oidx.validate().unwrap();
+        iidx.validate().unwrap();
+
+        let nl = nested_loops_join(outer, inner).unwrap();
+        prop_assert_eq!(normalize(&nl.pairs, &orel, &irel), expect.clone());
+        let hj = hash_join(outer, inner).unwrap();
+        prop_assert_eq!(normalize(&hj.pairs, &orel, &irel), expect.clone());
+        let tj = tree_join(outer, &iidx).unwrap();
+        prop_assert_eq!(normalize(&tj.pairs, &orel, &irel), expect.clone());
+        let sm = sort_merge_join(outer, inner).unwrap();
+        prop_assert_eq!(normalize(&sm.pairs, &orel, &irel), expect.clone());
+        let tm = tree_merge_join(&orel, 1, &oidx, &irel, 1, &iidx).unwrap();
+        prop_assert_eq!(normalize(&tm.pairs, &orel, &irel), expect);
+    }
+
+    #[test]
+    fn ineq_join_equals_brute_force(
+        ov in values_strategy(25),
+        iv in values_strategy(25),
+    ) {
+        use mmdb_exec::{tree_ineq_join, IneqOp};
+        let (orel, otids) = rel_with_values("o", &ov);
+        let (irel, itids) = rel_with_values("i", &iv);
+        let outer = JoinSide::new(&orel, 1, &otids);
+        let inner = JoinSide::new(&irel, 1, &itids);
+        let mut iidx = TTree::new(
+            AttrAdapter::new(&irel, 1),
+            TTreeConfig::with_node_size(4),
+        );
+        for t in &itids { iidx.insert(*t); }
+        for (op, f) in [
+            (IneqOp::Less, (|i: i64, o: i64| i < o) as fn(i64, i64) -> bool),
+            (IneqOp::LessEq, |i, o| i <= o),
+            (IneqOp::Greater, |i, o| i > o),
+            (IneqOp::GreaterEq, |i, o| i >= o),
+        ] {
+            let out = tree_ineq_join(outer, inner, &iidx, op).unwrap();
+            let mut expect = Vec::new();
+            for (oi, o) in ov.iter().enumerate() {
+                for (ii, i) in iv.iter().enumerate() {
+                    if f(*i, *o) {
+                        expect.push((oi, ii));
+                    }
+                }
+            }
+            expect.sort_unstable();
+            prop_assert_eq!(normalize(&out.pairs, &orel, &irel), expect);
+        }
+    }
+
+    #[test]
+    fn projection_methods_agree(vals in values_strategy(120)) {
+        use mmdb_exec::{project_hash, project_sort};
+        use mmdb_storage::{OutputField, ResultDescriptor, TempList};
+        let (rel, tids) = rel_with_values("p", &vals);
+        let list = TempList::from_tids(tids);
+        let desc = ResultDescriptor::new(vec![OutputField::new(0, 1, "jcol")]);
+        let h = project_hash(&list, &desc, &[&rel]).unwrap();
+        let s = project_sort(&list, &desc, &[&rel]).unwrap();
+        let mut distinct: Vec<i64> = vals.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert_eq!(h.rows.len(), distinct.len());
+        prop_assert_eq!(s.rows.len(), distinct.len());
+        // The surviving values are exactly the distinct set.
+        let mut got: Vec<i64> = h.rows.iter().map(|r| {
+            match rel.field(r[0], 1).unwrap() {
+                Value::Int(i) => i,
+                _ => unreachable!(),
+            }
+        }).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, distinct);
+    }
+}
