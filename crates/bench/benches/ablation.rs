@@ -15,8 +15,8 @@ use mmdb_index::stats::Counters;
 use mmdb_index::traits::OrderedIndex;
 use mmdb_index::{TTree, TTreeConfig};
 use mmdb_storage::{
-    AttrAdapter, AttrType, OutputField, OwnedValue, PartitionConfig, Relation,
-    ResultDescriptor, Schema, TempList,
+    AttrAdapter, AttrType, OutputField, OwnedValue, PartitionConfig, Relation, ResultDescriptor,
+    Schema, TempList,
 };
 use mmdb_workload::{build_single_column, RelationSpec};
 use std::hint::black_box;
@@ -110,7 +110,10 @@ fn ablate_pointer_vs_inline(c: &mut Criterion) {
     let n = 30_000usize;
     let keys = shuffled_keys(n, 5);
 
-    let mut inline = TTree::new(NaturalAdapter::<u64>::new(), TTreeConfig::with_node_size(30));
+    let mut inline = TTree::new(
+        NaturalAdapter::<u64>::new(),
+        TTreeConfig::with_node_size(30),
+    );
     for k in &keys {
         inline.insert(*k);
     }

@@ -27,9 +27,10 @@ fn bench_dedup(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("hash", format!("{dup:.0}% dup")), |b| {
             b.iter(|| black_box(project_hash(&list, &desc, &[&rel]).unwrap().rows.len()))
         });
-        group.bench_function(BenchmarkId::new("sort_scan", format!("{dup:.0}% dup")), |b| {
-            b.iter(|| black_box(project_sort(&list, &desc, &[&rel]).unwrap().rows.len()))
-        });
+        group.bench_function(
+            BenchmarkId::new("sort_scan", format!("{dup:.0}% dup")),
+            |b| b.iter(|| black_box(project_sort(&list, &desc, &[&rel]).unwrap().rows.len())),
+        );
     }
     group.finish();
 }

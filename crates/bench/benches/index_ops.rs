@@ -76,5 +76,10 @@ fn bench_ordered_scan(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_search, bench_insert_delete_cycle, bench_ordered_scan);
+criterion_group!(
+    benches,
+    bench_search,
+    bench_insert_delete_cycle,
+    bench_ordered_scan
+);
 criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion benchmarks of the partition-parallel operators across
+//! dop ∈ {1, 2, 4, 8} (Graph-4 composition: |R1| = |R2| = 10,000, unique
+//! keys, 100% semijoin selectivity). `dop = 1` is the serial baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmdb_bench::scaling::DOPS;
+use mmdb_exec::{
+    parallel_hash_join, parallel_project_hash, parallel_select_scan, ExecConfig, JoinSide,
+    Predicate,
+};
+use mmdb_storage::{KeyValue, OutputField, ResultDescriptor, TempList};
+use mmdb_workload::relations::build_matching_relation;
+use mmdb_workload::{build_join_relation, JoinRelation, RelationSpec};
+use std::hint::black_box;
+
+const N: usize = 10_000;
+
+fn bench_scaling(c: &mut Criterion) {
+    let outer = build_join_relation("r1", &RelationSpec::unique(N, 1));
+    let inner = build_matching_relation("r2", &RelationSpec::unique(N, 2), &outer, 100.0);
+    let o = JoinSide::new(&outer.relation, JoinRelation::JCOL, &outer.tids);
+    let i = JoinSide::new(&inner.relation, JoinRelation::JCOL, &inner.tids);
+    let pred = Predicate::greater(KeyValue::Int(0));
+    let dedup = build_join_relation(
+        "r3",
+        &RelationSpec {
+            cardinality: N,
+            duplicate_pct: 90.0,
+            sigma: 0.8,
+            seed: 3,
+        },
+    );
+    let list = TempList::from_tids(dedup.tids.clone());
+    let desc = ResultDescriptor::new(vec![OutputField::new(0, JoinRelation::JCOL, "jcol")]);
+
+    let mut group = c.benchmark_group("scaling_10k");
+    group.sample_size(10);
+    for dop in DOPS {
+        let cfg = ExecConfig::with_dop(dop);
+        group.bench_function(BenchmarkId::new("scan", dop), |b| {
+            b.iter(|| {
+                black_box(
+                    parallel_select_scan(&outer.relation, JoinRelation::JCOL, &pred, cfg)
+                        .unwrap()
+                        .len(),
+                )
+            })
+        });
+        group.bench_function(BenchmarkId::new("hash_join", dop), |b| {
+            b.iter(|| black_box(parallel_hash_join(o, i, cfg).unwrap().pairs.len()))
+        });
+        group.bench_function(BenchmarkId::new("distinct", dop), |b| {
+            b.iter(|| {
+                black_box(
+                    parallel_project_hash(&list, &desc, &[&dedup.relation], cfg)
+                        .unwrap()
+                        .rows
+                        .len(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -51,7 +51,11 @@ pub fn run(scale: Scale) -> Figure {
                 idx.delete(*k);
             }
         });
-        assert!(idx.is_empty(), "{}: deletion must empty the index", kind.name());
+        assert!(
+            idx.is_empty(),
+            "{}: deletion must empty the index",
+            kind.name()
+        );
         fig.push_row(vec![
             kind.name().to_string(),
             fmt_secs(create),
@@ -73,9 +77,7 @@ mod tests {
         assert_eq!(fig.rows.len(), 8);
         // Ordered structures have scan/range entries; hashes have dashes.
         for row in &fig.rows {
-            let is_ordered = IndexKindB::ordered()
-                .iter()
-                .any(|k| k.name() == row[0]);
+            let is_ordered = IndexKindB::ordered().iter().any(|k| k.name() == row[0]);
             assert_eq!(row[2] == "-", !is_ordered, "{}", row[0]);
         }
     }

@@ -11,7 +11,6 @@ use crate::figure::{fmt_secs, Figure, Scale};
 use crate::graph1::node_sizes;
 use crate::indexes::{shuffled_keys, IndexKindB};
 
-
 /// One query mix (percent searches / inserts / deletes).
 #[derive(Debug, Clone, Copy)]
 pub struct Mix {
@@ -181,7 +180,10 @@ mod tests {
                 Box::new(move || a.borrow().stats().data_moves),
             )
         };
-        let mut tt = TTree::new(NaturalAdapter::<u64>::new(), TTreeConfig::with_node_size(30));
+        let mut tt = TTree::new(
+            NaturalAdapter::<u64>::new(),
+            TTreeConfig::with_node_size(30),
+        );
         let tt_cell = std::cell::RefCell::new(&mut tt);
         let tt_moves = {
             let t = &tt_cell;

@@ -5,8 +5,8 @@
 use mmdb_index::adapter::NaturalAdapter;
 use mmdb_index::traits::{OrderedIndex, UnorderedIndex};
 use mmdb_index::{
-    ArrayIndex, AvlTree, BTree, ChainedBucketHash, ExtendibleHash, LinearHash,
-    ModifiedLinearHash, TTree, TTreeConfig,
+    ArrayIndex, AvlTree, BTree, ChainedBucketHash, ExtendibleHash, LinearHash, ModifiedLinearHash,
+    TTree, TTreeConfig,
 };
 
 type Nat = NaturalAdapter<u64>;

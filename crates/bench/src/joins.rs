@@ -292,7 +292,7 @@ mod tests {
     #[test]
     fn graph6_small_outer_favours_tree_join() {
         let fig = graph6(Scale(0.2)); // |R2| = 6000
-        // First row: |R1| = 1% of |R2|.
+                                      // First row: |R1| = 1% of |R2|.
         let tree = fig.cell_f64(0, fig.col("Tree Join"));
         let hash = fig.cell_f64(0, fig.col("Hash Join"));
         assert!(

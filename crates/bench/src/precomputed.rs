@@ -9,12 +9,12 @@
 
 use crate::figure::{fmt_secs, Figure, Scale};
 use crate::time_best;
-use mmdb_exec::{hash_join, sort_merge_join, tree_join, tree_merge_join, precomputed_join, JoinSide};
+use mmdb_exec::{
+    hash_join, precomputed_join, sort_merge_join, tree_join, tree_merge_join, JoinSide,
+};
 use mmdb_index::traits::OrderedIndex;
 use mmdb_index::{TTree, TTreeConfig};
-use mmdb_storage::{
-    AttrAdapter, AttrType, OwnedValue, PartitionConfig, Relation, Schema, TupleId,
-};
+use mmdb_storage::{AttrAdapter, AttrType, OwnedValue, PartitionConfig, Relation, Schema, TupleId};
 
 /// Build the scenario: `dept(name, id)` with `n/10` rows and
 /// `emp(name, dept_id, dept_ptr)` with `n` rows.
@@ -79,8 +79,9 @@ pub fn run(scale: Scale) -> Figure {
     let (hj, hj_secs) = time_best(3, || hash_join(outer, inner).expect("hash"));
     let (tj, tj_secs) = time_best(3, || tree_join(outer, &d_idx).expect("tree"));
     let (sm, sm_secs) = time_best(3, || sort_merge_join(outer, inner).expect("sort merge"));
-    let (tm, tm_secs) =
-        time_best(3, || tree_merge_join(&emp, 1, &e_idx, &dept, 1, &d_idx).expect("tree merge"));
+    let (tm, tm_secs) = time_best(3, || {
+        tree_merge_join(&emp, 1, &e_idx, &dept, 1, &d_idx).expect("tree merge")
+    });
     assert_eq!(pc.len(), hj.len());
     assert_eq!(pc.len(), tj.len());
     assert_eq!(pc.len(), sm.len());
@@ -88,7 +89,10 @@ pub fn run(scale: Scale) -> Figure {
 
     let mut fig = Figure::new(
         "precomputed",
-        &format!("Precomputed join vs every method (|emp| = {n}, |dept| = {})", n / 10),
+        &format!(
+            "Precomputed join vs every method (|emp| = {n}, |dept| = {})",
+            n / 10
+        ),
         &["method", "seconds", "output_rows"],
     );
     for (name, secs) in [

@@ -1,0 +1,135 @@
+//! Multicore scaling of the partition-parallel operators.
+//!
+//! Not a paper figure — Lehman & Carey's engine is single-threaded — but
+//! the natural follow-on question for their partitioned storage layout:
+//! how do the three parallel hot paths (selection scan, hash join,
+//! duplicate elimination) scale with the degree of parallelism on a
+//! Graph-4-style workload (|R1| = |R2|, unique keys, 100% semijoin
+//! selectivity)?
+//!
+//! Each row sweeps `dop ∈ {1, 2, 4, 8}`; `dop = 1` is the serial (paper)
+//! code path and the speedup baseline. Outputs are asserted bit-identical
+//! to the serial results at every dop — the parallel operators'
+//! determinism contract.
+
+use crate::figure::{fmt_secs, Figure, Scale};
+use crate::time_best;
+use mmdb_exec::{
+    parallel_hash_join, parallel_project_hash, parallel_select_scan, ExecConfig, JoinSide,
+    Predicate,
+};
+use mmdb_storage::{KeyValue, OutputField, ResultDescriptor, TempList};
+use mmdb_workload::relations::build_matching_relation;
+use mmdb_workload::{build_join_relation, JoinRelation, RelationSpec};
+
+/// Degrees of parallelism swept by the scaling experiment.
+pub const DOPS: [usize; 4] = [1, 2, 4, 8];
+
+/// Run the dop sweep. At full scale the join is 100,000 ⋈ 100,000.
+#[must_use]
+pub fn run(scale: Scale) -> Figure {
+    let n = scale.apply(100_000, 2_000);
+    let mut fig = Figure::new(
+        "scaling",
+        &format!(
+            "Parallel Scaling — scan / hash join / distinct vs dop (|R1| = |R2| = {n}, \
+             speedup vs dop=1)"
+        ),
+        &[
+            "dop",
+            "Scan",
+            "Hash Join",
+            "Distinct",
+            "Scan x",
+            "Join x",
+            "Distinct x",
+            "join_rows",
+        ],
+    );
+
+    let outer = build_join_relation("r1", &RelationSpec::unique(n, 41));
+    let inner = build_matching_relation("r2", &RelationSpec::unique(n, 42), &outer, 100.0);
+    let o = JoinSide::new(&outer.relation, JoinRelation::JCOL, &outer.tids);
+    let i = JoinSide::new(&inner.relation, JoinRelation::JCOL, &inner.tids);
+
+    // Scan predicate: the middle half of the outer join-column domain.
+    let (lo, hi) = {
+        let min = outer.values.values.iter().copied().min().unwrap_or(0);
+        let max = outer.values.values.iter().copied().max().unwrap_or(0);
+        let quarter = (max - min) / 4;
+        (min + quarter, max - quarter)
+    };
+    let pred = Predicate::between(KeyValue::Int(lo), KeyValue::Int(hi));
+
+    // Dedup input: a 90%-duplicate relation of the same cardinality
+    // (duplicate elimination is where per-worker local tables pay off).
+    let dedup = build_join_relation(
+        "r3",
+        &RelationSpec {
+            cardinality: n,
+            duplicate_pct: 90.0,
+            sigma: 0.8,
+            seed: 43,
+        },
+    );
+    let dedup_list = TempList::from_tids(dedup.tids.clone());
+    let desc = ResultDescriptor::new(vec![OutputField::new(0, JoinRelation::JCOL, "jcol")]);
+
+    let mut baseline: Option<(f64, f64, f64)> = None;
+    let mut serial: Option<(TempList, TempList, TempList)> = None;
+    for dop in DOPS {
+        let cfg = ExecConfig::with_dop(dop);
+        let (scan_rows, scan_s) = time_best(3, || {
+            parallel_select_scan(&outer.relation, JoinRelation::JCOL, &pred, cfg)
+                .expect("parallel scan")
+        });
+        let (join_out, join_s) = time_best(3, || {
+            parallel_hash_join(o, i, cfg).expect("parallel hash join")
+        });
+        let (dedup_out, dedup_s) = time_best(3, || {
+            parallel_project_hash(&dedup_list, &desc, &[&dedup.relation], cfg)
+                .expect("parallel distinct")
+        });
+
+        // Determinism contract: every dop reproduces the serial output.
+        match &serial {
+            None => serial = Some((scan_rows, join_out.pairs, dedup_out.rows)),
+            Some((s_scan, s_join, s_dedup)) => {
+                assert_eq!(&scan_rows, s_scan, "scan differs at dop={dop}");
+                assert_eq!(&join_out.pairs, s_join, "join differs at dop={dop}");
+                assert_eq!(&dedup_out.rows, s_dedup, "distinct differs at dop={dop}");
+            }
+        }
+
+        let (b_scan, b_join, b_dedup) = *baseline.get_or_insert((scan_s, join_s, dedup_s));
+        let serial_ref = serial.as_ref().expect("set above");
+        fig.push_row(vec![
+            dop.to_string(),
+            fmt_secs(scan_s),
+            fmt_secs(join_s),
+            fmt_secs(dedup_s),
+            format!("{:.2}", b_scan / scan_s),
+            format!("{:.2}", b_join / join_s),
+            format!("{:.2}", b_dedup / dedup_s),
+            serial_ref.1.len().to_string(),
+        ]);
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_smoke_and_determinism() {
+        // `run` itself asserts bit-identical outputs across the dop sweep;
+        // the unique-key 100%-selectivity join must return |R| rows.
+        let fig = run(Scale(0.02));
+        assert_eq!(fig.rows.len(), DOPS.len());
+        let rows = fig.cell_f64(0, fig.col("join_rows"));
+        assert_eq!(rows as usize, 2_000);
+        // dop=1 rows are their own baseline.
+        assert_eq!(fig.rows[0][fig.col("Join x")], "1.00");
+    }
+}

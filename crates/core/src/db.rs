@@ -1,21 +1,20 @@
 //! The [`Database`] facade.
 
-use crate::catalog::{encode_catalog, decode_catalog, CatalogMeta, IndexMeta, TableMeta};
+use crate::catalog::{decode_catalog, encode_catalog, CatalogMeta, IndexMeta, TableMeta};
 use crate::error::DbError;
 use crate::shared::SharedAdapter;
 use crate::txn::{Transaction, WriteOp};
 use mmdb_exec::{
-    choose_select_path, hash_join, nested_loops_join, precomputed_join, select_hash_index,
-    select_scan, select_tree_index, sort_merge_join, tree_join, tree_merge_join,
-    IndexAvailability, JoinMethod, JoinOutput, JoinPlanner, JoinSide, Predicate, SelectPath,
+    choose_select_path, parallel_hash_join, parallel_nested_loops_join, parallel_select_scan,
+    precomputed_join, select_hash_index, select_tree_index, sort_merge_join, tree_join,
+    tree_merge_join, ExecConfig, IndexAvailability, JoinMethod, JoinOutput, JoinPlanner, JoinSide,
+    Predicate, SelectPath,
 };
 use mmdb_index::traits::{OrderedIndex, UnorderedIndex};
 use mmdb_index::{ModifiedLinearHash, TTree, TTreeConfig};
 use mmdb_lock::{LockManager, LockMode, LockTarget};
 use mmdb_recovery::{MemDisk, PartitionKey, RecoveryManager, RestartPhase, StableStore};
-use mmdb_storage::{
-    AttrType, OwnedValue, PartitionConfig, Relation, Schema, TempList, TupleId,
-};
+use mmdb_storage::{AttrType, OwnedValue, PartitionConfig, Relation, Schema, TempList, TupleId};
 use std::cell::RefCell;
 use std::collections::HashSet;
 use std::rc::Rc;
@@ -98,6 +97,7 @@ pub struct Database<S: StableStore = MemDisk> {
     indexes: Vec<IndexDef>,
     locks: LockManager,
     recovery: RecoveryManager<S>,
+    exec: ExecConfig,
 }
 
 impl Database<MemDisk> {
@@ -123,7 +123,27 @@ impl<S: StableStore> Database<S> {
             indexes: Vec::new(),
             locks: LockManager::default(),
             recovery: RecoveryManager::new(disk),
+            exec: ExecConfig::default(),
         }
+    }
+
+    // ---- execution config ---------------------------------------------
+
+    /// The execution config select/join/query pipelines run with.
+    #[must_use]
+    pub fn exec_config(&self) -> ExecConfig {
+        self.exec
+    }
+
+    /// Set the full execution config for subsequent operations.
+    pub fn set_exec_config(&mut self, cfg: ExecConfig) {
+        self.exec = cfg;
+    }
+
+    /// Set the degree of parallelism for subsequent operations. `dop = 1`
+    /// restores the strictly serial (paper) code paths.
+    pub fn set_parallelism(&mut self, dop: usize) {
+        self.exec = ExecConfig::with_dop(dop);
     }
 
     // ---- catalog -------------------------------------------------------
@@ -201,9 +221,9 @@ impl<S: StableStore> Database<S> {
             )),
             IndexKind::Hash => AnyIndex::Hash(ModifiedLinearHash::new(adapter, param as usize)),
         };
-        // Index the existing population.
-        let tids = self.table(t).rel.borrow().tids();
-        for tid in tids {
+        // Index the existing population (streamed partition by partition —
+        // no tuple-id vector is materialized).
+        for tid in self.table(t).rel.borrow().iter_tids() {
             index.insert(tid);
         }
         self.indexes.push(IndexDef {
@@ -244,7 +264,8 @@ impl<S: StableStore> Database<S> {
                 })
                 .collect(),
         };
-        self.recovery.write_meta("catalog", &encode_catalog(&meta))?;
+        self.recovery
+            .write_meta("catalog", &encode_catalog(&meta))?;
         Ok(())
     }
 
@@ -261,10 +282,7 @@ impl<S: StableStore> Database<S> {
 
     /// The shared handle to a table's relation (the query layer borrows
     /// several relations at once for materialization).
-    pub(crate) fn relation_handle(
-        &self,
-        table: &str,
-    ) -> Result<Rc<RefCell<Relation>>, DbError> {
+    pub(crate) fn relation_handle(&self, table: &str) -> Result<Rc<RefCell<Relation>>, DbError> {
         Ok(Rc::clone(&self.table(self.table_id(table)?).rel))
     }
 
@@ -357,12 +375,7 @@ impl<S: StableStore> Database<S> {
     }
 
     /// Buffer a delete.
-    pub fn delete(
-        &self,
-        txn: &mut Transaction,
-        table: &str,
-        tid: TupleId,
-    ) -> Result<(), DbError> {
+    pub fn delete(&self, txn: &mut Transaction, table: &str, tid: TupleId) -> Result<(), DbError> {
         let t = self.table_id(table)?;
         self.table(t).rel.borrow().resolve(tid)?;
         txn.writes.push(WriteOp::Delete { table: t, tid });
@@ -380,17 +393,17 @@ impl<S: StableStore> Database<S> {
             match op {
                 WriteOp::Update { table, tid, .. } => {
                     if doomed.contains(&(*table, *tid)) {
-                        return Err(DbError::Storage(
-                            mmdb_storage::StorageError::SlotEmpty(*tid),
-                        ));
+                        return Err(DbError::Storage(mmdb_storage::StorageError::SlotEmpty(
+                            *tid,
+                        )));
                     }
                     self.table(*table).rel.borrow().resolve(*tid)?;
                 }
                 WriteOp::Delete { table, tid } => {
                     if !doomed.insert((*table, *tid)) {
-                        return Err(DbError::Storage(
-                            mmdb_storage::StorageError::SlotEmpty(*tid),
-                        ));
+                        return Err(DbError::Storage(mmdb_storage::StorageError::SlotEmpty(
+                            *tid,
+                        )));
                     }
                     self.table(*table).rel.borrow().resolve(*tid)?;
                 }
@@ -547,7 +560,12 @@ impl<S: StableStore> Database<S> {
     }
 
     /// The access path [`select`](Database::select) would use.
-    pub fn plan_select(&self, table: &str, attr: &str, pred: &Predicate) -> Result<SelectPath, DbError> {
+    pub fn plan_select(
+        &self,
+        table: &str,
+        attr: &str,
+        pred: &Predicate,
+    ) -> Result<SelectPath, DbError> {
         let t = self.table_id(table)?;
         let attr_idx = self.table(t).rel.borrow().schema().index_of(attr)?;
         let avail = self.availability(t, attr_idx, false);
@@ -557,12 +575,26 @@ impl<S: StableStore> Database<S> {
     /// Selection with the §4 preference ordering: hash lookup, then tree
     /// lookup, then sequential scan.
     pub fn select(&self, table: &str, attr: &str, pred: &Predicate) -> Result<TempList, DbError> {
+        self.select_with_config(table, attr, pred, self.exec)
+    }
+
+    /// [`select`](Database::select) with an explicit execution config
+    /// (overriding the database-level degree of parallelism).
+    pub fn select_with_config(
+        &self,
+        table: &str,
+        attr: &str,
+        pred: &Predicate,
+        cfg: ExecConfig,
+    ) -> Result<TempList, DbError> {
         let t = self.table_id(table)?;
         let attr_idx = self.table(t).rel.borrow().schema().index_of(attr)?;
         match self.plan_select(table, attr, pred)? {
             SelectPath::HashLookup => {
                 let idx = self.find_hash(t, attr_idx).expect("planned hash index");
-                let Predicate::Eq(key) = pred else { unreachable!() };
+                let Predicate::Eq(key) = pred else {
+                    unreachable!()
+                };
                 Ok(select_hash_index(idx, key))
             }
             SelectPath::TreeLookup => {
@@ -571,8 +603,7 @@ impl<S: StableStore> Database<S> {
             }
             SelectPath::SequentialScan => {
                 let rel = self.table(t).rel.borrow();
-                let tids = rel.tids();
-                Ok(select_scan(&rel, attr_idx, &tids, pred)?)
+                Ok(parallel_select_scan(&rel, attr_idx, pred, cfg)?)
             }
         }
     }
@@ -585,7 +616,9 @@ impl<S: StableStore> Database<S> {
         inner_table: &str,
         inner_attr: &str,
     ) -> Result<JoinMethod, DbError> {
-        Ok(self.planner(outer_table, outer_attr, inner_table, inner_attr)?.choose())
+        Ok(self
+            .planner(outer_table, outer_attr, inner_table, inner_attr)?
+            .choose())
     }
 
     fn planner(
@@ -603,12 +636,7 @@ impl<S: StableStore> Database<S> {
             let ty = r.schema().attr(a)?.ty;
             (a, ty == AttrType::Ptr || ty == AttrType::PtrList)
         };
-        let i_attr = self
-            .table(it)
-            .rel
-            .borrow()
-            .schema()
-            .index_of(inner_attr)?;
+        let i_attr = self.table(it).rel.borrow().schema().index_of(inner_attr)?;
         Ok(JoinPlanner {
             outer_card: self.table(ot).rel.borrow().len(),
             inner_card: self.table(it).rel.borrow().len(),
@@ -649,6 +677,30 @@ impl<S: StableStore> Database<S> {
         inner_table: &str,
         inner_attr: &str,
     ) -> Result<(JoinOutput, JoinMethod), DbError> {
+        self.join_tids_with_config(
+            outer_table,
+            outer_attr,
+            outer_tids,
+            outer_full,
+            inner_table,
+            inner_attr,
+            self.exec,
+        )
+    }
+
+    /// [`join_tids`](Database::join_tids) with an explicit execution
+    /// config (overriding the database-level degree of parallelism).
+    #[allow(clippy::too_many_arguments)]
+    pub fn join_tids_with_config(
+        &self,
+        outer_table: &str,
+        outer_attr: &str,
+        outer_tids: &[TupleId],
+        outer_full: bool,
+        inner_table: &str,
+        inner_attr: &str,
+        cfg: ExecConfig,
+    ) -> Result<(JoinOutput, JoinMethod), DbError> {
         let mut planner = self.planner(outer_table, outer_attr, inner_table, inner_attr)?;
         planner.outer_card = outer_tids.len();
         planner.outer_full = outer_full;
@@ -679,9 +731,9 @@ impl<S: StableStore> Database<S> {
                     .ok_or_else(|| DbError::NoSuchIndex(format!("{inner_table}.{inner_attr}")))?;
                 tree_join(outer, iidx)?
             }
-            JoinMethod::HashJoin => hash_join(outer, inner)?,
+            JoinMethod::HashJoin => parallel_hash_join(outer, inner, cfg)?,
             JoinMethod::SortMerge => sort_merge_join(outer, inner)?,
-            JoinMethod::NestedLoops => nested_loops_join(outer, inner)?,
+            JoinMethod::NestedLoops => parallel_nested_loops_join(outer, inner, cfg)?,
         };
         Ok((out, method))
     }
@@ -695,6 +747,7 @@ impl<S: StableStore> Database<S> {
         inner_table: &str,
         inner_attr: &str,
     ) -> Result<JoinOutput, DbError> {
+        let cfg = self.exec;
         let ot = self.table_id(outer_table)?;
         let it = self.table_id(inner_table)?;
         let orel = self.table(ot).rel.borrow();
@@ -722,9 +775,9 @@ impl<S: StableStore> Database<S> {
                     .ok_or_else(|| DbError::NoSuchIndex(format!("{inner_table}.{inner_attr}")))?;
                 tree_join(outer, iidx)?
             }
-            JoinMethod::HashJoin => hash_join(outer, inner)?,
+            JoinMethod::HashJoin => parallel_hash_join(outer, inner, cfg)?,
             JoinMethod::SortMerge => sort_merge_join(outer, inner)?,
-            JoinMethod::NestedLoops => nested_loops_join(outer, inner)?,
+            JoinMethod::NestedLoops => parallel_nested_loops_join(outer, inner, cfg)?,
         };
         Ok(out)
     }
@@ -778,6 +831,7 @@ impl<S: StableStore> CrashedDatabase<S> {
             indexes: Vec::new(),
             locks: LockManager::default(),
             recovery: self.recovery,
+            exec: ExecConfig::default(),
         };
         for t in &meta.tables {
             db.tables.push(Table {
@@ -825,7 +879,7 @@ impl<S: StableStore> CrashedDatabase<S> {
                     AnyIndex::Hash(ModifiedLinearHash::new(adapter, im.param as usize))
                 }
             };
-            for tid in db.tables[t].rel.borrow().tids() {
+            for tid in db.tables[t].rel.borrow().iter_tids() {
                 index.insert(tid);
             }
             rebuilt += 1;
@@ -873,7 +927,8 @@ mod tests {
             ("Cindy", 22),
             ("Old", 66),
         ] {
-            db.insert(&mut txn, "emp", vec![n.into(), a.into()]).unwrap();
+            db.insert(&mut txn, "emp", vec![n.into(), a.into()])
+                .unwrap();
         }
         let tids = db.commit(txn).unwrap();
         (db, tids)
@@ -1020,10 +1075,12 @@ mod tests {
             .unwrap();
         let mut txn = db.begin();
         for (d, i) in [("Toy", 1i64), ("Shoe", 2), ("Linen", 3)] {
-            db.insert(&mut txn, "dept", vec![d.into(), i.into()]).unwrap();
+            db.insert(&mut txn, "dept", vec![d.into(), i.into()])
+                .unwrap();
         }
         for (e, i) in [("Dave", 1i64), ("Cindy", 2), ("Suzan", 1), ("Jane", 9)] {
-            db.insert(&mut txn, "emp2", vec![e.into(), i.into()]).unwrap();
+            db.insert(&mut txn, "emp2", vec![e.into(), i.into()])
+                .unwrap();
         }
         db.commit(txn).unwrap();
         // Both T-Trees exist → Tree Merge.
@@ -1049,11 +1106,8 @@ mod tests {
     #[test]
     fn precomputed_join_via_fk_pointer() {
         let mut db = Database::in_memory();
-        db.create_table(
-            "dept",
-            Schema::of(&[("dname", AttrType::Str)]),
-        )
-        .unwrap();
+        db.create_table("dept", Schema::of(&[("dname", AttrType::Str)]))
+            .unwrap();
         db.create_index("dept_name", "dept", "dname", IndexKind::Hash)
             .unwrap();
         db.create_table(
@@ -1067,8 +1121,12 @@ mod tests {
         db.insert(&mut txn, "dept", vec!["Toy".into()]).unwrap();
         let toy = db.commit(txn).unwrap()[0];
         let mut txn = db.begin();
-        db.insert(&mut txn, "emp3", vec!["Dave".into(), OwnedValue::Ptr(Some(toy))])
-            .unwrap();
+        db.insert(
+            &mut txn,
+            "emp3",
+            vec!["Dave".into(), OwnedValue::Ptr(Some(toy))],
+        )
+        .unwrap();
         db.commit(txn).unwrap();
         assert_eq!(
             db.plan_join("emp3", "dept", "dept", "dname").unwrap(),

@@ -98,10 +98,14 @@ mod tests {
     #[test]
     fn display_covers_variants() {
         assert!(DbError::NoSuchTable("t".into()).to_string().contains('t'));
-        assert!(DbError::MissingIndex("t".into()).to_string().contains("§2.1"));
+        assert!(DbError::MissingIndex("t".into())
+            .to_string()
+            .contains("§2.1"));
         assert!(DbError::from(StorageError::HeapExhausted)
             .to_string()
             .contains("storage"));
-        assert!(DbError::RangeNeedsOrderedIndex.to_string().contains("range"));
+        assert!(DbError::RangeNeedsOrderedIndex
+            .to_string()
+            .contains("range"));
     }
 }

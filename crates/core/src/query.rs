@@ -28,11 +28,9 @@
 
 use crate::db::Database;
 use crate::error::DbError;
-use mmdb_exec::{project_hash, Predicate};
+use mmdb_exec::{parallel_project_hash, ExecConfig, Predicate};
 use mmdb_recovery::StableStore;
-use mmdb_storage::{
-    OutputField, OwnedValue, ResultDescriptor, TempList, TupleId,
-};
+use mmdb_storage::{OutputField, OwnedValue, ResultDescriptor, TempList, TupleId};
 use std::collections::HashMap;
 
 /// One join step in a pipeline.
@@ -52,6 +50,7 @@ pub struct QueryBuilder<'a, S: StableStore> {
     joins: Vec<JoinStep>,
     projection: Vec<(String, String)>,
     distinct: bool,
+    exec: Option<ExecConfig>,
 }
 
 /// A finished query: materialized rows plus the plan that produced them.
@@ -75,6 +74,7 @@ impl<S: StableStore> Database<S> {
             joins: Vec::new(),
             projection: Vec::new(),
             distinct: false,
+            exec: None,
         }
     }
 }
@@ -132,9 +132,20 @@ impl<S: StableStore> QueryBuilder<'_, S> {
         self
     }
 
+    /// Degree of parallelism for this query only (scans, hash /
+    /// nested-loops joins, and duplicate elimination run partition-
+    /// parallel when `dop > 1`). Defaults to the database-level
+    /// [`ExecConfig`]; `dop = 1` forces the serial code paths.
+    #[must_use]
+    pub fn parallelism(mut self, dop: usize) -> Self {
+        self.exec = Some(ExecConfig::with_dop(dop));
+        self
+    }
+
     /// Execute the pipeline.
     pub fn run(self) -> Result<QueryOutput, DbError> {
         let db = self.db;
+        let exec = self.exec.unwrap_or_else(|| db.exec_config());
         let mut plan = Vec::new();
 
         // Bound sources, in temp-list column order.
@@ -144,11 +155,9 @@ impl<S: StableStore> QueryBuilder<'_, S> {
         let base_tids: Vec<TupleId> = match &self.filter {
             Some((attr, pred)) => {
                 let path = db.plan_select(&self.base, attr, pred)?;
-                plan.push(format!(
-                    "select {}.{attr} via {path:?}",
-                    self.base
-                ));
-                db.select(&self.base, attr, pred)?.column(0)
+                plan.push(format!("select {}.{attr} via {path:?}", self.base));
+                db.select_with_config(&self.base, attr, pred, exec)?
+                    .column(0)
             }
             None => {
                 plan.push(format!("scan {}", self.base));
@@ -175,13 +184,14 @@ impl<S: StableStore> QueryBuilder<'_, S> {
             outer_tids.sort_unstable();
             outer_tids.dedup();
             let outer_full = !filtered && self.joins.is_empty();
-            let (pairs, method) = db.join_tids(
+            let (pairs, method) = db.join_tids_with_config(
                 &step.source_table,
                 &step.outer_attr,
                 &outer_tids,
                 outer_full && src_col == 0,
                 &step.inner_table,
                 &step.inner_attr,
+                exec,
             )?;
             plan.push(format!(
                 "join {}.{} = {}.{} via {method:?} ({} pairs)",
@@ -224,9 +234,10 @@ impl<S: StableStore> QueryBuilder<'_, S> {
         };
         let mut fields = Vec::with_capacity(projection.len());
         for (t, a) in &projection {
-            let source = sources.iter().position(|s| s == t).ok_or_else(|| {
-                DbError::BadQuery(format!("projected table {t} is not bound"))
-            })?;
+            let source = sources
+                .iter()
+                .position(|s| s == t)
+                .ok_or_else(|| DbError::BadQuery(format!("projected table {t} is not bound")))?;
             let attr = db.with_relation(t, |r| r.schema().index_of(a))??;
             fields.push(OutputField::new(source, attr, &format!("{t}.{a}")));
         }
@@ -240,7 +251,7 @@ impl<S: StableStore> QueryBuilder<'_, S> {
         let borrowed: Vec<_> = rel_handles.iter().map(|h| h.borrow()).collect();
         let rels: Vec<&mmdb_storage::Relation> = borrowed.iter().map(|r| &**r).collect();
         let final_list = if self.distinct {
-            let out = project_hash(&list, &desc, &rels)?;
+            let out = parallel_project_hash(&list, &desc, &rels, exec)?;
             plan.push(format!(
                 "distinct via Hash ({} → {} rows)",
                 list.len(),
@@ -255,11 +266,19 @@ impl<S: StableStore> QueryBuilder<'_, S> {
         let mut rows = Vec::with_capacity(final_list.len());
         for i in 0..final_list.len() {
             let vals = final_list.materialize_row(i, &desc, &rels)?;
-            rows.push(vals.iter().map(mmdb_storage::Value::to_owned_value).collect());
+            rows.push(
+                vals.iter()
+                    .map(mmdb_storage::Value::to_owned_value)
+                    .collect(),
+            );
         }
         plan.push(format!("fetch {} rows × {} cols", rows.len(), desc.width()));
         Ok(QueryOutput {
-            columns: desc.column_names().iter().map(|s| (*s).to_string()).collect(),
+            columns: desc
+                .column_names()
+                .iter()
+                .map(|s| (*s).to_string())
+                .collect(),
             rows,
             plan,
         })
@@ -279,7 +298,8 @@ mod tests {
             Schema::of(&[("dname", AttrType::Str), ("id", AttrType::Int)]),
         )
         .unwrap();
-        db.create_index("dept_id", "dept", "id", IndexKind::TTree).unwrap();
+        db.create_index("dept_id", "dept", "id", IndexKind::TTree)
+            .unwrap();
         db.create_table(
             "emp",
             Schema::of(&[
@@ -289,7 +309,8 @@ mod tests {
             ]),
         )
         .unwrap();
-        db.create_index("emp_age", "emp", "age", IndexKind::TTree).unwrap();
+        db.create_index("emp_age", "emp", "age", IndexKind::TTree)
+            .unwrap();
         db.create_index("emp_dept", "emp", "dept_id", IndexKind::TTree)
             .unwrap();
         db.create_table(
@@ -301,7 +322,8 @@ mod tests {
             .unwrap();
         let mut txn = db.begin();
         for (d, i) in [("Toy", 1i64), ("Shoe", 2), ("Linen", 3)] {
-            db.insert(&mut txn, "dept", vec![d.into(), i.into()]).unwrap();
+            db.insert(&mut txn, "dept", vec![d.into(), i.into()])
+                .unwrap();
         }
         for (e, a, d) in [
             ("Dave", 24i64, 1i64),
@@ -314,7 +336,8 @@ mod tests {
                 .unwrap();
         }
         for (p, d) in [("Blocks", 1i64), ("Sneaker", 2), ("Sandal", 2)] {
-            db.insert(&mut txn, "project", vec![p.into(), d.into()]).unwrap();
+            db.insert(&mut txn, "project", vec![p.into(), d.into()])
+                .unwrap();
         }
         db.commit(txn).unwrap();
         db
@@ -383,7 +406,11 @@ mod tests {
             .run()
             .unwrap();
         assert_eq!(out.rows.len(), 3, "three distinct departments");
-        let with_dups = db.query("emp").project(&[("emp", "dept_id")]).run().unwrap();
+        let with_dups = db
+            .query("emp")
+            .project(&[("emp", "dept_id")])
+            .run()
+            .unwrap();
         assert_eq!(with_dups.rows.len(), 5);
     }
 
@@ -402,6 +429,40 @@ mod tests {
             !join_line.contains("TreeMerge"),
             "filtered outer cannot tree-merge: {join_line}"
         );
+    }
+
+    #[test]
+    fn parallelism_knob_leaves_results_identical() {
+        let mut db = company_db();
+        let run = |db: &Database, dop: usize| {
+            db.query("emp")
+                .filter("age", Predicate::greater(KeyValue::Int(20)))
+                .join("dept_id", "dept", "id")
+                .project(&[("dept", "dname")])
+                .distinct()
+                .parallelism(dop)
+                .run()
+                .unwrap()
+        };
+        let serial = run(&db, 1);
+        assert_eq!(serial.rows.len(), 3);
+        for dop in [2, 4, 8] {
+            let par = run(&db, dop);
+            assert_eq!(par.rows, serial.rows, "dop={dop}");
+            assert_eq!(par.columns, serial.columns);
+        }
+        // The database-level knob feeds queries that don't set their own.
+        db.set_parallelism(4);
+        assert_eq!(db.exec_config().dop, 4);
+        let out = db
+            .query("emp")
+            .filter("age", Predicate::greater(KeyValue::Int(20)))
+            .join("dept_id", "dept", "id")
+            .project(&[("dept", "dname")])
+            .distinct()
+            .run()
+            .unwrap();
+        assert_eq!(out.rows, serial.rows);
     }
 
     #[test]

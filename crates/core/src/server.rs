@@ -165,13 +165,16 @@ mod tests {
         let server = seeded_server();
         let tid = server.with(|db| {
             let mut txn = db.begin();
-            db.insert(&mut txn, "acct", vec![OwnedValue::Int(1), OwnedValue::Int(100)])
-                .unwrap();
+            db.insert(
+                &mut txn,
+                "acct",
+                vec![OwnedValue::Int(1), OwnedValue::Int(100)],
+            )
+            .unwrap();
             db.commit(txn).unwrap()[0]
         });
-        let balance = server.with(move |db| {
-            db.fetch("acct", &[tid], &["balance"]).unwrap()[0][0].clone()
-        });
+        let balance =
+            server.with(move |db| db.fetch("acct", &[tid], &["balance"]).unwrap()[0][0].clone());
         assert_eq!(balance, OwnedValue::Int(100));
         server.shutdown();
     }
@@ -222,10 +225,12 @@ mod tests {
             db.tids("acct")
                 .unwrap()
                 .iter()
-                .map(|tid| match db.fetch("acct", &[*tid], &["balance"]).unwrap()[0][0] {
-                    OwnedValue::Int(v) => v,
-                    _ => unreachable!(),
-                })
+                .map(
+                    |tid| match db.fetch("acct", &[*tid], &["balance"]).unwrap()[0][0] {
+                        OwnedValue::Int(v) => v,
+                        _ => unreachable!(),
+                    },
+                )
                 .sum()
         });
         assert_eq!(total, 8 * 50, "no lost updates under serial execution");
@@ -238,8 +243,12 @@ mod tests {
         let server = seeded_server();
         server.with(|db| {
             let mut txn = db.begin();
-            db.insert(&mut txn, "acct", vec![OwnedValue::Int(7), OwnedValue::Int(777)])
-                .unwrap();
+            db.insert(
+                &mut txn,
+                "acct",
+                vec![OwnedValue::Int(7), OwnedValue::Int(777)],
+            )
+            .unwrap();
             db.commit(txn).unwrap();
         });
         // Crash+recover inside one request (the database is rebuilt on the

@@ -99,10 +99,7 @@ mod tests {
         assert!(!hits.is_empty());
         // Mutating the relation through the shared handle between index
         // operations is fine (no borrow is held across calls).
-        let new_tid = rel
-            .borrow_mut()
-            .insert(&[OwnedValue::Int(999)])
-            .unwrap();
+        let new_tid = rel.borrow_mut().insert(&[OwnedValue::Int(999)]).unwrap();
         idx.insert(new_tid);
         assert_eq!(idx.search(&KeyValue::Int(999)), Some(new_tid));
     }
@@ -117,6 +114,10 @@ mod tests {
         idx.validate().unwrap();
         let mut hits = Vec::new();
         idx.search_all(&KeyValue::Int(0), &mut hits);
-        assert_eq!(hits.len(), 2, "values 0 and 0 (i=0, i=50... i*3%50==0 twice)");
+        assert_eq!(
+            hits.len(),
+            2,
+            "values 0 and 0 (i=0, i=50... i*3%50==0 twice)"
+        );
     }
 }

@@ -68,7 +68,10 @@ mod tests {
             JoinSide::new(&irel, 1, &itids),
         )
         .unwrap();
-        assert_eq!(normalize(&out.pairs, &orel, &irel), expected_pairs(&ov, &iv));
+        assert_eq!(
+            normalize(&out.pairs, &orel, &irel),
+            expected_pairs(&ov, &iv)
+        );
     }
 
     #[test]
@@ -147,7 +150,8 @@ mod tests {
         let t1 = vec![a, b];
         let t2 = vec![
             r2.insert(&[OwnedValue::Ptr(None)]).unwrap(),
-            r2.insert(&[OwnedValue::Ptr(Some(TupleId::new(5, 5)))]).unwrap(),
+            r2.insert(&[OwnedValue::Ptr(Some(TupleId::new(5, 5)))])
+                .unwrap(),
         ];
         let out = hash_join(JoinSide::new(&r1, 0, &t1), JoinSide::new(&r2, 0, &t2)).unwrap();
         // Only the non-null pointer pair joins; NULL never matches NULL.

@@ -22,6 +22,7 @@ mod tree;
 mod tree_merge;
 
 pub use hash::hash_join;
+pub(crate) use hash::probe_key;
 pub use nested::{nested_loops_join, theta_nested_loops_join, ThetaOp};
 pub use precomputed::precomputed_join;
 pub use sort_merge::sort_merge_join;
@@ -219,7 +220,9 @@ pub(crate) fn merge_join_cursors<'a>(
                 let group_val = rv;
                 let group_start = right.mark();
                 // For each outer tuple in the equal run, re-scan the inner
-                // group from its start.
+                // group from its start. Pairs accumulate in a group-local
+                // list and move into the result with one bulk append.
+                let mut group_pairs = TempList::new(2);
                 'outer: loop {
                     right.rewind(group_start);
                     while let Some(grt) = right.peek() {
@@ -227,7 +230,7 @@ pub(crate) fn merge_join_cursors<'a>(
                         if ra.value(grt)?.total_cmp(&group_val) != Ordering::Equal {
                             break;
                         }
-                        out.push_pair(left.peek().expect("outer present"), grt)?;
+                        group_pairs.push_pair(left.peek().expect("outer present"), grt)?;
                         right.advance();
                     }
                     left.advance();
@@ -241,6 +244,7 @@ pub(crate) fn merge_join_cursors<'a>(
                         None => break 'outer,
                     }
                 }
+                out.append(group_pairs)?;
                 // `right` is already positioned past the group.
             }
         }
@@ -253,9 +257,7 @@ pub(crate) mod fixtures {
     //! Shared join-test fixtures: small relations with controlled value
     //! multisets, and a trivially correct reference join.
 
-    use mmdb_storage::{
-        AttrType, OwnedValue, PartitionConfig, Relation, Schema, TupleId, Value,
-    };
+    use mmdb_storage::{AttrType, OwnedValue, PartitionConfig, Relation, Schema, TupleId, Value};
     use std::collections::HashMap;
 
     /// Build a `(pk, jcol)` relation holding exactly `values`.
@@ -275,10 +277,7 @@ pub(crate) mod fixtures {
 
     /// Reference implementation: all (outer, inner) pairs with equal join
     /// values, as a sorted multiset of `(outer_pk, inner_pk)`.
-    pub fn expected_pairs(
-        outer: &[i64],
-        inner: &[i64],
-    ) -> Vec<(usize, usize)> {
+    pub fn expected_pairs(outer: &[i64], inner: &[i64]) -> Vec<(usize, usize)> {
         let mut by_val: HashMap<i64, Vec<usize>> = HashMap::new();
         for (j, v) in inner.iter().enumerate() {
             by_val.entry(*v).or_default().push(j);
@@ -345,23 +344,11 @@ mod tests {
         let a = Access { rel: &rel, attr: 1 };
         let c = Counters::default();
         let empty: Vec<TupleId> = vec![];
-        let out = merge_join_cursors(
-            SliceCursor::new(&tids),
-            SliceCursor::new(&empty),
-            a,
-            a,
-            &c,
-        )
-        .unwrap();
+        let out = merge_join_cursors(SliceCursor::new(&tids), SliceCursor::new(&empty), a, a, &c)
+            .unwrap();
         assert!(out.is_empty());
-        let out = merge_join_cursors(
-            SliceCursor::new(&empty),
-            SliceCursor::new(&tids),
-            a,
-            a,
-            &c,
-        )
-        .unwrap();
+        let out = merge_join_cursors(SliceCursor::new(&empty), SliceCursor::new(&tids), a, a, &c)
+            .unwrap();
         assert!(out.is_empty());
     }
 
@@ -370,8 +357,14 @@ mod tests {
         // left: 1,2,2,3   right: 2,2,2,3 — sorted inputs.
         let (lrel, ltids) = rel_with_values("l", &[1, 2, 2, 3]);
         let (rrel, rtids) = rel_with_values("r", &[2, 2, 2, 3]);
-        let la = Access { rel: &lrel, attr: 1 };
-        let ra = Access { rel: &rrel, attr: 1 };
+        let la = Access {
+            rel: &lrel,
+            attr: 1,
+        };
+        let ra = Access {
+            rel: &rrel,
+            attr: 1,
+        };
         let c = Counters::default();
         let out = merge_join_cursors(
             SliceCursor::new(&ltids),

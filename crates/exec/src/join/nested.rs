@@ -17,7 +17,10 @@ use mmdb_storage::TempList;
 use std::cmp::Ordering;
 
 /// Join by scanning the full inner relation per outer tuple.
-pub fn nested_loops_join(outer: JoinSide<'_>, inner: JoinSide<'_>) -> Result<JoinOutput, ExecError> {
+pub fn nested_loops_join(
+    outer: JoinSide<'_>,
+    inner: JoinSide<'_>,
+) -> Result<JoinOutput, ExecError> {
     theta_nested_loops_join(outer, inner, ThetaOp::Eq)
 }
 
@@ -42,7 +45,7 @@ pub enum ThetaOp {
 
 impl ThetaOp {
     /// `ord` is `outer_value.cmp(inner_value)`.
-    fn matches(self, ord: Ordering) -> bool {
+    pub(crate) fn matches(self, ord: Ordering) -> bool {
         match self {
             ThetaOp::Eq => ord == Ordering::Equal,
             ThetaOp::Ne => ord != Ordering::Equal,
@@ -109,7 +112,10 @@ mod tests {
             JoinSide::new(&irel, 1, &itids),
         )
         .unwrap();
-        assert_eq!(normalize(&out.pairs, &orel, &irel), expected_pairs(&ov, &iv));
+        assert_eq!(
+            normalize(&out.pairs, &orel, &irel),
+            expected_pairs(&ov, &iv)
+        );
     }
 
     #[test]
@@ -137,7 +143,10 @@ mod tests {
         let outer = JoinSide::new(&orel, 1, &otids);
         let inner = JoinSide::new(&irel, 1, &itids);
         for (op, f) in [
-            (ThetaOp::Eq, (|o: i64, i: i64| i == o) as fn(i64, i64) -> bool),
+            (
+                ThetaOp::Eq,
+                (|o: i64, i: i64| i == o) as fn(i64, i64) -> bool,
+            ),
             (ThetaOp::Ne, |o, i| i != o),
             (ThetaOp::Lt, |o, i| i < o),
             (ThetaOp::Le, |o, i| i <= o),

@@ -18,7 +18,12 @@ use mmdb_storage::{AttrType, TempList, Value};
 /// relation is never searched — each result pair is read straight out of
 /// the outer tuple.
 pub fn precomputed_join(outer: JoinSide<'_>) -> Result<JoinOutput, ExecError> {
-    let ty = outer.rel.schema().attr(outer.attr).map_err(ExecError::from)?.ty;
+    let ty = outer
+        .rel
+        .schema()
+        .attr(outer.attr)
+        .map_err(ExecError::from)?
+        .ty;
     if ty != AttrType::Ptr && ty != AttrType::PtrList {
         return Err(ExecError::BadPlan(format!(
             "precomputed join needs a ptr/ptrlist attribute, got {}",
@@ -52,9 +57,7 @@ pub fn precomputed_join(outer: JoinSide<'_>) -> Result<JoinOutput, ExecError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mmdb_storage::{
-        AttrType, OwnedValue, PartitionConfig, Relation, Schema, TupleId,
-    };
+    use mmdb_storage::{AttrType, OwnedValue, PartitionConfig, Relation, Schema, TupleId};
 
     /// The paper's §2.1 example: Employee with a Department FK pointer.
     fn setup() -> (Relation, Relation, Vec<TupleId>, Vec<TupleId>) {
@@ -119,9 +122,7 @@ mod tests {
             PartitionConfig::default(),
         );
         let kids = vec![TupleId::new(1, 0), TupleId::new(1, 1), TupleId::new(1, 2)];
-        let p = parent
-            .insert(&[OwnedValue::PtrList(kids.clone())])
-            .unwrap();
+        let p = parent.insert(&[OwnedValue::PtrList(kids.clone())]).unwrap();
         let tids = vec![p];
         let out = precomputed_join(JoinSide::new(&parent, 0, &tids)).unwrap();
         assert_eq!(out.len(), 3);

@@ -54,7 +54,10 @@ mod tests {
             JoinSide::new(&irel, 1, &itids),
         )
         .unwrap();
-        assert_eq!(normalize(&out.pairs, &orel, &irel), expected_pairs(&ov, &iv));
+        assert_eq!(
+            normalize(&out.pairs, &orel, &irel),
+            expected_pairs(&ov, &iv)
+        );
     }
 
     #[test]

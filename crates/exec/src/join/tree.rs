@@ -75,7 +75,10 @@ mod tests {
         let (irel, itids) = rel_with_values("i", &iv);
         let idx = build_index(&irel, 1, &itids);
         let out = tree_join(JoinSide::new(&orel, 1, &otids), &idx).unwrap();
-        assert_eq!(normalize(&out.pairs, &orel, &irel), expected_pairs(&ov, &iv));
+        assert_eq!(
+            normalize(&out.pairs, &orel, &irel),
+            expected_pairs(&ov, &iv)
+        );
     }
 
     #[test]
@@ -118,6 +121,9 @@ mod tests {
         let idx = build_index(&irel, 1, &itids);
         let out = tree_join(JoinSide::new(&orel, 1, &otids), &idx).unwrap();
         assert_eq!(out.len(), 3 + 2 + 1);
-        assert_eq!(normalize(&out.pairs, &orel, &irel), expected_pairs(&ov, &iv));
+        assert_eq!(
+            normalize(&out.pairs, &orel, &irel),
+            expected_pairs(&ov, &iv)
+        );
     }
 }

@@ -106,7 +106,9 @@ pub fn tree_ineq_join<A: TupleAdapter>(
     }
     Ok(JoinOutput {
         pairs: out,
-        stats: counters.snapshot().plus(&inner_index.stats().since(&before)),
+        stats: counters
+            .snapshot()
+            .plus(&inner_index.stats().since(&before)),
     })
 }
 
@@ -127,11 +129,7 @@ mod tests {
     use mmdb_index::TTreeConfig;
     use mmdb_storage::{AttrAdapter, TupleId};
 
-    fn build_index<'a>(
-        rel: &'a Relation,
-        attr: usize,
-        tids: &[TupleId],
-    ) -> TTree<AttrAdapter<'a>> {
+    fn build_index<'a>(rel: &'a Relation, attr: usize, tids: &[TupleId]) -> TTree<AttrAdapter<'a>> {
         let mut t = TTree::new(AttrAdapter::new(rel, attr), TTreeConfig::with_node_size(16));
         for tid in tids {
             t.insert(*tid);
@@ -148,7 +146,10 @@ mod tests {
         let oidx = build_index(&orel, 1, &otids);
         let iidx = build_index(&irel, 1, &itids);
         let out = tree_merge_join(&orel, 1, &oidx, &irel, 1, &iidx).unwrap();
-        assert_eq!(normalize(&out.pairs, &orel, &irel), expected_pairs(&ov, &iv));
+        assert_eq!(
+            normalize(&out.pairs, &orel, &irel),
+            expected_pairs(&ov, &iv)
+        );
     }
 
     #[cfg(feature = "stats")]
@@ -193,7 +194,10 @@ mod tests {
         let inner = JoinSide::new(&irel, 1, &itids);
 
         for (op, pred) in [
-            (IneqOp::Less, Box::new(|i: i64, o: i64| i < o) as Box<dyn Fn(i64, i64) -> bool>),
+            (
+                IneqOp::Less,
+                Box::new(|i: i64, o: i64| i < o) as Box<dyn Fn(i64, i64) -> bool>,
+            ),
             (IneqOp::LessEq, Box::new(|i, o| i <= o)),
             (IneqOp::Greater, Box::new(|i, o| i > o)),
             (IneqOp::GreaterEq, Box::new(|i, o| i >= o)),
@@ -208,11 +212,7 @@ mod tests {
                 }
             }
             expect.sort_unstable();
-            assert_eq!(
-                normalize(&out.pairs, &orel, &irel),
-                expect,
-                "op {op:?}"
-            );
+            assert_eq!(normalize(&out.pairs, &orel, &irel), expect, "op {op:?}");
         }
     }
 }

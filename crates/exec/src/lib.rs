@@ -13,6 +13,9 @@
 //!   \[DKO84\] (table size |R|/2) and by Sort Scan \[BBD83\].
 //! * **Access-path selection** ([`optimizer`]): the paper's §4 preference
 //!   ordering and the comparison-count cost formulas of §3.3.4.
+//! * **Partition-parallel execution** ([`parallel`]): morsel-style
+//!   multicore variants of the scan, join, and dedup hot paths, bit-
+//!   identical to their serial counterparts ([`parallel::ExecConfig`]).
 //!
 //! Every operator consumes and produces §2.3 temporary lists — tuple
 //! pointers only; attribute values are extracted exactly when compared and
@@ -24,6 +27,7 @@
 pub mod error;
 pub mod join;
 pub mod optimizer;
+pub mod parallel;
 pub mod project;
 pub mod select;
 
@@ -45,8 +49,10 @@ pub use join::{
     hash_join, nested_loops_join, precomputed_join, sort_merge_join, theta_nested_loops_join,
     tree_ineq_join, tree_join, tree_merge_join, IneqOp, JoinOutput, JoinSide, ThetaOp,
 };
-pub use optimizer::{
-    choose_select_path, IndexAvailability, JoinMethod, JoinPlanner, SelectPath,
+pub use optimizer::{choose_select_path, IndexAvailability, JoinMethod, JoinPlanner, SelectPath};
+pub use parallel::{
+    parallel_hash_join, parallel_nested_loops_join, parallel_project_hash, parallel_select_scan,
+    parallel_theta_join, ExecConfig,
 };
 pub use project::{project_hash, project_hash_sized, project_sort, ProjectOutput};
 pub use select::{select_hash_index, select_scan, select_tree_index, Predicate};

@@ -182,12 +182,10 @@ impl JoinPlanner {
         // uniform; we adopt the paper's quoted 60/80 build-vs-merge
         // crossovers).
         let dup_threshold = if self.skewed { 60.0 } else { 80.0 };
-        let high_output =
-            self.duplicate_pct >= dup_threshold && self.semijoin_pct >= 50.0;
+        let high_output = self.duplicate_pct >= dup_threshold && self.semijoin_pct >= 50.0;
         // Merge via existing indices requires FULL inputs; probing an
         // existing inner index only requires the inner to be full.
-        let both_trees =
-            self.outer.ttree && self.inner.ttree && self.outer_full && self.inner_full;
+        let both_trees = self.outer.ttree && self.inner.ttree && self.outer_full && self.inner_full;
         if high_output {
             // Tree Merge "is also satisfactory in this case, but the
             // required indices may not be present."

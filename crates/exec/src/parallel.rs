@@ -1,0 +1,574 @@
+//! Partition-parallel query execution (morsel-style).
+//!
+//! Lehman & Carey's §2 architecture partitions relations and locks at
+//! partition granularity, but the paper's operators are single-threaded.
+//! This module adds multicore variants of the three hot paths — selection
+//! scan, hash/nested-loops join, and duplicate elimination — on top of a
+//! small std-only scoped worker pool (`std::thread::scope`; no external
+//! runtime).
+//!
+//! **Determinism rule:** every parallel operator must return *bit-identical
+//! output* to its serial counterpart. Work is split into ordered units
+//! (relation partitions for scans, contiguous input chunks for probes and
+//! dedup), each unit's result is produced independently, and the units are
+//! merged back **in unit order** on the coordinating thread. Where a
+//! shared read-only structure is needed (the hash-join build table), it is
+//! built serially in the exact insertion order of the serial operator, so
+//! per-key match order (reverse insertion, the chained-bucket contract) is
+//! preserved.
+//!
+//! `dop = 1` never spawns a thread: callers (and [`run_chunks`] itself)
+//! fall straight through to the serial code path.
+
+use crate::error::ExecError;
+use crate::join::{hash_join, theta_nested_loops_join, JoinOutput, JoinSide, ThetaOp};
+use crate::project::{hash_row, project_hash, row_values, rows_equal, ProjectOutput};
+use crate::select::{select_scan, Predicate};
+use mmdb_index::stats::{Counters, Snapshot};
+use mmdb_storage::{value_hash, KeyValue, Relation, ResultDescriptor, TempList, TupleId};
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::Mutex;
+
+/// Degree-of-parallelism knob threaded through `Database::select`,
+/// `Database::join`, and `QueryBuilder::run`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Number of worker threads operators may use. `1` means strictly
+    /// serial execution on the calling thread (the paper's code path).
+    pub dop: usize,
+}
+
+impl Default for ExecConfig {
+    /// Default to the machine's available parallelism.
+    fn default() -> Self {
+        ExecConfig {
+            dop: std::thread::available_parallelism().map_or(1, usize::from),
+        }
+    }
+}
+
+impl ExecConfig {
+    /// Strictly serial execution (the existing single-threaded operators).
+    #[must_use]
+    pub fn serial() -> Self {
+        ExecConfig { dop: 1 }
+    }
+
+    /// Explicit degree of parallelism (clamped to at least 1).
+    #[must_use]
+    pub fn with_dop(dop: usize) -> Self {
+        ExecConfig { dop: dop.max(1) }
+    }
+
+    /// True when this config requests multi-threaded execution.
+    #[must_use]
+    pub fn is_parallel(&self) -> bool {
+        self.dop > 1
+    }
+}
+
+/// Run `tasks` independent work units on up to `dop` scoped workers and
+/// return their results **in task order**. Workers pull task indices from
+/// a shared atomic counter (morsel dispatch), so uneven units balance
+/// automatically. With `dop <= 1` or a single task, everything runs
+/// inline on the calling thread.
+fn run_tasks<T, F>(tasks: usize, dop: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = dop.min(tasks);
+    if workers <= 1 {
+        return (0..tasks).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(tasks));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, AtomicOrdering::Relaxed);
+                if i >= tasks {
+                    break;
+                }
+                let result = f(i);
+                slots.lock().expect("worker panicked").push((i, result));
+            });
+        }
+    });
+    let mut collected = slots.into_inner().expect("worker panicked");
+    collected.sort_unstable_by_key(|(i, _)| *i);
+    collected.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Split `len` items into at most `dop` contiguous ranges of near-equal
+/// size, in order. Returns an empty list for an empty input.
+fn chunk_ranges(len: usize, dop: usize) -> Vec<std::ops::Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let chunks = dop.max(1).min(len);
+    let base = len / chunks;
+    let extra = len % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for c in 0..chunks {
+        let size = base + usize::from(c < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// Fan chunked work over the pool and merge per-chunk `TempList`s (plus
+/// per-chunk stats) in chunk order.
+fn run_chunks<F>(
+    arity: usize,
+    len: usize,
+    dop: usize,
+    f: F,
+) -> Result<(TempList, Snapshot), ExecError>
+where
+    F: Fn(std::ops::Range<usize>) -> Result<(TempList, Snapshot), ExecError> + Sync,
+{
+    let ranges = chunk_ranges(len, dop);
+    let results = run_tasks(ranges.len(), dop, |c| f(ranges[c].clone()));
+    let mut lists = Vec::with_capacity(results.len());
+    let mut stats = Snapshot::default();
+    for r in results {
+        let (list, s) = r?;
+        stats = stats.plus(&s);
+        lists.push(list);
+    }
+    Ok((TempList::merged(arity, lists)?, stats))
+}
+
+/// Parallel selection scan: one work unit per partition of `rel`, each
+/// unit walking its partition's live slots in slot order; per-partition
+/// results merge in partition order. Output is identical to
+/// [`select_scan`] over [`Relation::tids`].
+pub fn parallel_select_scan(
+    rel: &Relation,
+    attr: usize,
+    pred: &Predicate,
+    cfg: ExecConfig,
+) -> Result<TempList, ExecError> {
+    if !cfg.is_parallel() {
+        let tids: Vec<TupleId> = rel.iter_tids().collect();
+        return select_scan(rel, attr, &tids, pred);
+    }
+    let parts = rel.partition_count();
+    let scan_one = |p: usize| -> Result<TempList, ExecError> {
+        let mut hits = Vec::new();
+        for tid in rel.tids_in_partition(p as u32)? {
+            let v = rel.field(tid, attr)?;
+            if pred.matches(&v) {
+                hits.push(tid);
+            }
+        }
+        Ok(TempList::from_tids(hits))
+    };
+    let results = run_tasks(parts, cfg.dop, scan_one);
+    let mut lists = Vec::with_capacity(parts);
+    for r in results {
+        lists.push(r?);
+    }
+    Ok(TempList::merged(1, lists)?)
+}
+
+/// Read-only chained-bucket probe table, shareable across worker threads.
+///
+/// [`mmdb_index::ChainedBucketHash`] keeps interior-mutable counters
+/// (`Cell`), so it is not `Sync`; this table replicates its *observable*
+/// semantics for probing — prepend-on-insert chains walked head-first, so
+/// per-key matches come back in reverse insertion order — with plain
+/// owned arrays.
+struct ProbeTable<'a> {
+    inner: JoinSide<'a>,
+    heads: Vec<u32>,
+    next: Vec<u32>,
+    mask: u64,
+    build_stats: Snapshot,
+}
+
+const NIL: u32 = u32::MAX;
+
+impl<'a> ProbeTable<'a> {
+    /// Build on the inner side, inserting `inner.tids` in order exactly
+    /// like the serial [`hash_join`] build loop.
+    fn build(inner: JoinSide<'a>) -> Result<Self, ExecError> {
+        let table_size = inner.len().max(8).next_power_of_two();
+        let mask = (table_size - 1) as u64;
+        let mut heads = vec![NIL; table_size];
+        let mut next = vec![NIL; inner.len()];
+        let counters = Counters::default();
+        for (node, &it) in inner.tids.iter().enumerate() {
+            let v = inner.value(it)?;
+            counters.hash_calls(1);
+            let bucket = (value_hash(&v) & mask) as usize;
+            next[node] = heads[bucket];
+            heads[bucket] = node as u32;
+        }
+        Ok(ProbeTable {
+            inner,
+            heads,
+            next,
+            mask,
+            build_stats: counters.snapshot(),
+        })
+    }
+
+    /// Append all inner matches for `key` to `out` (reverse insertion
+    /// order, matching `ChainedBucketHash::search_all`).
+    fn probe_into(
+        &self,
+        ot: TupleId,
+        key: &KeyValue,
+        out: &mut TempList,
+        counters: &Counters,
+    ) -> Result<(), ExecError> {
+        counters.hash_calls(1);
+        let bucket = (key.hash() & self.mask) as usize;
+        let mut node = self.heads[bucket];
+        while node != NIL {
+            counters.node_visits(1);
+            let it = self.inner.tids[node as usize];
+            let iv = self.inner.value(it)?;
+            counters.comparisons(1);
+            if key.cmp_value(&iv) == std::cmp::Ordering::Equal {
+                out.push_pair(ot, it)?;
+            }
+            node = self.next[node as usize];
+        }
+        Ok(())
+    }
+}
+
+/// Parallel hash join: build the chained-bucket table on the inner side
+/// once (serially, in serial insertion order), then probe contiguous
+/// chunks of the outer side concurrently. Pair output is identical to
+/// [`hash_join`]: outer order, with per-key matches in reverse insertion
+/// order.
+pub fn parallel_hash_join(
+    outer: JoinSide<'_>,
+    inner: JoinSide<'_>,
+    cfg: ExecConfig,
+) -> Result<JoinOutput, ExecError> {
+    if !cfg.is_parallel() {
+        return hash_join(outer, inner);
+    }
+    let table = ProbeTable::build(inner)?;
+    let (pairs, probe_stats) = run_chunks(2, outer.len(), cfg.dop, |range| {
+        let counters = Counters::default();
+        let mut out = TempList::new(2);
+        for &ot in &outer.tids[range] {
+            let ov = outer.value(ot)?;
+            if let Some(key) = crate::join::probe_key(&ov) {
+                table.probe_into(ot, &key, &mut out, &counters)?;
+            }
+        }
+        Ok((out, counters.snapshot()))
+    })?;
+    Ok(JoinOutput {
+        pairs,
+        stats: table.build_stats.plus(&probe_stats),
+    })
+}
+
+/// Parallel theta (nested-loops) join: the fallback for non-equi
+/// predicates. Contiguous chunks of the outer side each scan the full
+/// inner side; chunk results merge in order, so output is identical to
+/// [`theta_nested_loops_join`].
+pub fn parallel_theta_join(
+    outer: JoinSide<'_>,
+    inner: JoinSide<'_>,
+    op: ThetaOp,
+    cfg: ExecConfig,
+) -> Result<JoinOutput, ExecError> {
+    if !cfg.is_parallel() {
+        return theta_nested_loops_join(outer, inner, op);
+    }
+    let (pairs, stats) = run_chunks(2, outer.len(), cfg.dop, |range| {
+        let counters = Counters::default();
+        let mut out = TempList::new(2);
+        for &ot in &outer.tids[range] {
+            let ov = outer.value(ot)?;
+            for &it in inner.tids {
+                let iv = inner.value(it)?;
+                counters.comparisons(1);
+                if op.matches(ov.total_cmp(&iv)) {
+                    out.push_pair(ot, it)?;
+                }
+            }
+        }
+        Ok((out, counters.snapshot()))
+    })?;
+    Ok(JoinOutput { pairs, stats })
+}
+
+/// Parallel equijoin by nested loops (see [`parallel_theta_join`]).
+pub fn parallel_nested_loops_join(
+    outer: JoinSide<'_>,
+    inner: JoinSide<'_>,
+    cfg: ExecConfig,
+) -> Result<JoinOutput, ExecError> {
+    parallel_theta_join(outer, inner, ThetaOp::Eq, cfg)
+}
+
+/// Survivors of one chunk's local dedup: global row indices, in order.
+struct ChunkSurvivors {
+    rows: Vec<u32>,
+    stats: Snapshot,
+}
+
+/// Parallel duplicate elimination: each worker hash-dedups one contiguous
+/// chunk of rows locally (first occurrence kept, like the serial \[DKO84\]
+/// table), then a single-threaded merge re-dedups the survivors in chunk
+/// order. First-occurrence-in-input-order semantics — and therefore the
+/// exact output rows and order of [`project_hash`] — are preserved.
+pub fn parallel_project_hash(
+    list: &TempList,
+    desc: &ResultDescriptor,
+    sources: &[&Relation],
+    cfg: ExecConfig,
+) -> Result<ProjectOutput, ExecError> {
+    if !cfg.is_parallel() {
+        return project_hash(list, desc, sources);
+    }
+    let n = list.len();
+    let ranges = chunk_ranges(n, cfg.dop);
+    let dedup_chunk = |c: usize| -> Result<ChunkSurvivors, ExecError> {
+        let range = ranges[c].clone();
+        let counters = Counters::default();
+        let table_size = (range.len() / 2).max(8).next_power_of_two();
+        let mask = (table_size - 1) as u64;
+        let mut heads = vec![NIL; table_size];
+        let mut next: Vec<u32> = Vec::new();
+        let mut kept: Vec<u32> = Vec::new();
+        'rows: for i in range {
+            let vals = row_values(list, i, desc, sources)?;
+            let bucket = (hash_row(&vals, &counters) & mask) as usize;
+            let mut cur = heads[bucket];
+            while cur != NIL {
+                counters.node_visits(1);
+                let j = kept[cur as usize] as usize;
+                let other = row_values(list, j, desc, sources)?;
+                if rows_equal(&vals, &other, &counters) {
+                    continue 'rows;
+                }
+                cur = next[cur as usize];
+            }
+            let id = kept.len() as u32;
+            kept.push(i as u32);
+            next.push(heads[bucket]);
+            heads[bucket] = id;
+        }
+        Ok(ChunkSurvivors {
+            rows: kept,
+            stats: counters.snapshot(),
+        })
+    };
+    let chunk_results = run_tasks(ranges.len(), cfg.dop, dedup_chunk);
+
+    // Single-threaded merge: walk survivors in chunk order and re-dedup
+    // across chunks with the same hash table shape as the serial pass.
+    let counters = Counters::default();
+    let mut stats = Snapshot::default();
+    let mut survivors: Vec<u32> = Vec::new();
+    for r in chunk_results {
+        let chunk = r?;
+        stats = stats.plus(&chunk.stats);
+        survivors.extend(chunk.rows);
+    }
+    let table_size = (survivors.len() / 2).max(8).next_power_of_two();
+    let mask = (table_size - 1) as u64;
+    let mut heads = vec![NIL; table_size];
+    let mut next: Vec<u32> = Vec::new();
+    let mut kept: Vec<u32> = Vec::new();
+    let mut out = TempList::with_capacity(list.arity(), survivors.len().min(1024));
+    'survivors: for &i in &survivors {
+        let vals = row_values(list, i as usize, desc, sources)?;
+        let bucket = (hash_row(&vals, &counters) & mask) as usize;
+        let mut cur = heads[bucket];
+        while cur != NIL {
+            counters.node_visits(1);
+            let j = kept[cur as usize] as usize;
+            let other = row_values(list, j, desc, sources)?;
+            if rows_equal(&vals, &other, &counters) {
+                continue 'survivors;
+            }
+            cur = next[cur as usize];
+        }
+        let id = kept.len() as u32;
+        kept.push(i);
+        next.push(heads[bucket]);
+        heads[bucket] = id;
+        out.push(list.row(i as usize))?;
+    }
+    Ok(ProjectOutput {
+        rows: out,
+        stats: stats.plus(&counters.snapshot()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join::fixtures::{expected_pairs, normalize, random_values, rel_with_values};
+    use crate::project::project_hash;
+    use mmdb_storage::{AttrType, OutputField, OwnedValue, PartitionConfig, Schema, StorageError};
+
+    fn many_partition_rel(values: &[i64]) -> (Relation, Vec<TupleId>) {
+        let schema = Schema::of(&[("pk", AttrType::Int), ("jcol", AttrType::Int)]);
+        let mut rel = Relation::new("r", schema, PartitionConfig::tiny());
+        let tids = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                rel.insert(&[OwnedValue::Int(i as i64), OwnedValue::Int(*v)])
+                    .unwrap()
+            })
+            .collect();
+        (rel, tids)
+    }
+
+    #[test]
+    fn chunk_ranges_cover_and_order() {
+        assert!(chunk_ranges(0, 4).is_empty());
+        for (len, dop) in [(1, 4), (7, 3), (100, 8), (5, 1), (8, 8), (3, 16)] {
+            let ranges = chunk_ranges(len, dop);
+            assert!(ranges.len() <= dop.max(1));
+            let flat: Vec<usize> = ranges.iter().cloned().flatten().collect();
+            assert_eq!(flat, (0..len).collect::<Vec<_>>(), "len={len} dop={dop}");
+        }
+    }
+
+    #[test]
+    fn run_tasks_returns_in_task_order() {
+        let results = run_tasks(64, 8, |i| i * 3);
+        assert_eq!(results, (0..64).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn default_config_uses_available_parallelism() {
+        assert!(ExecConfig::default().dop >= 1);
+        assert!(!ExecConfig::serial().is_parallel());
+        assert_eq!(ExecConfig::with_dop(0).dop, 1);
+    }
+
+    #[test]
+    fn parallel_scan_identical_to_serial() {
+        let values: Vec<i64> = (0..3000).map(|i| (i * 37) % 100).collect();
+        let (rel, _) = many_partition_rel(&values);
+        assert!(rel.partition_count() > 4, "want many partitions");
+        let tids = rel.tids();
+        let pred = Predicate::between(KeyValue::Int(10), KeyValue::Int(40));
+        let serial = select_scan(&rel, 1, &tids, &pred).unwrap();
+        for dop in [1, 2, 4, 8] {
+            let par = parallel_select_scan(&rel, 1, &pred, ExecConfig::with_dop(dop)).unwrap();
+            assert_eq!(par, serial, "dop={dop}");
+        }
+    }
+
+    #[test]
+    fn parallel_scan_propagates_field_errors() {
+        let (rel, _) = many_partition_rel(&(0..100).collect::<Vec<i64>>());
+        let err = parallel_select_scan(
+            &rel,
+            9, // no such attribute
+            &Predicate::Eq(KeyValue::Int(0)),
+            ExecConfig::with_dop(4),
+        );
+        assert!(matches!(
+            err,
+            Err(ExecError::Storage(StorageError::NoSuchAttribute(_)))
+        ));
+    }
+
+    #[test]
+    fn parallel_hash_join_identical_to_serial() {
+        let ov = random_values(700, 90, 21);
+        let iv = random_values(500, 90, 22);
+        let (orel, otids) = rel_with_values("o", &ov);
+        let (irel, itids) = rel_with_values("i", &iv);
+        let o = JoinSide::new(&orel, 1, &otids);
+        let i = JoinSide::new(&irel, 1, &itids);
+        let serial = hash_join(o, i).unwrap();
+        assert_eq!(
+            normalize(&serial.pairs, &orel, &irel),
+            expected_pairs(&ov, &iv)
+        );
+        for dop in [1, 2, 4, 8] {
+            let par = parallel_hash_join(o, i, ExecConfig::with_dop(dop)).unwrap();
+            assert_eq!(par.pairs, serial.pairs, "dop={dop}");
+        }
+    }
+
+    #[test]
+    fn parallel_hash_join_empty_sides() {
+        let (rel, tids) = rel_with_values("r", &[1, 2, 3]);
+        let empty: Vec<TupleId> = vec![];
+        let cfg = ExecConfig::with_dop(4);
+        assert!(parallel_hash_join(
+            JoinSide::new(&rel, 1, &empty),
+            JoinSide::new(&rel, 1, &tids),
+            cfg
+        )
+        .unwrap()
+        .is_empty());
+        assert!(parallel_hash_join(
+            JoinSide::new(&rel, 1, &tids),
+            JoinSide::new(&rel, 1, &empty),
+            cfg
+        )
+        .unwrap()
+        .is_empty());
+    }
+
+    #[test]
+    fn parallel_theta_join_identical_to_serial() {
+        let ov = random_values(120, 25, 31);
+        let iv = random_values(90, 25, 32);
+        let (orel, otids) = rel_with_values("o", &ov);
+        let (irel, itids) = rel_with_values("i", &iv);
+        let o = JoinSide::new(&orel, 1, &otids);
+        let i = JoinSide::new(&irel, 1, &itids);
+        for op in [
+            ThetaOp::Eq,
+            ThetaOp::Ne,
+            ThetaOp::Lt,
+            ThetaOp::Le,
+            ThetaOp::Gt,
+            ThetaOp::Ge,
+        ] {
+            let serial = theta_nested_loops_join(o, i, op).unwrap();
+            for dop in [2, 4, 8] {
+                let par = parallel_theta_join(o, i, op, ExecConfig::with_dop(dop)).unwrap();
+                assert_eq!(par.pairs, serial.pairs, "op={op:?} dop={dop}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_dedup_identical_to_serial() {
+        let values: Vec<i64> = (0..2500).map(|i| (i * 13) % 200).collect();
+        let (rel, tids) = many_partition_rel(&values);
+        let list = TempList::from_tids(tids);
+        let desc = ResultDescriptor::new(vec![OutputField::new(0, 1, "jcol")]);
+        let serial = project_hash(&list, &desc, &[&rel]).unwrap();
+        assert_eq!(serial.rows.len(), 200);
+        for dop in [1, 2, 4, 8] {
+            let par =
+                parallel_project_hash(&list, &desc, &[&rel], ExecConfig::with_dop(dop)).unwrap();
+            assert_eq!(par.rows, serial.rows, "dop={dop}");
+        }
+    }
+
+    #[test]
+    fn parallel_dedup_empty_input() {
+        let (rel, _) = many_partition_rel(&[]);
+        let list = TempList::new(1);
+        let desc = ResultDescriptor::new(vec![OutputField::new(0, 1, "jcol")]);
+        let out = parallel_project_hash(&list, &desc, &[&rel], ExecConfig::with_dop(8)).unwrap();
+        assert!(out.rows.is_empty());
+    }
+}

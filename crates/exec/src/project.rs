@@ -29,7 +29,7 @@ pub struct ProjectOutput {
 }
 
 /// Materialize the projected field values of row `i` (borrowed).
-fn row_values<'a>(
+pub(crate) fn row_values<'a>(
     list: &TempList,
     i: usize,
     desc: &ResultDescriptor,
@@ -38,7 +38,7 @@ fn row_values<'a>(
     Ok(list.materialize_row(i, desc, sources)?)
 }
 
-fn rows_equal(a: &[Value<'_>], b: &[Value<'_>], counters: &Counters) -> bool {
+pub(crate) fn rows_equal(a: &[Value<'_>], b: &[Value<'_>], counters: &Counters) -> bool {
     for (x, y) in a.iter().zip(b) {
         counters.comparisons(1);
         if x.total_cmp(y) != Ordering::Equal {
@@ -59,7 +59,7 @@ fn rows_cmp(a: &[Value<'_>], b: &[Value<'_>], counters: &Counters) -> Ordering {
     Ordering::Equal
 }
 
-fn hash_row(vals: &[Value<'_>], counters: &Counters) -> u64 {
+pub(crate) fn hash_row(vals: &[Value<'_>], counters: &Counters) -> u64 {
     counters.hash_calls(1);
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for v in vals {
@@ -176,9 +176,7 @@ pub fn project_sort(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mmdb_storage::{
-        AttrType, OutputField, OwnedValue, PartitionConfig, Schema, TupleId,
-    };
+    use mmdb_storage::{AttrType, OutputField, OwnedValue, PartitionConfig, Schema, TupleId};
 
     fn single_col(values: &[i64]) -> (Relation, TempList) {
         let mut r = Relation::new(
@@ -249,8 +247,14 @@ mod tests {
     #[test]
     fn empty_input() {
         let (rel, list) = single_col(&[]);
-        assert!(project_hash(&list, &desc1(), &[&rel]).unwrap().rows.is_empty());
-        assert!(project_sort(&list, &desc1(), &[&rel]).unwrap().rows.is_empty());
+        assert!(project_hash(&list, &desc1(), &[&rel])
+            .unwrap()
+            .rows
+            .is_empty());
+        assert!(project_sort(&list, &desc1(), &[&rel])
+            .unwrap()
+            .rows
+            .is_empty());
     }
 
     #[test]

@@ -138,9 +138,7 @@ where
 mod tests {
     use super::*;
     use mmdb_index::{ChainedBucketHash, TTree, TTreeConfig};
-    use mmdb_storage::{
-        AttrAdapter, AttrType, OwnedValue, PartitionConfig, Schema, Value,
-    };
+    use mmdb_storage::{AttrAdapter, AttrType, OwnedValue, PartitionConfig, Schema, Value};
 
     fn ages_relation() -> (Relation, Vec<TupleId>) {
         let mut r = Relation::new(

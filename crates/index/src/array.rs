@@ -363,6 +363,9 @@ mod tests {
         let idx = ArrayIndex::build_from(DupAdapter, &entries);
         let bytes = idx.storage_bytes();
         let payload = 10_000 * std::mem::size_of::<u64>();
-        assert!(bytes < payload * 2, "array overhead should be small: {bytes}");
+        assert!(
+            bytes < payload * 2,
+            "array overhead should be small: {bytes}"
+        );
     }
 }

@@ -85,7 +85,9 @@ impl<A: Adapter> AvlTree<A> {
     }
 
     fn update_height(&mut self, id: u32) {
-        let h = 1 + self.height(self.node(id).left).max(self.height(self.node(id).right));
+        let h = 1 + self
+            .height(self.node(id).left)
+            .max(self.height(self.node(id).right));
         self.node_mut(id).height = h;
     }
 
@@ -240,8 +242,7 @@ impl<A: Adapter> AvlTree<A> {
         loop {
             self.stats.node_visits(1);
             self.stats.comparisons(1);
-            let go_left =
-                self.adapter.cmp_entries(&entry, &self.node(cur).entry) == Ordering::Less;
+            let go_left = self.adapter.cmp_entries(&entry, &self.node(cur).entry) == Ordering::Less;
             let next = if go_left {
                 self.node(cur).left
             } else {
@@ -533,7 +534,11 @@ mod tests {
         t.validate().unwrap();
         assert_eq!(t.len(), 1000);
         // Height of an AVL with 1000 nodes is at most 1.44 log2(1001) ≈ 14.
-        assert!(t.node(t.root).height <= 15, "height {}", t.node(t.root).height);
+        assert!(
+            t.node(t.root).height <= 15,
+            "height {}",
+            t.node(t.root).height
+        );
         for k in 0..1000u64 {
             assert_eq!(t.search(&k), Some(k), "key {k}");
         }
@@ -664,7 +669,10 @@ mod tests {
         let per_search = t.stats().comparisons as f64 / 300.0;
         // log2(30000) ≈ 14.9; AVL worst case 1.44×.
         assert!(per_search < 25.0, "per-search comparisons {per_search}");
-        assert!(per_search > 8.0, "suspiciously few comparisons {per_search}");
+        assert!(
+            per_search > 8.0,
+            "suspiciously few comparisons {per_search}"
+        );
     }
 
     #[cfg(feature = "stats")]

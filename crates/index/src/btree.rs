@@ -151,8 +151,7 @@ impl<A: Adapter> BTree<A> {
         } else {
             n.children.split_off(mid + 1)
         };
-        self.stats
-            .data_moves(right_items.len() as u64 + 1);
+        self.stats.data_moves(right_items.len() as u64 + 1);
         let right = self.alloc(right_items, right_children);
         (median, right)
     }
@@ -212,7 +211,8 @@ impl<A: Adapter> BTree<A> {
     /// subtree.
     fn remove_at(&mut self, id: u32, pos: usize) -> A::Entry {
         if self.node(id).is_leaf() {
-            self.stats.data_moves((self.node(id).items.len() - pos) as u64);
+            self.stats
+                .data_moves((self.node(id).items.len() - pos) as u64);
             self.node_mut(id).items.remove(pos)
         } else {
             let child = self.node(id).children[pos];
@@ -276,7 +276,9 @@ impl<A: Adapter> BTree<A> {
         ln.items.push(sep);
         self.stats.data_moves(1 + right_node_items.len() as u64);
         self.node_mut(left).items.append(&mut right_node_items);
-        self.node_mut(left).children.append(&mut right_node_children);
+        self.node_mut(left)
+            .children
+            .append(&mut right_node_children);
         self.free.push(right);
     }
 
@@ -673,7 +675,8 @@ mod tests {
             for k in 0..2000u64 {
                 t.insert(k);
             }
-            t.validate().unwrap_or_else(|e| panic!("ns {node_size}: {e}"));
+            t.validate()
+                .unwrap_or_else(|e| panic!("ns {node_size}: {e}"));
             for k in 0..2000u64 {
                 assert_eq!(t.search(&k), Some(k));
             }
@@ -692,7 +695,8 @@ mod tests {
             for e in entries.iter().take(750) {
                 assert_eq!(t.delete(&(e >> 16)), Some(e >> 16), "ns {node_size}");
             }
-            t.validate().unwrap_or_else(|e| panic!("ns {node_size}: {e}"));
+            t.validate()
+                .unwrap_or_else(|e| panic!("ns {node_size}: {e}"));
             assert_eq!(t.len(), 750);
         }
     }
@@ -808,7 +812,10 @@ mod tests {
         // a single binary search of 30k (≈15) would not hold for B-trees;
         // the paper calls this "several binary searches".
         let cmp_per_search = s.comparisons as f64 / searches as f64;
-        assert!(cmp_per_search > 10.0 && cmp_per_search < 40.0, "cmp {cmp_per_search}");
+        assert!(
+            cmp_per_search > 10.0 && cmp_per_search < 40.0,
+            "cmp {cmp_per_search}"
+        );
     }
 
     #[test]

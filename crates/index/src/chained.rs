@@ -109,7 +109,9 @@ impl<A: HashAdapter> UnorderedIndex<A> for ChainedBucketHash<A> {
         while cur != NIL {
             self.stats.node_visits(1);
             self.stats.comparisons(1);
-            if self.adapter.cmp_entries(&self.nodes[cur as usize].entry, &entry)
+            if self
+                .adapter
+                .cmp_entries(&self.nodes[cur as usize].entry, &entry)
                 == Ordering::Equal
             {
                 return Err(IndexError::DuplicateKey);
@@ -131,7 +133,9 @@ impl<A: HashAdapter> UnorderedIndex<A> for ChainedBucketHash<A> {
         while cur != NIL {
             self.stats.node_visits(1);
             self.stats.comparisons(1);
-            if self.adapter.cmp_entry_key(&self.nodes[cur as usize].entry, key)
+            if self
+                .adapter
+                .cmp_entry_key(&self.nodes[cur as usize].entry, key)
                 == Ordering::Equal
             {
                 let next = self.nodes[cur as usize].next;
@@ -362,7 +366,10 @@ mod tests {
         }
         let s = h.stats();
         let per = s.comparisons as f64 / 300.0;
-        assert!(per < 3.0, "chained-bucket search should be ~O(1), got {per}");
+        assert!(
+            per < 3.0,
+            "chained-bucket search should be ~O(1), got {per}"
+        );
         assert_eq!(s.hash_calls, 300);
     }
 

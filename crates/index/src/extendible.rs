@@ -434,7 +434,10 @@ mod tests {
     fn insert_unique() {
         let mut h = ExtendibleHash::new(DupAdapter, 4);
         h.insert_unique((7 << 16) | 1).unwrap();
-        assert_eq!(h.insert_unique((7 << 16) | 9), Err(IndexError::DuplicateKey));
+        assert_eq!(
+            h.insert_unique((7 << 16) | 9),
+            Err(IndexError::DuplicateKey)
+        );
     }
 
     #[test]

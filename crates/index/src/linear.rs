@@ -59,7 +59,9 @@ impl<A: HashAdapter> LinearHash<A> {
         let bucket_capacity = bucket_capacity.max(1);
         LinearHash {
             adapter,
-            buckets: (0..INITIAL_BUCKETS).map(|_| Bucket { items: Vec::new() }).collect(),
+            buckets: (0..INITIAL_BUCKETS)
+                .map(|_| Bucket { items: Vec::new() })
+                .collect(),
             level: 0,
             split: 0,
             bucket_capacity,
@@ -380,7 +382,11 @@ mod tests {
             assert_eq!(h.delete(&k), Some(k));
         }
         h.validate().unwrap();
-        assert!(h.bucket_count() < grown / 2, "should contract: {} vs {grown}", h.bucket_count());
+        assert!(
+            h.bucket_count() < grown / 2,
+            "should contract: {} vs {grown}",
+            h.bucket_count()
+        );
         for k in 4500..5000u64 {
             assert_eq!(h.search(&k), Some(k));
         }
@@ -447,6 +453,9 @@ mod tests {
     fn insert_unique() {
         let mut h = LinearHash::new(DupAdapter, 4);
         h.insert_unique((9 << 16) | 1).unwrap();
-        assert_eq!(h.insert_unique((9 << 16) | 2), Err(IndexError::DuplicateKey));
+        assert_eq!(
+            h.insert_unique((9 << 16) | 2),
+            Err(IndexError::DuplicateKey)
+        );
     }
 }

@@ -20,7 +20,11 @@ pub const INSERTION_CUTOFF: usize = 10;
 /// Sort `data` in place with `cmp`, using the paper's hybrid
 /// quicksort/insertion-sort with the default cutoff of
 /// [`INSERTION_CUTOFF`].
-pub fn quicksort<T: Copy>(data: &mut [T], stats: &Counters, mut cmp: impl FnMut(&T, &T) -> Ordering) {
+pub fn quicksort<T: Copy>(
+    data: &mut [T],
+    stats: &Counters,
+    mut cmp: impl FnMut(&T, &T) -> Ordering,
+) {
     quicksort_with_cutoff(data, INSERTION_CUTOFF, stats, &mut cmp);
 }
 

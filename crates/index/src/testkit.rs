@@ -170,8 +170,13 @@ fn assert_sorted_by_key<A: Adapter<Entry = u64, Key = u64>>(adapter: &A, v: &[u6
 
 /// Drive an ordered index and the model through `steps` randomized
 /// operations, cross-checking everything after every `check_every` steps.
-pub fn ordered_differential<A, I>(adapter: A, index: &mut I, seed: u64, steps: usize, key_space: u64)
-where
+pub fn ordered_differential<A, I>(
+    adapter: A,
+    index: &mut I,
+    seed: u64,
+    steps: usize,
+    key_space: u64,
+) where
     A: Adapter<Entry = u64, Key = u64> + Copy,
     I: OrderedIndex<A> + ?Sized,
 {
@@ -191,10 +196,16 @@ where
             let expect_dup = model.contains_key(k);
             match index.insert_unique(e) {
                 Ok(()) => {
-                    assert!(!expect_dup, "step {step}: insert_unique accepted duplicate {k}");
+                    assert!(
+                        !expect_dup,
+                        "step {step}: insert_unique accepted duplicate {k}"
+                    );
                     model.insert(e);
                 }
-                Err(_) => assert!(expect_dup, "step {step}: insert_unique rejected fresh key {k}"),
+                Err(_) => assert!(
+                    expect_dup,
+                    "step {step}: insert_unique rejected fresh key {k}"
+                ),
             }
         } else if roll < 65 {
             // Delete by key.
@@ -207,7 +218,10 @@ where
                         Ordering::Equal,
                         "step {step}: delete returned wrong-key entry"
                     );
-                    assert!(model.delete_entry(e), "step {step}: delete invented entry {e}");
+                    assert!(
+                        model.delete_entry(e),
+                        "step {step}: delete invented entry {e}"
+                    );
                 }
                 None => assert!(
                     !model.contains_key(k),

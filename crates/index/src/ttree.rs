@@ -178,7 +178,9 @@ impl<A: Adapter> TTree<A> {
     }
 
     fn update_height(&mut self, id: u32) {
-        let h = 1 + self.height(self.node(id).left).max(self.height(self.node(id).right));
+        let h = 1 + self
+            .height(self.node(id).left)
+            .max(self.height(self.node(id).right));
         self.node_mut(id).height = h;
     }
 
@@ -348,7 +350,9 @@ impl<A: Adapter> TTree<A> {
                 continue;
             }
             self.stats.comparisons(1);
-            if self.adapter.cmp_entries(entry, n.items.last().expect("non-empty"))
+            if self
+                .adapter
+                .cmp_entries(entry, n.items.last().expect("non-empty"))
                 == Ordering::Greater
             {
                 if n.right == NIL {
@@ -364,11 +368,7 @@ impl<A: Adapter> TTree<A> {
     /// Binary search within node `id` for the first position whose item
     /// compares ≥ using `cmp`; `cmp(item)` returns the ordering of `item`
     /// relative to the probe.
-    fn node_lower_bound_by(
-        &self,
-        id: u32,
-        mut cmp: impl FnMut(&A::Entry) -> Ordering,
-    ) -> usize {
+    fn node_lower_bound_by(&self, id: u32, mut cmp: impl FnMut(&A::Entry) -> Ordering) -> usize {
         let items = &self.node(id).items;
         let mut lo = 0usize;
         let mut hi = items.len();
@@ -390,10 +390,7 @@ impl<A: Adapter> TTree<A> {
         self.lower_bound_by(|e| self.adapter.cmp_entry_key(e, key))
     }
 
-    fn lower_bound_by(
-        &self,
-        cmp: impl Fn(&A::Entry) -> Ordering + Copy,
-    ) -> Option<(u32, usize)> {
+    fn lower_bound_by(&self, cmp: impl Fn(&A::Entry) -> Ordering + Copy) -> Option<(u32, usize)> {
         let mut cur = self.root;
         let mut best = None;
         while cur != NIL {
@@ -519,7 +516,10 @@ impl<A: Adapter> TTree<A> {
     fn remove_structural(&mut self, id: u32) {
         self.stats.restructures(1);
         let n = self.node(id);
-        debug_assert!(n.left == NIL || n.right == NIL, "structural removal needs ≤1 child");
+        debug_assert!(
+            n.left == NIL || n.right == NIL,
+            "structural removal needs ≤1 child"
+        );
         let child = if n.left != NIL { n.left } else { n.right };
         let parent = n.parent;
         self.replace_child(parent, id, child);
@@ -708,7 +708,9 @@ impl<A: Adapter> TTreeCursor<'_, A> {
     /// Move to the next entry in key order.
     pub fn advance(&mut self) {
         if let Some((node, idx)) = self.pos {
-            self.tree.stats.node_visits(u64::from(idx + 1 >= self.tree.node(node).items.len()));
+            self.tree
+                .stats
+                .node_visits(u64::from(idx + 1 >= self.tree.node(node).items.len()));
             self.pos = self.tree.advance(node, idx);
         }
     }
@@ -933,7 +935,10 @@ mod tests {
     use crate::testkit::{self, DupAdapter};
 
     fn nat(node_size: usize) -> TTree<NaturalAdapter<u64>> {
-        TTree::new(NaturalAdapter::new(), TTreeConfig::with_node_size(node_size))
+        TTree::new(
+            NaturalAdapter::new(),
+            TTreeConfig::with_node_size(node_size),
+        )
     }
 
     #[test]
@@ -1016,7 +1021,8 @@ mod tests {
         // Delete from internal nodes until structure must reshape.
         for k in 0..30u64 {
             assert_eq!(t.delete(&k), Some(k), "k={k}");
-            t.validate().unwrap_or_else(|e| panic!("after delete {k}: {e}"));
+            t.validate()
+                .unwrap_or_else(|e| panic!("after delete {k}: {e}"));
         }
         assert_eq!(t.len(), 10);
         let remaining: Vec<u64> = t.iter().collect();
@@ -1237,10 +1243,7 @@ mod cursor_tests {
 
     #[test]
     fn cursor_walks_and_rewinds() {
-        let mut t = TTree::new(
-            NaturalAdapter::<u64>::new(),
-            TTreeConfig::with_node_size(3),
-        );
+        let mut t = TTree::new(NaturalAdapter::<u64>::new(), TTreeConfig::with_node_size(3));
         for k in 0..50u64 {
             t.insert(k);
         }

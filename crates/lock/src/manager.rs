@@ -53,7 +53,10 @@ struct LockState {
 
 impl LockState {
     fn held_by(&self, txn: TxnId) -> Option<LockMode> {
-        self.holders.iter().find(|(t, _)| *t == txn).map(|(_, m)| *m)
+        self.holders
+            .iter()
+            .find(|(t, _)| *t == txn)
+            .map(|(_, m)| *m)
     }
 
     /// Can `txn` acquire `mode` right now?
@@ -162,26 +165,40 @@ impl LockManager {
         loop {
             let st = state_lock(&mut s, target);
             let front_is_me = st.queue.front().is_none_or(|r| r.txn == txn);
-            let can_grant =
-                st.grantable(txn, mode) && (front_is_me || is_upgrade);
+            let can_grant = st.grantable(txn, mode) && (front_is_me || is_upgrade);
             if can_grant {
                 // Grant (or upgrade in place).
                 st.holders.retain(|(t, _)| *t != txn);
                 st.holders.push((txn, mode));
                 st.queue.retain(|r| r.txn != txn);
-                if !s.held.get(&txn).map(|v| v.contains(&target)).unwrap_or(false) {
-                    s.held.get_mut(&txn).ok_or(LockError::UnknownTxn)?.push(target);
+                if !s
+                    .held
+                    .get(&txn)
+                    .map(|v| v.contains(&target))
+                    .unwrap_or(false)
+                {
+                    s.held
+                        .get_mut(&txn)
+                        .ok_or(LockError::UnknownTxn)?
+                        .push(target);
                 }
                 // Cascade: compatible requests behind this one (e.g. a run
                 // of shared locks) must re-evaluate now, not at release.
                 self.wakeup.notify_all();
                 return Ok(());
             }
-            // Must wait: enqueue (once) and check for deadlock.
-            if !state_lock(&mut s, target).queue.iter().any(|r| r.txn == txn) {
+            // Must wait: enqueue (once) and check for deadlock. The
+            // notify lets anyone watching queue occupancy (tests, and
+            // waiters whose deadlock picture just changed) re-evaluate.
+            if !state_lock(&mut s, target)
+                .queue
+                .iter()
+                .any(|r| r.txn == txn)
+            {
                 state_lock(&mut s, target)
                     .queue
                     .push_back(Request { txn, mode });
+                self.wakeup.notify_all();
             }
             if self.would_deadlock(&s, txn) {
                 state_lock(&mut s, target).queue.retain(|r| r.txn != txn);
@@ -217,8 +234,16 @@ impl LockManager {
         if st.grantable(txn, mode) && st.queue.is_empty() {
             st.holders.retain(|(t, _)| *t != txn);
             st.holders.push((txn, mode));
-            if !s.held.get(&txn).map(|v| v.contains(&target)).unwrap_or(false) {
-                s.held.get_mut(&txn).ok_or(LockError::UnknownTxn)?.push(target);
+            if !s
+                .held
+                .get(&txn)
+                .map(|v| v.contains(&target))
+                .unwrap_or(false)
+            {
+                s.held
+                    .get_mut(&txn)
+                    .ok_or(LockError::UnknownTxn)?
+                    .push(target);
             }
             Ok(true)
         } else {
@@ -243,6 +268,17 @@ impl LockManager {
             }
         }
         self.wakeup.notify_all();
+    }
+
+    /// Block until at least `n` requests are queued on `target` — the
+    /// event-driven replacement for sleep-based test synchronisation
+    /// (every enqueue notifies the condvar).
+    #[cfg(test)]
+    fn wait_until_queued(&self, target: LockTarget, n: usize) {
+        let mut s = self.state.lock();
+        while state_lock(&mut s, target).queue.len() < n {
+            self.wakeup.wait(&mut s);
+        }
     }
 
     /// Would `txn` (which has a queued request) be waiting on a cycle?
@@ -376,7 +412,7 @@ mod tests {
             m2.release_all(b);
             true
         });
-        std::thread::sleep(std::time::Duration::from_millis(50));
+        m.wait_until_queued(t(4), 1);
         m.release_all(a);
         assert!(h.join().unwrap());
     }
@@ -395,11 +431,10 @@ mod tests {
             let b = m.begin();
             handles.push(std::thread::spawn(move || {
                 m2.lock(b, t(30), LockMode::Exclusive).unwrap();
-                std::thread::sleep(std::time::Duration::from_millis(2));
                 m2.release_all(b);
             }));
         }
-        std::thread::sleep(std::time::Duration::from_millis(30));
+        m.wait_until_queued(t(30), 6);
         m.release_all(a);
         for h in handles {
             h.join().unwrap();
@@ -419,11 +454,10 @@ mod tests {
             let r = m.begin();
             handles.push(std::thread::spawn(move || {
                 m2.lock(r, t(31), LockMode::Shared).unwrap();
-                std::thread::sleep(std::time::Duration::from_millis(5));
                 m2.release_all(r);
             }));
         }
-        std::thread::sleep(std::time::Duration::from_millis(30));
+        m.wait_until_queued(t(31), 5);
         m.release_all(w);
         for h in handles {
             h.join().unwrap();
@@ -452,7 +486,7 @@ mod tests {
                 }
             }
         });
-        std::thread::sleep(std::time::Duration::from_millis(50));
+        m.wait_until_queued(t(10), 1);
         // a requests t(11) held by b → cycle; one side must see Deadlock.
         let r = m.lock(a, t(11), LockMode::Exclusive);
         m.release_all(a);
@@ -475,7 +509,7 @@ mod tests {
             m2.release_all(b);
             r
         });
-        std::thread::sleep(std::time::Duration::from_millis(50));
+        m.wait_until_queued(t(20), 1);
         let r = m.lock(a, t(20), LockMode::Exclusive);
         m.release_all(a);
         let rb = h.join().unwrap();
@@ -500,7 +534,8 @@ mod tests {
                     for round in 0..200 {
                         let txn = m.begin();
                         m.lock(txn, t(i), LockMode::Exclusive).unwrap();
-                        m.lock(txn, LockTarget::new(1, i), LockMode::Shared).unwrap();
+                        m.lock(txn, LockTarget::new(1, i), LockMode::Shared)
+                            .unwrap();
                         let _ = round;
                         m.release_all(txn);
                     }

@@ -53,6 +53,10 @@ mod tests {
                 buckets.insert(LockTarget::new(r, p).bucket(256));
             }
         }
-        assert!(buckets.len() > 32, "targets should spread: {}", buckets.len());
+        assert!(
+            buckets.len() > 32,
+            "targets should spread: {}",
+            buckets.len()
+        );
     }
 }

@@ -85,10 +85,7 @@ mod tests {
         assert_eq!(pulled, 50, "every committed record pulled");
         assert!(flushed >= 5, "all five partitions reached the disk copy");
         for p in 0..5u32 {
-            assert!(m
-                .recover_image(PartitionKey::new(0, p))
-                .unwrap()
-                .is_some());
+            assert!(m.recover_image(PartitionKey::new(0, p)).unwrap().is_some());
         }
     }
 
@@ -101,8 +98,8 @@ mod tests {
             m.log_update(1, PartitionKey::new(0, 0), vec![1]);
             m.commit(1);
         } // drop
-        // After drop the manager is free and the record propagated (the
-        // drop path runs a final cycle via the stop flag + join).
+          // After drop the manager is free and the record propagated (the
+          // drop path runs a final cycle via the stop flag + join).
         let m = mgr.lock();
         assert!(m.recover_image(PartitionKey::new(0, 0)).unwrap().is_some());
     }

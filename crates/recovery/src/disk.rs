@@ -110,10 +110,9 @@ impl FileDisk {
 impl StableStore for FileDisk {
     fn write(&mut self, key: PartitionKey, image: &[u8]) -> io::Result<()> {
         // Write-then-rename so a crash mid-write never corrupts an image.
-        let tmp = self.dir.join(format!(
-            ".r{}_p{}.tmp",
-            key.relation, key.partition
-        ));
+        let tmp = self
+            .dir
+            .join(format!(".r{}_p{}.tmp", key.relation, key.partition));
         std::fs::write(&tmp, image)?;
         std::fs::rename(&tmp, self.image_path(key))
     }
@@ -189,19 +188,13 @@ mod tests {
 
     #[test]
     fn file_disk_roundtrip() {
-        let dir = std::env::temp_dir().join(format!(
-            "mmqp-filedisk-test-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("mmqp-filedisk-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let mut d = FileDisk::open(&dir).unwrap();
         exercise(&mut d);
         // Re-open and verify persistence.
         let d2 = FileDisk::open(&dir).unwrap();
-        assert_eq!(
-            d2.read(PartitionKey::new(1, 0)).unwrap(),
-            Some(vec![9, 9])
-        );
+        assert_eq!(d2.read(PartitionKey::new(1, 0)).unwrap(), Some(vec![9, 9]));
         assert_eq!(d2.keys().unwrap().len(), 2);
         assert!(d2.read_meta("catalog").unwrap().is_some());
         std::fs::remove_dir_all(&dir).unwrap();

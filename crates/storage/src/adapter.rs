@@ -28,9 +28,7 @@ impl KeyValue {
         match (v, self) {
             (Value::Int(a), KeyValue::Int(b)) => a.cmp(b),
             (Value::Str(a), KeyValue::Str(b)) => (*a).cmp(b.as_str()),
-            (Value::Ptr(a), KeyValue::Ptr(b)) => {
-                a.unwrap_or_else(TupleId::null).cmp(b)
-            }
+            (Value::Ptr(a), KeyValue::Ptr(b)) => a.unwrap_or_else(TupleId::null).cmp(b),
             // Heterogeneous comparisons order by type tag; they only occur
             // on user error (probing an int index with a string).
             _ => rank_value(v).cmp(&rank_key(self)),

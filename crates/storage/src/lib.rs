@@ -39,7 +39,7 @@ pub mod value;
 pub use adapter::{value_hash, AttrAdapter, KeyValue, TempListAdapter};
 pub use error::StorageError;
 pub use partition::{Partition, PartitionConfig, SlotState};
-pub use relation::Relation;
+pub use relation::{PartitionView, Relation};
 pub use schema::{AttrType, Attribute, Schema};
 pub use templist::{OutputField, ResultDescriptor, TempList};
 pub use value::{OwnedValue, TupleId, Value};

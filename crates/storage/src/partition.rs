@@ -488,10 +488,7 @@ mod tests {
         assert_eq!(p.live(), 2);
         p.delete(a).unwrap();
         assert_eq!(p.live(), 1);
-        assert!(matches!(
-            p.read(a, 0, &s),
-            Err(StorageError::SlotEmpty(_))
-        ));
+        assert!(matches!(p.read(a, 0, &s), Err(StorageError::SlotEmpty(_))));
         let c = p.insert(&row("C", 3)).unwrap();
         assert_eq!(c, a, "freed slot must be reused");
     }
@@ -544,7 +541,10 @@ mod tests {
         p.forward(slot, target).unwrap();
         assert_eq!(p.slot_state(slot).unwrap(), SlotState::Forwarded);
         assert_eq!(p.forwarding_of(slot).unwrap(), target);
-        assert!(p.read(slot, 0, &s).is_err(), "forwarded slot is not readable");
+        assert!(
+            p.read(slot, 0, &s).is_err(),
+            "forwarded slot is not readable"
+        );
     }
 
     #[test]

@@ -141,7 +141,8 @@ impl Relation {
     /// Read one attribute. Follows forwarding.
     pub fn field(&self, tid: TupleId, attr: usize) -> Result<Value<'_>, StorageError> {
         let t = self.resolve(tid)?;
-        self.partition(t.partition)?.read(t.slot, attr, &self.schema)
+        self.partition(t.partition)?
+            .read(t.slot, attr, &self.schema)
     }
 
     /// Read one attribute by name.
@@ -175,8 +176,8 @@ impl Relation {
             }
             Err(StorageError::HeapExhausted) => {
                 // Relocate: read current row, apply the update, move it.
-                let mut row = self.partitions[t.partition as usize]
-                    .read_row(t.slot, &self.schema)?;
+                let mut row =
+                    self.partitions[t.partition as usize].read_row(t.slot, &self.schema)?;
                 row[attr] = value.clone();
                 let p = self.placement_for(&row);
                 if p == t.partition {
@@ -236,6 +237,43 @@ impl Relation {
         out
     }
 
+    /// All live tuple ids, lazily, in the same order as [`Relation::tids`]
+    /// (partition order, then slot order) but without the `O(|R|)`
+    /// temporary `Vec`. Scan paths that walk the ids exactly once should
+    /// prefer this.
+    pub fn iter_tids(&self) -> impl Iterator<Item = TupleId> + '_ {
+        self.partition_views().flat_map(|v| v.tids())
+    }
+
+    /// Live tuple ids of one partition, in slot order.
+    pub fn tids_in_partition(
+        &self,
+        p: u32,
+    ) -> Result<impl Iterator<Item = TupleId> + '_, StorageError> {
+        Ok(self.partition_view(p)?.tids())
+    }
+
+    /// Read-only view of one partition. Views borrow the relation
+    /// immutably, so they are `Sync`-shareable into scoped worker threads
+    /// for partition-parallel scans.
+    pub fn partition_view(&self, p: u32) -> Result<PartitionView<'_>, StorageError> {
+        Ok(PartitionView {
+            part: self.partition(p)?,
+            index: p,
+        })
+    }
+
+    /// Views of every partition, in partition order.
+    pub fn partition_views(&self) -> impl Iterator<Item = PartitionView<'_>> {
+        self.partitions
+            .iter()
+            .enumerate()
+            .map(|(pi, part)| PartitionView {
+                part,
+                index: pi as u32,
+            })
+    }
+
     /// Byte image of one partition (for the recovery subsystem).
     pub fn partition_image(&self, p: u32) -> Result<Vec<u8>, StorageError> {
         Ok(self.partition(p)?.to_bytes())
@@ -275,6 +313,51 @@ impl Relation {
         for d in &mut self.dirty {
             *d = false;
         }
+    }
+}
+
+/// Read-only handle on one partition of a [`Relation`].
+///
+/// The handle is `Copy` and borrows the relation immutably, so a parallel
+/// scan can hand one view per partition to scoped worker threads: the
+/// partition data is owned (`Vec<u8>` slots + heap), making `&Partition`
+/// — and therefore this view — `Send + Sync`.
+#[derive(Clone, Copy)]
+pub struct PartitionView<'a> {
+    part: &'a Partition,
+    index: u32,
+}
+
+impl std::fmt::Debug for PartitionView<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PartitionView")
+            .field("index", &self.index)
+            .field("live", &self.part.live())
+            .finish()
+    }
+}
+
+impl<'a> PartitionView<'a> {
+    /// Which partition this view covers.
+    #[must_use]
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+
+    /// Number of live tuples in the partition.
+    #[must_use]
+    pub fn live(&self) -> usize {
+        self.part.live()
+    }
+
+    /// Live tuple ids in slot order (the order [`Relation::tids`] emits
+    /// them within this partition). Takes the view by value (it is
+    /// `Copy`), so the iterator borrows only the relation, not the view.
+    pub fn tids(self) -> impl Iterator<Item = TupleId> + 'a {
+        let index = self.index;
+        self.part
+            .occupied_slots()
+            .map(move |slot| TupleId::new(index, slot))
     }
 }
 
@@ -331,11 +414,7 @@ mod tests {
             Err(StorageError::ArityMismatch { .. })
         ));
         assert!(matches!(
-            r.insert(&[
-                OwnedValue::Int(1),
-                OwnedValue::Int(2),
-                OwnedValue::Int(3)
-            ]),
+            r.insert(&[OwnedValue::Int(1), OwnedValue::Int(2), OwnedValue::Int(3)]),
             Err(StorageError::TypeMismatch { attr: 0, .. })
         ));
     }
@@ -347,7 +426,10 @@ mod tests {
         for i in 0..500 {
             tids.push(r.insert(&emp_row(&format!("e{i}"), i, i % 70)).unwrap());
         }
-        assert!(r.partition_count() > 1, "should overflow one tiny partition");
+        assert!(
+            r.partition_count() > 1,
+            "should overflow one tiny partition"
+        );
         assert_eq!(r.len(), 500);
         for (i, t) in tids.iter().enumerate() {
             assert_eq!(r.field(*t, 1).unwrap(), Value::Int(i as i64));
@@ -412,6 +494,42 @@ mod tests {
         assert!(r.dirty_partitions().is_empty());
         r.update_field(t, 2, &OwnedValue::Int(5)).unwrap();
         assert_eq!(r.dirty_partitions(), vec![0]);
+    }
+
+    #[test]
+    fn iter_tids_matches_tids_under_churn() {
+        let mut r = Relation::new("emp", emp_schema(), PartitionConfig::tiny());
+        let mut tids = Vec::new();
+        for i in 0..400 {
+            tids.push(r.insert(&emp_row(&format!("e{i}"), i, i % 70)).unwrap());
+        }
+        // Punch holes so slot order != insertion order everywhere.
+        for t in tids.iter().step_by(3) {
+            r.delete(*t).unwrap();
+        }
+        assert!(r.partition_count() > 1, "churn test needs many partitions");
+        assert_eq!(r.iter_tids().collect::<Vec<_>>(), r.tids());
+    }
+
+    #[test]
+    fn partition_views_cover_all_tids_in_order() {
+        let mut r = Relation::new("emp", emp_schema(), PartitionConfig::tiny());
+        for i in 0..300 {
+            r.insert(&emp_row(&format!("e{i}"), i, i)).unwrap();
+        }
+        let mut from_views = Vec::new();
+        let mut live_total = 0;
+        for (pi, v) in r.partition_views().enumerate() {
+            assert_eq!(v.index(), pi as u32);
+            live_total += v.live();
+            from_views.extend(v.tids());
+        }
+        assert_eq!(live_total, r.len());
+        assert_eq!(from_views, r.tids());
+        // Single-partition access agrees with the full enumeration.
+        let p0: Vec<_> = r.tids_in_partition(0).unwrap().collect();
+        assert!(from_views.starts_with(&p0));
+        assert!(r.partition_view(r.partition_count() as u32).is_err());
     }
 
     #[test]

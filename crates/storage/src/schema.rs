@@ -79,10 +79,7 @@ impl Schema {
     #[must_use]
     pub fn of(pairs: &[(&str, AttrType)]) -> Self {
         Schema {
-            attrs: pairs
-                .iter()
-                .map(|(n, t)| Attribute::new(n, *t))
-                .collect(),
+            attrs: pairs.iter().map(|(n, t)| Attribute::new(n, *t)).collect(),
         }
     }
 

@@ -145,6 +145,33 @@ impl TempList {
         self.push(&[a, b])
     }
 
+    /// Move every row of `other` onto the end of `self` (bulk `Vec`
+    /// extend — no per-row arity checks or pushes). This is the merge
+    /// primitive for partition-parallel operators: per-partition results
+    /// are appended in partition order to keep output deterministic.
+    pub fn append(&mut self, other: TempList) -> Result<(), StorageError> {
+        if other.arity != self.arity {
+            return Err(StorageError::ArityMismatch {
+                expected: self.arity,
+                found: other.arity,
+            });
+        }
+        let mut rows = other.rows;
+        self.rows.append(&mut rows);
+        Ok(())
+    }
+
+    /// Merge a sequence of same-arity lists into one, pre-sizing the
+    /// result to the exact total row count.
+    pub fn merged(arity: usize, parts: Vec<TempList>) -> Result<TempList, StorageError> {
+        let total: usize = parts.iter().map(TempList::len).sum();
+        let mut out = TempList::with_capacity(arity, total);
+        for part in parts {
+            out.append(part)?;
+        }
+        Ok(out)
+    }
+
     /// Row `i` as a slice of tuple ids.
     #[must_use]
     pub fn row(&self, i: usize) -> &[TupleId] {
@@ -254,13 +281,16 @@ mod tests {
     fn rows_and_columns() {
         let mut l = TempList::new(2);
         for i in 0..5u32 {
-            l.push_pair(TupleId::new(0, i), TupleId::new(1, i * 10)).unwrap();
+            l.push_pair(TupleId::new(0, i), TupleId::new(1, i * 10))
+                .unwrap();
         }
         assert_eq!(l.len(), 5);
         assert_eq!(l.row(2), &[TupleId::new(0, 2), TupleId::new(1, 20)]);
         assert_eq!(
             l.column(1),
-            (0..5u32).map(|i| TupleId::new(1, i * 10)).collect::<Vec<_>>()
+            (0..5u32)
+                .map(|i| TupleId::new(1, i * 10))
+                .collect::<Vec<_>>()
         );
         assert_eq!(l.iter().count(), 5);
     }
@@ -286,7 +316,10 @@ mod tests {
             OutputField::new(0, 2, "Emp Age"),
             OutputField::new(1, 0, "Dept Name"),
         ]);
-        assert_eq!(desc.column_names(), vec!["Emp Name", "Emp Age", "Dept Name"]);
+        assert_eq!(
+            desc.column_names(),
+            vec!["Emp Name", "Emp Age", "Dept Name"]
+        );
         let rows = result.materialize_all(&desc, &[&emp, &dept]).unwrap();
         assert_eq!(
             rows[0],
@@ -295,6 +328,46 @@ mod tests {
         assert_eq!(
             rows[1],
             vec![Value::Str("Cindy"), Value::Int(22), Value::Str("Shoe")]
+        );
+    }
+
+    #[test]
+    fn append_moves_rows_in_order() {
+        let mut a = TempList::new(2);
+        a.push_pair(TupleId::new(0, 0), TupleId::new(1, 0)).unwrap();
+        let mut b = TempList::new(2);
+        b.push_pair(TupleId::new(0, 1), TupleId::new(1, 1)).unwrap();
+        b.push_pair(TupleId::new(0, 2), TupleId::new(1, 2)).unwrap();
+        a.append(b).unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.row(0), &[TupleId::new(0, 0), TupleId::new(1, 0)]);
+        assert_eq!(a.row(2), &[TupleId::new(0, 2), TupleId::new(1, 2)]);
+    }
+
+    #[test]
+    fn append_rejects_arity_mismatch() {
+        let mut a = TempList::new(2);
+        let b = TempList::from_tids(vec![TupleId::new(0, 0)]);
+        assert!(a.append(b).is_err());
+    }
+
+    #[test]
+    fn merged_concatenates_parts_in_order() {
+        let parts: Vec<TempList> = (0u32..3)
+            .map(|p| TempList::from_tids(vec![TupleId::new(p, 0), TupleId::new(p, 1)]))
+            .collect();
+        let merged = TempList::merged(1, parts).unwrap();
+        assert_eq!(merged.len(), 6);
+        assert_eq!(
+            merged.column(0),
+            vec![
+                TupleId::new(0, 0),
+                TupleId::new(0, 1),
+                TupleId::new(1, 0),
+                TupleId::new(1, 1),
+                TupleId::new(2, 0),
+                TupleId::new(2, 1),
+            ]
         );
     }
 }

@@ -72,11 +72,7 @@ impl ValueSet {
         let u = spec.unique_count();
         let m = ((u as f64) * semijoin_pct / 100.0).round() as usize;
         let m = m.min(other.unique.len()).min(u);
-        let mut unique: Vec<i64> = other
-            .unique
-            .choose_multiple(&mut rng, m)
-            .copied()
-            .collect();
+        let mut unique: Vec<i64> = other.unique.choose_multiple(&mut rng, m).copied().collect();
         // Fresh values live in a disjoint (negative) key space so they can
         // never accidentally match.
         let fresh = fresh_values(&mut rng, u - m);
@@ -178,9 +174,7 @@ pub fn cumulative_duplicate_curve(values: &[i64], points: usize) -> Vec<(f64, f6
     for (i, c) in occ.iter().enumerate() {
         acc += c;
         // Emit `points` evenly spaced sample points.
-        while next_probe <= points
-            && (i + 1) * points >= next_probe * total_values
-        {
+        while next_probe <= points && (i + 1) * points >= next_probe * total_values {
             out.push((
                 100.0 * (i + 1) as f64 / total_values as f64,
                 100.0 * acc as f64 / total_tuples as f64,
@@ -261,18 +255,10 @@ mod tests {
         for sel in [0.0, 25.0, 100.0] {
             let small_spec = RelationSpec::unique(10_000, 6);
             let small = ValueSet::generate_matching(&small_spec, &big, sel);
-            let big_set: std::collections::HashSet<i64> =
-                big.unique.iter().copied().collect();
-            let matching = small
-                .unique
-                .iter()
-                .filter(|v| big_set.contains(v))
-                .count();
+            let big_set: std::collections::HashSet<i64> = big.unique.iter().copied().collect();
+            let matching = small.unique.iter().filter(|v| big_set.contains(v)).count();
             let got = 100.0 * matching as f64 / small.unique.len() as f64;
-            assert!(
-                (got - sel).abs() < 1.0,
-                "selectivity {sel}: got {got}"
-            );
+            assert!((got - sel).abs() < 1.0, "selectivity {sel}: got {got}");
         }
     }
 
@@ -284,7 +270,10 @@ mod tests {
             sigma: 0.4,
             seed: 77,
         };
-        assert_eq!(ValueSet::generate(&spec).values, ValueSet::generate(&spec).values);
+        assert_eq!(
+            ValueSet::generate(&spec).values,
+            ValueSet::generate(&spec).values
+        );
     }
 
     #[test]

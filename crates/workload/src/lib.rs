@@ -26,6 +26,6 @@ pub mod relations;
 pub use dist::TruncatedNormal;
 pub use gen::{cumulative_duplicate_curve, RelationSpec, ValueSet};
 pub use relations::{
-    build_correlated_relation, build_join_relation, build_matching_relation,
-    build_single_column, JoinRelation,
+    build_correlated_relation, build_join_relation, build_matching_relation, build_single_column,
+    JoinRelation,
 };

@@ -122,14 +122,8 @@ mod tests {
     #[test]
     fn matching_relation_overlaps() {
         let big = build_join_relation("r1", &RelationSpec::unique(2000, 1));
-        let small = build_matching_relation(
-            "r2",
-            &RelationSpec::unique(1000, 2),
-            &big,
-            50.0,
-        );
-        let big_vals: std::collections::HashSet<i64> =
-            big.values.unique.iter().copied().collect();
+        let small = build_matching_relation("r2", &RelationSpec::unique(1000, 2), &big, 50.0);
+        let big_vals: std::collections::HashSet<i64> = big.values.unique.iter().copied().collect();
         let matching = small
             .values
             .unique

@@ -34,7 +34,8 @@ fn main() {
     }
 
     // One uncommitted straggler that must not survive.
-    mgr.lock().log_update(999, PartitionKey::new(0, 0), b"uncommitted".to_vec());
+    mgr.lock()
+        .log_update(999, PartitionKey::new(0, 0), b"uncommitted".to_vec());
 
     // Crash. The thread keeps the stable components; the straggler dies.
     mgr.lock().crash_volatile();

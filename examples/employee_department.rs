@@ -42,7 +42,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Departments first; their TupleIds become the employees' FK values.
     let mut txn = db.begin();
-    for (name, id) in [("Toy", 459i64), ("Shoe", 409), ("Linen", 411), ("Paint", 455)] {
+    for (name, id) in [
+        ("Toy", 459i64),
+        ("Shoe", 409),
+        ("Linen", 411),
+        ("Paint", 455),
+    ] {
         db.insert(&mut txn, "department", vec![name.into(), id.into()])?;
     }
     let dept_tids = db.commit(txn)?;
@@ -68,7 +73,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         db.insert(
             &mut txn,
             "employee",
-            vec![name.into(), id.into(), age.into(), OwnedValue::Ptr(Some(dept))],
+            vec![
+                name.into(),
+                id.into(),
+                age.into(),
+                OwnedValue::Ptr(Some(dept)),
+            ],
         )?;
     }
     db.commit(txn)?;

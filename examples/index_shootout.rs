@@ -74,5 +74,7 @@ fn main() {
             bytes as f64 / payload
         );
     }
-    println!("\n(Node size {node_size}; the paper's Table 1 qualitative ratings should be visible.)");
+    println!(
+        "\n(Node size {node_size}; the paper's Table 1 qualitative ratings should be visible.)"
+    );
 }

@@ -57,8 +57,7 @@ fn main() {
                                 .select("acct", "owner", &Predicate::Eq(KeyValue::Int(owner)))
                                 .unwrap();
                             let tid = hit.column(0)[0];
-                            let bal = match db.fetch("acct", &[tid], &["balance"]).unwrap()[0][0]
-                            {
+                            let bal = match db.fetch("acct", &[tid], &["balance"]).unwrap()[0][0] {
                                 OwnedValue::Int(v) => v,
                                 _ => unreachable!(),
                             };
@@ -67,10 +66,22 @@ fn main() {
                         let (ftid, fbal) = get(db, from);
                         let (ttid, tbal) = get(db, to);
                         let mut txn = db.begin();
-                        db.update(&mut txn, "acct", ftid, "balance", OwnedValue::Int(fbal - 10))
-                            .unwrap();
-                        db.update(&mut txn, "acct", ttid, "balance", OwnedValue::Int(tbal + 10))
-                            .unwrap();
+                        db.update(
+                            &mut txn,
+                            "acct",
+                            ftid,
+                            "balance",
+                            OwnedValue::Int(fbal - 10),
+                        )
+                        .unwrap();
+                        db.update(
+                            &mut txn,
+                            "acct",
+                            ttid,
+                            "balance",
+                            OwnedValue::Int(tbal + 10),
+                        )
+                        .unwrap();
                         db.commit(txn).unwrap();
                     });
                 }
@@ -86,10 +97,12 @@ fn main() {
         let tids = db.tids("acct").unwrap();
         let total: i64 = tids
             .iter()
-            .map(|t| match db.fetch("acct", &[*t], &["balance"]).unwrap()[0][0] {
-                OwnedValue::Int(v) => v,
-                _ => unreachable!(),
-            })
+            .map(
+                |t| match db.fetch("acct", &[*t], &["balance"]).unwrap()[0][0] {
+                    OwnedValue::Int(v) => v,
+                    _ => unreachable!(),
+                },
+            )
             .sum();
         (total, tids.len())
     });

@@ -127,7 +127,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
     }
-    println!("main() reaches {} of {} functions", reached.len(), functions.len());
+    println!(
+        "main() reaches {} of {} functions",
+        reached.len(),
+        functions.len()
+    );
 
     // 3. Dead code: functions never called and not reachable from main.
     let mut dead = Vec::new();
@@ -146,12 +150,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. A join: list (caller name, callee name) pairs via the planner's
     //    chosen method, plus big-function filtering through the T-Tree.
     let (pairs, method) = db.join("calls", "callee", "function", "id")?;
-    println!("call edges joined to functions via {method:?}: {} rows", pairs.len());
-    let big = db.select(
-        "function",
-        "loc",
-        &Predicate::greater(KeyValue::Int(200)),
-    )?;
+    println!(
+        "call edges joined to functions via {method:?}: {} rows",
+        pairs.len()
+    );
+    let big = db.select("function", "loc", &Predicate::greater(KeyValue::Int(200)))?;
     let mut big_names: Vec<String> = db
         .fetch("function", &big.column(0), &["name"])?
         .into_iter()

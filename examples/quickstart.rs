@@ -35,7 +35,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Load the paper's Figure 1 data in one transaction.
     let mut txn = db.begin();
-    for (name, id) in [("Toy", 459i64), ("Shoe", 409), ("Linen", 411), ("Paint", 455)] {
+    for (name, id) in [
+        ("Toy", 459i64),
+        ("Shoe", 409),
+        ("Linen", 411),
+        ("Paint", 455),
+    ] {
         db.insert(&mut txn, "department", vec![name.into(), id.into()])?;
     }
     for (name, id, age, dept) in [
@@ -69,7 +74,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     println!(
         "select 25 <= age <= 50 via {:?}:",
-        db.plan_select("employee", "age", &Predicate::between(KeyValue::Int(25), KeyValue::Int(50)))?
+        db.plan_select(
+            "employee",
+            "age",
+            &Predicate::between(KeyValue::Int(25), KeyValue::Int(50))
+        )?
     );
     for row in db.fetch("employee", &mid_age.column(0), &["name", "age"])? {
         println!("  {row:?}");

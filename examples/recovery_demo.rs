@@ -41,14 +41,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Committed transaction #2: a transfer (update two tuples).
     let mut txn = db.begin();
-    db.update(&mut txn, "account", tids[0], "balance", OwnedValue::Int(900))?;
-    db.update(&mut txn, "account", tids[1], "balance", OwnedValue::Int(600))?;
+    db.update(
+        &mut txn,
+        "account",
+        tids[0],
+        "balance",
+        OwnedValue::Int(900),
+    )?;
+    db.update(
+        &mut txn,
+        "account",
+        tids[1],
+        "balance",
+        OwnedValue::Int(600),
+    )?;
     db.commit(txn)?;
     println!("committed transfer alice→bob (NOT yet propagated to disk)");
 
     // Uncommitted transaction: must vanish at the crash.
     let mut doomed = db.begin();
-    db.insert(&mut doomed, "account", vec!["mallory".into(), OwnedValue::Int(1_000_000)])?;
+    db.insert(
+        &mut doomed,
+        "account",
+        vec!["mallory".into(), OwnedValue::Int(1_000_000)],
+    )?;
     println!("staged mallory's uncommitted million…");
 
     // CRASH. The memory-resident database is gone; the stable log buffer,
@@ -71,7 +87,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(row[0][0], OwnedValue::Int(900));
 
     // Mallory's uncommitted insert did not.
-    let mallory = db2.select("account", "owner", &Predicate::Eq(KeyValue::from("mallory")))?;
+    let mallory = db2.select(
+        "account",
+        "owner",
+        &Predicate::Eq(KeyValue::from("mallory")),
+    )?;
     assert!(mallory.is_empty());
     println!("mallory's uncommitted insert is gone — no undo was ever needed");
 

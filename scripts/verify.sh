@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# Tier-1 verification: build, test, lint, and smoke-run the benches.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo fmt --check
+cargo clippy --workspace --all-targets -- -D warnings
+
+# Full workspace suite (crate unit tests beyond the root package).
+cargo test --workspace -q
+
+# Parallel-scaling bench, criterion --test smoke mode (runs each case once).
+cargo bench -p mmdb-bench --bench scaling -- --test

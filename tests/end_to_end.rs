@@ -46,14 +46,7 @@ fn generated_workload_through_the_full_stack() {
         seed: 1,
     };
     let outer = ValueSet::generate(&spec);
-    let inner = ValueSet::generate_matching(
-        &RelationSpec {
-            seed: 2,
-            ..spec
-        },
-        &outer,
-        60.0,
-    );
+    let inner = ValueSet::generate_matching(&RelationSpec { seed: 2, ..spec }, &outer, 60.0);
     let db = two_table_db(&outer.values, &inner.values);
     db.validate_indexes().unwrap();
     assert_eq!(db.len("r1").unwrap(), 2000);
@@ -201,7 +194,8 @@ fn crash_recovery_of_bulk_data_across_partitions() {
         Schema::of(&[("k", AttrType::Int), ("pad", AttrType::Str)]),
     )
     .unwrap();
-    db.create_index("big_k", "big", "k", IndexKind::TTree).unwrap();
+    db.create_index("big_k", "big", "k", IndexKind::TTree)
+        .unwrap();
     // Enough tuples to span several 64 KB partitions.
     let n = 20_000usize;
     let mut txn = db.begin();
@@ -225,7 +219,8 @@ fn crash_recovery_of_bulk_data_across_partitions() {
     let tids = db.tids("big").unwrap();
     let mut txn = db.begin();
     for tid in tids.iter().take(100) {
-        db.update(&mut txn, "big", *tid, "k", OwnedValue::Int(1_000_000)).unwrap();
+        db.update(&mut txn, "big", *tid, "k", OwnedValue::Int(1_000_000))
+            .unwrap();
     }
     db.commit(txn).unwrap();
 

@@ -2,12 +2,12 @@
 //! tuple-pointer adapters (the §2.2 configuration), stays equivalent to a
 //! model under arbitrary operation sequences.
 
+use mmdb_core::SharedAdapter;
 use mmdb_index::traits::{OrderedIndex, UnorderedIndex};
 use mmdb_index::{
-    ArrayIndex, AvlTree, BTree, ChainedBucketHash, ExtendibleHash, LinearHash,
-    ModifiedLinearHash, TTree, TTreeConfig,
+    ArrayIndex, AvlTree, BTree, ChainedBucketHash, ExtendibleHash, LinearHash, ModifiedLinearHash,
+    TTree, TTreeConfig,
 };
-use mmdb_core::SharedAdapter;
 use mmdb_storage::{
     AttrType, KeyValue, OwnedValue, PartitionConfig, Relation, Schema, TupleId, Value,
 };

@@ -1,0 +1,208 @@
+//! Minimal timing-only stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the slice of the criterion API its `[[bench]]`
+//! targets use: `criterion_group!` / `criterion_main!`, `Criterion`,
+//! `benchmark_group` with `sample_size` / `bench_function` / `finish`,
+//! `BenchmarkId`, and `black_box`. Each benchmark runs a short warm-up,
+//! then `sample_size` timed samples, and reports min / median / mean per
+//! benchmark id — no statistics engine, plots, or baseline storage.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` style id.
+    pub fn new<S: std::fmt::Display, P: std::fmt::Display>(function: S, parameter: P) -> Self {
+        BenchmarkId {
+            text: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Id consisting of just a parameter value.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Anything accepted as a benchmark id by [`BenchmarkGroup::bench_function`].
+pub trait IntoBenchmarkId {
+    /// Render to the display string used in reports.
+    fn into_id_string(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id_string(self) -> String {
+        self.text
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id_string(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id_string(self) -> String {
+        self
+    }
+}
+
+/// Per-iteration timer handle passed to the benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `f`, called in a small batch, accumulating into this sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Benchmark manager (stand-in for `criterion::Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Parse command-line arguments (`--test` puts the runner in smoke
+    /// mode: every benchmark body runs exactly once, untimed).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Begin a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            _parent: self,
+            test_mode: self.test_mode,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a Criterion,
+    test_mode: bool,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark: warm-up, then `sample_size` samples.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into_id_string();
+        if self.test_mode {
+            let mut b = Bencher::default();
+            f(&mut b);
+            eprintln!("  {id}: ok (test mode)");
+            return self;
+        }
+        // Warm-up pass.
+        let mut b = Bencher::default();
+        f(&mut b);
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher::default();
+            f(&mut b);
+            let iters = b.iters.max(1);
+            samples.push(b.elapsed / u32::try_from(iters).unwrap_or(u32::MAX));
+        }
+        samples.sort_unstable();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<Duration>() / u32::try_from(samples.len()).unwrap_or(1);
+        eprintln!("  {id}: min {min:?}  median {median:?}  mean {mean:?}");
+        self
+    }
+
+    /// End the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Define a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define `main` running one or more `criterion_group!`s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion {
+            test_mode: true, // exercise the smoke path deterministically
+        };
+        let mut hits = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_function("f", |b| b.iter(|| hits += 1));
+            g.bench_function(BenchmarkId::new("f", 7), |b| b.iter(|| hits += 1));
+            g.bench_function(BenchmarkId::from_parameter(9), |b| b.iter(|| hits += 1));
+            g.finish();
+        }
+        assert_eq!(hits, 3, "test mode runs each body exactly once");
+    }
+}
