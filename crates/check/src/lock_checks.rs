@@ -1,0 +1,154 @@
+//! Lock-table invariants over [`LockTableSnapshot`]: the two-mode
+//! compatibility matrix (S/S compatible, anything with X not), FIFO queue
+//! discipline, and holder/queue liveness.
+//!
+//! These are *structural* checks, valid at any instant: an exclusive
+//! holder is sole, holders are pairwise compatible, no transaction
+//! appears twice as holder or twice in the queue, a queued transaction
+//! that already holds the target must be an S→X upgrade, and every
+//! transaction named anywhere is live. FIFO *grantability* (the front of
+//! the queue is blocked for a reason) is only meaningful at quiescent
+//! points — the explorer asserts it there, not here.
+
+use crate::report::Report;
+use mmdb_lock::{LockMode, LockTableSnapshot, TargetSnapshot};
+use std::collections::HashSet;
+
+/// Check one target's holder set and wait queue.
+fn check_target(t: &TargetSnapshot, report: &mut Report) {
+    let s = "lock-table";
+    let loc = format!("target {}:{}", t.target.relation, t.target.partition);
+    if t.holders.is_empty() && t.queued.is_empty() {
+        report.fail(
+            s,
+            loc.clone(),
+            "queue-discipline",
+            "empty lock state retained in the table".to_string(),
+        );
+    }
+    let mut holder_txns = HashSet::new();
+    for (txn, _) in &t.holders {
+        if !holder_txns.insert(*txn) {
+            report.fail(
+                s,
+                loc.clone(),
+                "queue-discipline",
+                format!("transaction {txn:?} holds the target twice"),
+            );
+        }
+    }
+    let exclusive: Vec<_> = t
+        .holders
+        .iter()
+        .filter(|(_, m)| *m == LockMode::Exclusive)
+        .collect();
+    if !exclusive.is_empty() && t.holders.len() > 1 {
+        report.fail(
+            s,
+            loc.clone(),
+            "compat-matrix",
+            format!(
+                "exclusive holder {:?} coexists with {} other holder(s)",
+                exclusive[0].0,
+                t.holders.len() - 1
+            ),
+        );
+    }
+    let mut queued_txns = HashSet::new();
+    for (txn, mode) in &t.queued {
+        if !queued_txns.insert(*txn) {
+            report.fail(
+                s,
+                loc.clone(),
+                "queue-discipline",
+                format!("transaction {txn:?} queued twice"),
+            );
+        }
+        if holder_txns.contains(txn) {
+            // Queueing while holding is only legal as an S→X upgrade.
+            let holds_shared = t
+                .holders
+                .iter()
+                .any(|(h, m)| h == txn && *m == LockMode::Shared);
+            if !(holds_shared && *mode == LockMode::Exclusive) {
+                report.fail(
+                    s,
+                    loc.clone(),
+                    "queue-discipline",
+                    format!("holder {txn:?} queued for a non-upgrade request"),
+                );
+            }
+        }
+    }
+}
+
+/// Check a whole lock-table snapshot, including that every named
+/// transaction is live.
+#[must_use]
+pub fn check_lock_table(snap: &LockTableSnapshot) -> Report {
+    let mut report = Report::new();
+    let live: HashSet<_> = snap.live_txns.iter().copied().collect();
+    for t in &snap.targets {
+        check_target(t, &mut report);
+        for (txn, role) in t
+            .holders
+            .iter()
+            .map(|(x, _)| (*x, "holds"))
+            .chain(t.queued.iter().map(|(x, _)| (*x, "waits on")))
+        {
+            if !live.contains(&txn) {
+                report.fail(
+                    "lock-table",
+                    format!("target {}:{}", t.target.relation, t.target.partition),
+                    "txn-live",
+                    format!("dead transaction {txn:?} {role} the target"),
+                );
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdb_lock::{LockManager, LockTarget};
+
+    #[test]
+    fn live_manager_snapshot_is_clean() {
+        let mgr = LockManager::new(16);
+        let a = mgr.begin();
+        let b = mgr.begin();
+        let t0 = LockTarget::new(1, 0);
+        let t1 = LockTarget::new(1, 1);
+        mgr.lock(a, t0, LockMode::Shared).unwrap();
+        mgr.lock(b, t0, LockMode::Shared).unwrap();
+        mgr.lock(b, t1, LockMode::Exclusive).unwrap();
+        check_lock_table(&mgr.snapshot()).assert_ok();
+        mgr.release_all(a);
+        mgr.release_all(b);
+        check_lock_table(&mgr.snapshot()).assert_ok();
+    }
+
+    #[test]
+    fn fabricated_violations_are_rejected() {
+        use mmdb_lock::TxnId;
+        let t = LockTarget::new(2, 7);
+        let snap = LockTableSnapshot {
+            targets: vec![TargetSnapshot {
+                target: t,
+                holders: vec![
+                    (TxnId(1), LockMode::Exclusive),
+                    (TxnId(2), LockMode::Shared),
+                ],
+                queued: vec![(TxnId(3), LockMode::Shared), (TxnId(3), LockMode::Shared)],
+            }],
+            live_txns: vec![TxnId(1), TxnId(2)],
+        };
+        let msg = check_lock_table(&snap).into_result().unwrap_err();
+        assert!(msg.contains("compat-matrix"), "{msg}");
+        assert!(msg.contains("queued twice"), "{msg}");
+        assert!(msg.contains("txn-live"), "{msg}");
+        assert!(msg.contains("target 2:7"), "{msg}");
+    }
+}

@@ -1,0 +1,135 @@
+//! Structured diagnostics: every failed check produces a [`Violation`]
+//! naming the structure, the location inside it, and the invariant that
+//! broke — the three pieces a human (or a negative test) needs to act.
+
+use std::fmt;
+
+/// One violated invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which structure the violation is in (e.g. `"ttree"`, `"log"`).
+    pub structure: String,
+    /// Where inside the structure (node id, bucket number, LSN, …).
+    pub location: String,
+    /// Short invariant name (e.g. `"node-occupancy"`, `"lsn-monotone"`).
+    pub invariant: String,
+    /// Human-readable specifics (observed vs. expected).
+    pub detail: String,
+}
+
+impl Violation {
+    /// Build a violation.
+    #[must_use]
+    pub fn new(structure: &str, location: String, invariant: &str, detail: String) -> Self {
+        Violation {
+            structure: structure.to_string(),
+            location,
+            invariant: invariant.to_string(),
+            detail,
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} at {}: {}",
+            self.structure, self.invariant, self.location, self.detail
+        )
+    }
+}
+
+/// The outcome of a check pass: zero or more violations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    violations: Vec<Violation>,
+}
+
+impl Report {
+    /// An empty (passing) report.
+    #[must_use]
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Record a violation.
+    pub fn push(&mut self, v: Violation) {
+        self.violations.push(v);
+    }
+
+    /// Convenience: record a violation from parts.
+    pub fn fail(&mut self, structure: &str, location: String, invariant: &str, detail: String) {
+        self.push(Violation::new(structure, location, invariant, detail));
+    }
+
+    /// Merge another report into this one.
+    pub fn merge(&mut self, other: Report) {
+        self.violations.extend(other.violations);
+    }
+
+    /// True when no invariant was violated.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// All violations, in discovery order.
+    #[must_use]
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// `Ok(())` if the report is clean, otherwise an `Err` with every
+    /// violation rendered one per line (what test hooks assert on).
+    pub fn into_result(self) -> Result<(), String> {
+        if self.violations.is_empty() {
+            Ok(())
+        } else {
+            let lines: Vec<String> = self.violations.iter().map(Violation::to_string).collect();
+            Err(lines.join("\n"))
+        }
+    }
+
+    /// Panic with the full diagnostic list unless the report is clean.
+    ///
+    /// # Panics
+    /// If any violation was recorded.
+    pub fn assert_ok(self) {
+        if let Err(msg) = self.into_result() {
+            panic!("invariant check failed:\n{msg}");
+        }
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.violations.is_empty() {
+            return write!(f, "ok");
+        }
+        for v in &self.violations {
+            writeln!(f, "{v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_collects_and_renders() {
+        let mut r = Report::new();
+        assert!(r.is_ok());
+        r.fail("ttree", "node 3".into(), "key-order", "5 after 7".into());
+        assert!(!r.is_ok());
+        let msg = r.clone().into_result().unwrap_err();
+        assert!(msg.contains("ttree"));
+        assert!(msg.contains("node 3"));
+        assert!(msg.contains("key-order"));
+        let mut other = Report::new();
+        other.merge(r);
+        assert_eq!(other.violations().len(), 1);
+    }
+}

@@ -1,0 +1,179 @@
+//! Relation/partition reconciliation and temp-list descriptor validity.
+//!
+//! The paper's query processor hands tuple ids around by value (temp
+//! lists §3.1) and trusts them to stay resolvable; these checks make that
+//! trust explicit: every live tuple id must resolve, partition live
+//! counts must sum to the relation's `len()`, and every temp-list result
+//! descriptor must reference columns that actually exist in its sources.
+
+use crate::report::Report;
+use mmdb_storage::{Relation, ResultDescriptor, TempList};
+use std::collections::HashSet;
+
+/// Reconcile a relation against its own partitions: `len()` equals the
+/// sum of per-partition live counts, and every advertised tuple id
+/// resolves to a live slot exactly once.
+#[must_use]
+pub fn check_relation(rel: &Relation) -> Report {
+    let mut report = Report::new();
+    let s = "relation";
+    let live_sum: usize = rel.partition_views().map(|v| v.live()).sum();
+    if live_sum != rel.len() {
+        report.fail(
+            s,
+            rel.name().to_string(),
+            "count-reconcile",
+            format!(
+                "len() = {} but partitions hold {live_sum} live tuples",
+                rel.len()
+            ),
+        );
+    }
+    let mut seen = HashSet::new();
+    for tid in rel.iter_tids() {
+        if !seen.insert(tid) {
+            report.fail(
+                s,
+                format!("{} tuple {tid:?}", rel.name()),
+                "tuple-unique",
+                "tuple id advertised more than once".to_string(),
+            );
+        }
+        if let Err(e) = rel.resolve(tid) {
+            report.fail(
+                s,
+                format!("{} tuple {tid:?}", rel.name()),
+                "tuple-live",
+                format!("advertised tuple does not resolve: {e}"),
+            );
+        }
+    }
+    if seen.len() != rel.len() {
+        report.fail(
+            s,
+            rel.name().to_string(),
+            "count-reconcile",
+            format!(
+                "len() = {} but {} distinct tuple ids advertised",
+                rel.len(),
+                seen.len()
+            ),
+        );
+    }
+    report
+}
+
+/// Validate a temp list against its result descriptor and source
+/// relations: every output field names a real source and a real
+/// attribute, and every row's tuple ids resolve to live tuples in the
+/// corresponding sources.
+#[must_use]
+pub fn check_templist(list: &TempList, desc: &ResultDescriptor, sources: &[&Relation]) -> Report {
+    let mut report = Report::new();
+    let s = "templist";
+    for (i, f) in desc.fields().iter().enumerate() {
+        if f.source >= list.arity() || f.source >= sources.len() {
+            report.fail(
+                s,
+                format!("field {i} ({})", f.name),
+                "descriptor-source",
+                format!(
+                    "source {} out of range (arity {}, {} sources)",
+                    f.source,
+                    list.arity(),
+                    sources.len()
+                ),
+            );
+            continue;
+        }
+        let schema = sources[f.source].schema();
+        if f.attr >= schema.arity() {
+            report.fail(
+                s,
+                format!("field {i} ({})", f.name),
+                "descriptor-attr",
+                format!(
+                    "attribute {} out of range for {} (arity {})",
+                    f.attr,
+                    sources[f.source].name(),
+                    schema.arity()
+                ),
+            );
+        }
+    }
+    if list.arity() > sources.len() {
+        report.fail(
+            s,
+            "rows".to_string(),
+            "descriptor-source",
+            format!(
+                "row arity {} exceeds {} sources",
+                list.arity(),
+                sources.len()
+            ),
+        );
+        return report;
+    }
+    for (r, row) in list.iter().enumerate() {
+        for (col, (&tid, rel)) in row.iter().zip(sources).enumerate() {
+            if rel.resolve(tid).is_err() {
+                report.fail(
+                    s,
+                    format!("row {r} column {col}"),
+                    "tuple-live",
+                    format!("tuple {tid:?} is not live in {}", rel.name()),
+                );
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdb_storage::{AttrType, Attribute, OutputField, OwnedValue, Schema};
+
+    fn rel(rows: i64) -> Relation {
+        let schema = Schema::new(vec![
+            Attribute::new("k", AttrType::Int),
+            Attribute::new("v", AttrType::Int),
+        ]);
+        let mut r = Relation::with_default_config("t", schema);
+        for k in 0..rows {
+            r.insert(&[OwnedValue::Int(k), OwnedValue::Int(-k)])
+                .unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn clean_relation_and_templist_pass() {
+        let r = rel(64);
+        check_relation(&r).assert_ok();
+        let mut list = TempList::new(1);
+        for tid in r.iter_tids().take(8) {
+            list.push(&[tid]).unwrap();
+        }
+        let desc = ResultDescriptor::new(vec![OutputField::new(0, 1, "v")]);
+        check_templist(&list, &desc, &[&r]).assert_ok();
+    }
+
+    #[test]
+    fn dangling_row_and_bad_descriptor_are_rejected() {
+        let mut r = rel(8);
+        let mut list = TempList::new(1);
+        let victim = r.iter_tids().next().unwrap();
+        list.push(&[victim]).unwrap();
+        r.delete(victim).unwrap();
+        let desc = ResultDescriptor::new(vec![
+            OutputField::new(0, 9, "bad-attr"),
+            OutputField::new(3, 0, "bad-source"),
+        ]);
+        let report = check_templist(&list, &desc, &[&r]);
+        let msg = report.into_result().unwrap_err();
+        assert!(msg.contains("descriptor-attr"), "{msg}");
+        assert!(msg.contains("descriptor-source"), "{msg}");
+        assert!(msg.contains("tuple-live"), "{msg}");
+    }
+}

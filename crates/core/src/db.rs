@@ -591,14 +591,18 @@ impl<S: StableStore> Database<S> {
         let attr_idx = self.table(t).rel.borrow().schema().index_of(attr)?;
         match self.plan_select(table, attr, pred)? {
             SelectPath::HashLookup => {
-                let idx = self.find_hash(t, attr_idx).expect("planned hash index");
+                let idx = self
+                    .find_hash(t, attr_idx)
+                    .ok_or_else(|| DbError::Catalog("planned hash index disappeared".into()))?;
                 let Predicate::Eq(key) = pred else {
                     unreachable!()
                 };
                 Ok(select_hash_index(idx, key))
             }
             SelectPath::TreeLookup => {
-                let idx = self.find_ttree(t, attr_idx).expect("planned tree index");
+                let idx = self
+                    .find_ttree(t, attr_idx)
+                    .ok_or_else(|| DbError::Catalog("planned tree index disappeared".into()))?;
                 Ok(select_tree_index(idx, pred))
             }
             SelectPath::SequentialScan => {
@@ -862,7 +866,7 @@ impl<S: StableStore> CrashedDatabase<S> {
             db.tables[t]
                 .rel
                 .borrow_mut()
-                .load_partition_image(key.partition, &image);
+                .load_partition_image(key.partition, &image)?;
             loaded.push((db.tables[t].name.clone(), key.partition, phase));
         }
         // Rebuild indexes from the reloaded relations.
@@ -899,6 +903,117 @@ impl<S: StableStore> CrashedDatabase<S> {
                 indexes_rebuilt: rebuilt,
             },
         ))
+    }
+}
+
+#[cfg(feature = "check")]
+impl<S: StableStore> Database<S> {
+    /// Whole-database deep consistency check (the `mmdb-check` layer):
+    /// deep structural validation of every index, exactly-once tuple
+    /// reachability through each index, pointer-field liveness for
+    /// precomputed joins, relation/partition reconciliation, lock-table
+    /// discipline, and log-buffer LSN invariants.
+    #[must_use]
+    pub fn deep_check(&self) -> mmdb_check::Report {
+        use mmdb_check::DeepCheck;
+        let mut report = mmdb_check::Report::new();
+        for def in &self.indexes {
+            match &def.index {
+                AnyIndex::TTree(t) => report.merge(t.deep_check()),
+                AnyIndex::Hash(h) => report.merge(h.deep_check()),
+            }
+        }
+        for (t, table) in self.tables.iter().enumerate() {
+            let rel = table.rel.borrow();
+            report.merge(mmdb_check::storage_checks::check_relation(&rel));
+            let live: HashSet<TupleId> = rel.iter_tids().collect();
+            for def in self.indexes.iter().filter(|d| d.table == t) {
+                let entries: Vec<TupleId> = match &def.index {
+                    AnyIndex::TTree(x) => {
+                        x.raw_nodes().into_iter().flat_map(|n| n.entries).collect()
+                    }
+                    AnyIndex::Hash(x) => {
+                        x.raw_chains().into_iter().flat_map(|c| c.entries).collect()
+                    }
+                };
+                let mut counts: std::collections::HashMap<TupleId, usize> =
+                    std::collections::HashMap::new();
+                for tid in &entries {
+                    *counts.entry(*tid).or_insert(0) += 1;
+                }
+                for (tid, n) in &counts {
+                    if !live.contains(tid) {
+                        report.fail(
+                            "database",
+                            format!("index {} tuple {tid:?}", def.name),
+                            "reachability",
+                            format!("index holds a tuple not live in {}", table.name),
+                        );
+                    } else if *n != 1 {
+                        report.fail(
+                            "database",
+                            format!("index {} tuple {tid:?}", def.name),
+                            "reachability",
+                            format!("tuple reachable {n} times (must be exactly once)"),
+                        );
+                    }
+                }
+                for tid in &live {
+                    if !counts.contains_key(tid) {
+                        report.fail(
+                            "database",
+                            format!("index {} tuple {tid:?}", def.name),
+                            "reachability",
+                            format!("live tuple of {} missing from the index", table.name),
+                        );
+                    }
+                }
+            }
+            // Precomputed-join pointer fields must resolve to a live tuple
+            // in some table (§2.1: tuple pointers replace foreign keys).
+            for (attr, a) in rel.schema().attrs().iter().enumerate() {
+                if !matches!(a.ty, AttrType::Ptr | AttrType::PtrList) {
+                    continue;
+                }
+                for tid in rel.iter_tids() {
+                    let targets: Vec<TupleId> = match rel.field(tid, attr) {
+                        Ok(mmdb_storage::Value::Ptr(p)) => p.into_iter().collect(),
+                        Ok(mmdb_storage::Value::PtrList(l)) => l,
+                        Ok(_) => Vec::new(),
+                        Err(e) => {
+                            report.fail(
+                                "database",
+                                format!("{} tuple {tid:?} attr {attr}", table.name),
+                                "pointer-field",
+                                format!("live tuple field unreadable: {e}"),
+                            );
+                            continue;
+                        }
+                    };
+                    for target in targets {
+                        let resolves = self
+                            .tables
+                            .iter()
+                            .any(|t| t.rel.borrow().resolve(target).is_ok());
+                        if !resolves {
+                            report.fail(
+                                "database",
+                                format!("{} tuple {tid:?} attr {attr}", table.name),
+                                "pointer-field",
+                                format!("pointer {target:?} does not resolve to a live tuple"),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        report.merge(mmdb_check::lock_checks::check_lock_table(
+            &self.locks.snapshot(),
+        ));
+        report.merge(mmdb_check::log_checks::check_log_buffer(
+            self.recovery.log_buffer(),
+        ));
+        report
     }
 }
 
@@ -1139,6 +1254,62 @@ mod tests {
             assert_eq!(r.field(drow, 0).unwrap(), Value::Str("Toy"));
         })
         .unwrap();
+    }
+
+    /// The whole-database deep check stays clean across tables, both
+    /// index kinds, precomputed-join pointers, and update/delete churn.
+    #[cfg(feature = "check")]
+    #[test]
+    fn deep_check_is_clean_through_churn() {
+        let mut db = Database::in_memory();
+        db.create_table("dept", Schema::of(&[("dname", AttrType::Str)]))
+            .unwrap();
+        db.create_index("dept_name", "dept", "dname", IndexKind::Hash)
+            .unwrap();
+        db.create_table(
+            "emp",
+            Schema::of(&[
+                ("ename", AttrType::Str),
+                ("age", AttrType::Int),
+                ("dept", AttrType::Ptr),
+            ]),
+        )
+        .unwrap();
+        db.create_index("emp_age", "emp", "age", IndexKind::TTree)
+            .unwrap();
+        db.create_index("emp_name", "emp", "ename", IndexKind::Hash)
+            .unwrap();
+        let mut txn = db.begin();
+        db.insert(&mut txn, "dept", vec!["Toy".into()]).unwrap();
+        let toy = db.commit(txn).unwrap()[0];
+        db.deep_check().assert_ok();
+        let mut emps = Vec::new();
+        for i in 0..40i64 {
+            let mut txn = db.begin();
+            db.insert(
+                &mut txn,
+                "emp",
+                vec![
+                    format!("e{i}").into(),
+                    OwnedValue::Int(i % 7),
+                    OwnedValue::Ptr(Some(toy)),
+                ],
+            )
+            .unwrap();
+            emps.extend(db.commit(txn).unwrap());
+        }
+        db.deep_check().assert_ok();
+        for (i, tid) in emps.iter().enumerate() {
+            let mut txn = db.begin();
+            if i % 3 == 0 {
+                db.delete(&mut txn, "emp", *tid).unwrap();
+            } else {
+                db.update(&mut txn, "emp", *tid, "age", OwnedValue::Int(99))
+                    .unwrap();
+            }
+            db.commit(txn).unwrap();
+            db.deep_check().assert_ok();
+        }
     }
 
     #[test]

@@ -65,7 +65,7 @@ impl<S: StableStore + 'static> DbServer<S> {
                     job(&mut db);
                 }
             })
-            .expect("spawn database thread");
+            .unwrap_or_else(|e| panic!("failed to spawn database thread: {e}"));
         DbServer {
             sender,
             thread: Some(thread),
@@ -114,13 +114,20 @@ fn run_on<S: StableStore + 'static, R: Send + 'static>(
     f: impl FnOnce(&mut Database<S>) -> R + Send + 'static,
 ) -> R {
     let (reply_tx, reply_rx) = mpsc::sync_channel(1);
-    sender
-        .send(Box::new(move |db| {
-            let r = f(db);
-            let _ = reply_tx.send(r);
-        }))
-        .expect("database thread alive");
-    reply_rx.recv().expect("database thread replied")
+    // Both channel operations share one failure mode: the database thread
+    // is gone. A half-applied job with no reply has no safe recovery for
+    // the client, so this is a hard invariant, not a recoverable error.
+    let sent = sender.send(Box::new(move |db| {
+        let r = f(db);
+        let _ = reply_tx.send(r);
+    }));
+    if sent.is_err() {
+        panic!("database thread has shut down");
+    }
+    match reply_rx.recv() {
+        Ok(r) => r,
+        Err(_) => panic!("database thread dropped the reply channel"),
+    }
 }
 
 /// A sender whose receiver is already gone (used to close the channel on

@@ -8,7 +8,7 @@
 //! interleave freely (never concurrently, which the `RefCell` enforces).
 
 use mmdb_index::adapter::{Adapter, HashAdapter};
-use mmdb_storage::{value_hash, KeyValue, Relation, TupleId};
+use mmdb_storage::{value_hash, KeyValue, Relation, TupleId, Value};
 use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::rc::Rc;
@@ -34,20 +34,32 @@ impl SharedAdapter {
     }
 }
 
+/// Dereference an index entry inside a live borrow. The `Adapter` trait's
+/// comparators are infallible by design (§2.2: entries *are* tuple
+/// pointers); a dead entry means the index and its relation have drifted,
+/// which is the reachability invariant `mmdb-check` reports on — so the
+/// only sound response here is to panic naming the invariant.
+fn live_field<'r>(r: &'r mmdb_storage::Relation, tid: TupleId, attr: usize) -> Value<'r> {
+    match r.field(tid, attr) {
+        Ok(v) => v,
+        Err(e) => panic!("index entry {tid:?} must be live: {e}"),
+    }
+}
+
 impl Adapter for SharedAdapter {
     type Entry = TupleId;
     type Key = KeyValue;
 
     fn cmp_entries(&self, a: &TupleId, b: &TupleId) -> Ordering {
         let r = self.rel.borrow();
-        let va = r.field(*a, self.attr).expect("index entry must be live");
-        let vb = r.field(*b, self.attr).expect("index entry must be live");
+        let va = live_field(&r, *a, self.attr);
+        let vb = live_field(&r, *b, self.attr);
         va.total_cmp(&vb)
     }
 
     fn cmp_entry_key(&self, e: &TupleId, key: &KeyValue) -> Ordering {
         let r = self.rel.borrow();
-        let v = r.field(*e, self.attr).expect("index entry must be live");
+        let v = live_field(&r, *e, self.attr);
         key.cmp_value(&v)
     }
 }
@@ -55,7 +67,7 @@ impl Adapter for SharedAdapter {
 impl HashAdapter for SharedAdapter {
     fn hash_entry(&self, e: &TupleId) -> u64 {
         let r = self.rel.borrow();
-        let v = r.field(*e, self.attr).expect("index entry must be live");
+        let v = live_field(&r, *e, self.attr);
         value_hash(&v)
     }
 

@@ -224,13 +224,14 @@ pub(crate) fn merge_join_cursors<'a>(
                 // list and move into the result with one bulk append.
                 let mut group_pairs = TempList::new(2);
                 'outer: loop {
+                    let Some(lt) = left.peek() else { break 'outer };
                     right.rewind(group_start);
                     while let Some(grt) = right.peek() {
                         counters.comparisons(1);
                         if ra.value(grt)?.total_cmp(&group_val) != Ordering::Equal {
                             break;
                         }
-                        group_pairs.push_pair(left.peek().expect("outer present"), grt)?;
+                        group_pairs.push_pair(lt, grt)?;
                         right.advance();
                     }
                     left.advance();

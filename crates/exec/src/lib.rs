@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod error;
 pub mod join;
@@ -51,8 +52,8 @@ pub use join::{
 };
 pub use optimizer::{choose_select_path, IndexAvailability, JoinMethod, JoinPlanner, SelectPath};
 pub use parallel::{
-    parallel_hash_join, parallel_nested_loops_join, parallel_project_hash, parallel_select_scan,
-    parallel_theta_join, ExecConfig,
+    merge_indexed, parallel_hash_join, parallel_nested_loops_join, parallel_project_hash,
+    parallel_select_scan, parallel_theta_join, ExecConfig,
 };
 pub use project::{project_hash, project_hash_sized, project_sort, ProjectOutput};
 pub use select::{select_hash_index, select_scan, select_tree_index, Predicate};

@@ -91,13 +91,30 @@ where
                     break;
                 }
                 let result = f(i);
-                slots.lock().expect("worker panicked").push((i, result));
+                slots
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .push((i, result));
             });
         }
     });
-    let mut collected = slots.into_inner().expect("worker panicked");
-    collected.sort_unstable_by_key(|(i, _)| *i);
-    collected.into_iter().map(|(_, r)| r).collect()
+    let collected = slots
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    merge_indexed(collected)
+}
+
+/// Merge worker-tagged results back into task order.
+///
+/// This is the pool's *only* merge rule: every parallel operator tags each
+/// unit's result with its task index and sorts by that index, so output is
+/// a pure function of the inputs and independent of worker completion
+/// order. `mmdb-check` exercises this over permuted completion orders (the
+/// merge-determinism invariant).
+#[must_use]
+pub fn merge_indexed<T>(mut tagged: Vec<(usize, T)>) -> Vec<T> {
+    tagged.sort_unstable_by_key(|(i, _)| *i);
+    tagged.into_iter().map(|(_, r)| r).collect()
 }
 
 /// Split `len` items into at most `dop` contiguous ranges of near-equal

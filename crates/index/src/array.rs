@@ -241,6 +241,24 @@ impl<A: Adapter> OrderedIndex<A> for ArrayIndex<A> {
     }
 }
 
+/// Raw structural access for the `mmdb-check` verification layer.
+#[cfg(feature = "check")]
+impl<A: Adapter> ArrayIndex<A> {
+    /// The adapter, for key comparisons during checking.
+    #[must_use]
+    pub fn raw_adapter(&self) -> &A {
+        &self.adapter
+    }
+
+    /// Allocated capacity of the backing array (gap accounting: capacity
+    /// minus length is the only admissible "gap" — the array itself must
+    /// be dense and sorted).
+    #[must_use]
+    pub fn raw_capacity(&self) -> usize {
+        self.data.capacity()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -505,6 +505,53 @@ impl<A: Adapter> OrderedIndex<A> for AvlTree<A> {
     }
 }
 
+/// Raw structural access for the `mmdb-check` verification layer.
+#[cfg(feature = "check")]
+impl<A: Adapter> AvlTree<A> {
+    /// Arena id of the root node, if the tree is non-empty.
+    #[must_use]
+    pub fn raw_root(&self) -> Option<u32> {
+        (self.root != NIL).then_some(self.root)
+    }
+
+    /// Owned views of every node reachable from the root (one entry each).
+    #[must_use]
+    pub fn raw_nodes(&self) -> Vec<crate::raw::TreeNodeView<A::Entry>> {
+        let mut out = Vec::new();
+        let mut stack = match self.raw_root() {
+            Some(r) => vec![r],
+            None => Vec::new(),
+        };
+        while let Some(id) = stack.pop() {
+            let n = &self.nodes[id as usize];
+            out.push(crate::raw::TreeNodeView {
+                id,
+                entries: vec![n.entry],
+                left: (n.left != NIL).then_some(n.left),
+                right: (n.right != NIL).then_some(n.right),
+                parent: (n.parent != NIL).then_some(n.parent),
+                height: n.height,
+            });
+            if n.left != NIL {
+                stack.push(n.left);
+            }
+            if n.right != NIL {
+                stack.push(n.right);
+            }
+            if out.len() > self.nodes.len() {
+                break;
+            }
+        }
+        out
+    }
+
+    /// The adapter, for key comparisons during checking.
+    #[must_use]
+    pub fn raw_adapter(&self) -> &A {
+        &self.adapter
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

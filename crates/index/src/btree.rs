@@ -145,7 +145,7 @@ impl<A: Adapter> BTree<A> {
         let mid = self.node(id).items.len() / 2;
         let n = self.node_mut(id);
         let right_items: Vec<A::Entry> = n.items.split_off(mid + 1);
-        let median = n.items.pop().expect("median");
+        let median = crate::pop_invariant(&mut n.items, "overflowed node has a median");
         let right_children = if n.is_leaf() {
             Vec::new()
         } else {
@@ -196,7 +196,7 @@ impl<A: Adapter> BTree<A> {
         self.stats.node_visits(1);
         if self.node(id).is_leaf() {
             self.stats.data_moves(1);
-            self.node_mut(id).items.pop().expect("non-empty leaf")
+            crate::pop_invariant(&mut self.node_mut(id).items, "take_max leaf is non-empty")
         } else {
             let ci = self.node(id).children.len() - 1;
             let child = self.node(id).children[ci];
@@ -237,11 +237,17 @@ impl<A: Adapter> BTree<A> {
             if self.node(left).items.len() > self.min_items {
                 self.stats.data_moves(3);
                 let sep = self.node(parent).items[ci - 1];
-                let borrowed = self.node_mut(left).items.pop().expect("left item");
+                let borrowed = crate::pop_invariant(
+                    &mut self.node_mut(left).items,
+                    "left sibling has spare item",
+                );
                 self.node_mut(parent).items[ci - 1] = borrowed;
                 self.node_mut(child).items.insert(0, sep);
                 if !self.node(left).is_leaf() {
-                    let moved = self.node_mut(left).children.pop().expect("left child");
+                    let moved = crate::pop_invariant(
+                        &mut self.node_mut(left).children,
+                        "non-leaf left sibling has a child",
+                    );
                     self.node_mut(child).children.insert(0, moved);
                 }
                 return;
@@ -355,7 +361,7 @@ impl<A: Adapter> BTree<A> {
             }
         }
         if !n.is_leaf() {
-            return self.visit_rec(*n.children.last().expect("child"), visit);
+            return self.visit_rec(n.children[n.children.len() - 1], visit);
         }
         true
     }
@@ -419,7 +425,7 @@ impl<A: Adapter> BTree<A> {
             }
         }
         if !n.is_leaf() {
-            return self.visit_bounded(*n.children.last().expect("child"), lo, visit);
+            return self.visit_bounded(n.children[n.children.len() - 1], lo, visit);
         }
         true
     }
@@ -479,7 +485,7 @@ impl<A: Adapter> BTree<A> {
         }
         if !n.is_leaf() {
             self.validate_rec(
-                *n.children.last().expect("child"),
+                n.children[n.children.len() - 1],
                 depth + 1,
                 leaf_depth,
                 false,
@@ -646,6 +652,57 @@ impl<A: Adapter> OrderedIndex<A> for BTree<A> {
             return Err(format!("len {} but traversal found {count}", self.len));
         }
         Ok(())
+    }
+}
+
+/// Raw structural access for the `mmdb-check` verification layer.
+#[cfg(feature = "check")]
+impl<A: Adapter> BTree<A> {
+    /// Arena id of the root node, if the tree is non-empty.
+    #[must_use]
+    pub fn raw_root(&self) -> Option<u32> {
+        (self.root != NIL).then_some(self.root)
+    }
+
+    /// Owned views of every node reachable from the root.
+    #[must_use]
+    pub fn raw_nodes(&self) -> Vec<crate::raw::BTreeNodeView<A::Entry>> {
+        let mut out = Vec::new();
+        let mut stack = match self.raw_root() {
+            Some(r) => vec![r],
+            None => Vec::new(),
+        };
+        while let Some(id) = stack.pop() {
+            let n = self.node(id);
+            out.push(crate::raw::BTreeNodeView {
+                id,
+                entries: n.items.clone(),
+                children: n.children.clone(),
+            });
+            stack.extend(n.children.iter().copied());
+            if out.len() > self.nodes.len() {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Minimum entries per non-root node.
+    #[must_use]
+    pub fn raw_min_items(&self) -> usize {
+        self.min_items
+    }
+
+    /// Maximum entries per node.
+    #[must_use]
+    pub fn raw_max_items(&self) -> usize {
+        self.max_items
+    }
+
+    /// The adapter, for key comparisons during checking.
+    #[must_use]
+    pub fn raw_adapter(&self) -> &A {
+        &self.adapter
     }
 }
 

@@ -266,6 +266,58 @@ impl<A: HashAdapter> UnorderedIndex<A> for ChainedBucketHash<A> {
     }
 }
 
+/// Raw structural access for the `mmdb-check` verification layer.
+#[cfg(feature = "check")]
+impl<A: HashAdapter> ChainedBucketHash<A> {
+    /// Every bucket's chain, in chain order (walks are bounded by the
+    /// arena size, so a cyclic chain is reported as `truncated`).
+    #[must_use]
+    pub fn raw_buckets(&self) -> Vec<crate::raw::BucketView<A::Entry>> {
+        let bound = self.nodes.len();
+        self.table
+            .iter()
+            .enumerate()
+            .map(|(bucket, head)| {
+                let mut entries = Vec::new();
+                let mut cur = *head;
+                let mut truncated = false;
+                while cur != NIL {
+                    if entries.len() >= bound {
+                        truncated = true;
+                        break;
+                    }
+                    let n = &self.nodes[cur as usize];
+                    entries.push(n.entry);
+                    cur = n.next;
+                }
+                crate::raw::BucketView {
+                    bucket,
+                    entries,
+                    truncated,
+                }
+            })
+            .collect()
+    }
+
+    /// The bucket an entry hashes home to.
+    #[must_use]
+    pub fn raw_home_bucket(&self, e: &A::Entry) -> usize {
+        self.bucket_of_entry(e)
+    }
+
+    /// The adapter, for key comparisons during checking.
+    #[must_use]
+    pub fn raw_adapter(&self) -> &A {
+        &self.adapter
+    }
+
+    /// Corruption hook (negative tests only): swap two bucket heads, so
+    /// every entry in both chains lands in the wrong bucket.
+    pub fn raw_swap_heads(&mut self, a: usize, b: usize) {
+        self.table.swap(a, b);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

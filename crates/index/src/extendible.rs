@@ -346,6 +346,43 @@ impl<A: HashAdapter> UnorderedIndex<A> for ExtendibleHash<A> {
     }
 }
 
+/// Raw structural access for the `mmdb-check` verification layer.
+#[cfg(feature = "check")]
+impl<A: HashAdapter> ExtendibleHash<A> {
+    /// The directory: bucket arena ids, length `2^global_depth`.
+    #[must_use]
+    pub fn raw_directory(&self) -> Vec<u32> {
+        self.directory.clone()
+    }
+
+    /// Every bucket in the arena.
+    #[must_use]
+    pub fn raw_buckets(&self) -> Vec<crate::raw::ExtBucketView<A::Entry>> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(id, b)| crate::raw::ExtBucketView {
+                id: id as u32,
+                local_depth: b.local_depth,
+                pattern: b.pattern,
+                entries: b.items.clone(),
+            })
+            .collect()
+    }
+
+    /// The hash of an entry (directory addressing uses its low bits).
+    #[must_use]
+    pub fn raw_hash_of(&self, e: &A::Entry) -> u64 {
+        self.adapter.hash_entry(e)
+    }
+
+    /// The adapter, for key comparisons during checking.
+    #[must_use]
+    pub fn raw_adapter(&self) -> &A {
+        &self.adapter
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod adapter;
 pub mod array;
@@ -45,6 +46,8 @@ pub mod chained;
 pub mod extendible;
 pub mod linear;
 pub mod modlinear;
+#[cfg(feature = "check")]
+pub mod raw;
 pub mod sort;
 pub mod stats;
 pub mod traits;
@@ -63,3 +66,14 @@ pub use ttree::{TTree, TTreeConfig, TTreeCursor, TTreeMark};
 
 #[cfg(test)]
 pub(crate) mod testkit;
+
+/// Pop the last element of a vector that a structural invariant guarantees
+/// to be non-empty. Centralised so library code carries no `unwrap`/`expect`
+/// (the workspace lint gate); the panic message names the violated
+/// invariant, which is what `mmdb-check` diagnostics key on.
+pub(crate) fn pop_invariant<T>(v: &mut Vec<T>, invariant: &str) -> T {
+    match v.pop() {
+        Some(t) => t,
+        None => panic!("index structural invariant violated: {invariant}"),
+    }
+}

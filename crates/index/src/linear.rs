@@ -158,7 +158,9 @@ impl<A: HashAdapter> LinearHash<A> {
             self.split = self.base();
         }
         self.split -= 1;
-        let mut victim = self.buckets.pop().expect("bucket");
+        let Some(mut victim) = self.buckets.pop() else {
+            return; // unreachable: guarded by the INITIAL_BUCKETS check above
+        };
         debug_assert_eq!(self.buckets.len(), self.base() + self.split);
         self.stats.data_moves(victim.items.len() as u64);
         let survivor_before = self.buckets[self.split].items.len();
@@ -334,6 +336,48 @@ impl<A: HashAdapter> UnorderedIndex<A> for LinearHash<A> {
             ));
         }
         Ok(())
+    }
+}
+
+/// Raw structural access for the `mmdb-check` verification layer.
+#[cfg(feature = "check")]
+impl<A: HashAdapter> LinearHash<A> {
+    /// Every bucket's items, in page order.
+    #[must_use]
+    pub fn raw_buckets(&self) -> Vec<crate::raw::BucketView<A::Entry>> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(bucket, b)| crate::raw::BucketView {
+                bucket,
+                entries: b.items.clone(),
+                truncated: false,
+            })
+            .collect()
+    }
+
+    /// The split pointer (next bucket to split).
+    #[must_use]
+    pub fn raw_split(&self) -> usize {
+        self.split
+    }
+
+    /// `INITIAL_BUCKETS * 2^level`, the base of the current doubling.
+    #[must_use]
+    pub fn raw_base(&self) -> usize {
+        self.base()
+    }
+
+    /// The bucket an entry addresses to under the current split state.
+    #[must_use]
+    pub fn raw_address_of(&self, e: &A::Entry) -> usize {
+        self.address(self.adapter.hash_entry(e))
+    }
+
+    /// The adapter, for key comparisons during checking.
+    #[must_use]
+    pub fn raw_adapter(&self) -> &A {
+        &self.adapter
     }
 }
 

@@ -143,7 +143,9 @@ impl<A: HashAdapter> ModifiedLinearHash<A> {
             self.split = self.base();
         }
         self.split -= 1;
-        let victim_head = self.directory.pop().expect("bucket");
+        let Some(victim_head) = self.directory.pop() else {
+            return; // unreachable: guarded by the INITIAL_BUCKETS check above
+        };
         debug_assert_eq!(self.directory.len(), self.base() + self.split);
         // Prepend the victim chain onto its buddy.
         let mut cur = victim_head;
@@ -359,6 +361,71 @@ impl<A: HashAdapter> UnorderedIndex<A> for ModifiedLinearHash<A> {
             return Err(format!("len {} but chains hold {counted}", self.len));
         }
         Ok(())
+    }
+}
+
+/// Raw structural access for the `mmdb-check` verification layer.
+#[cfg(feature = "check")]
+impl<A: HashAdapter> ModifiedLinearHash<A> {
+    /// Every directory chain, in chain order (walks are bounded by the
+    /// arena size, so a cyclic chain is reported as `truncated`).
+    #[must_use]
+    pub fn raw_chains(&self) -> Vec<crate::raw::BucketView<A::Entry>> {
+        let bound = self.nodes.len();
+        self.directory
+            .iter()
+            .enumerate()
+            .map(|(bucket, head)| {
+                let mut entries = Vec::new();
+                let mut cur = *head;
+                let mut truncated = false;
+                while cur != NIL {
+                    if entries.len() >= bound {
+                        truncated = true;
+                        break;
+                    }
+                    let n = &self.nodes[cur as usize];
+                    entries.push(n.entry);
+                    cur = n.next;
+                }
+                crate::raw::BucketView {
+                    bucket,
+                    entries,
+                    truncated,
+                }
+            })
+            .collect()
+    }
+
+    /// The split pointer (next bucket to split).
+    #[must_use]
+    pub fn raw_split(&self) -> usize {
+        self.split
+    }
+
+    /// `INITIAL_BUCKETS * 2^level`, the base of the current doubling.
+    #[must_use]
+    pub fn raw_base(&self) -> usize {
+        self.base()
+    }
+
+    /// The directory slot an entry addresses to under the current split
+    /// state (the split-pointer math the checker verifies).
+    #[must_use]
+    pub fn raw_address_of(&self, e: &A::Entry) -> usize {
+        self.address(self.adapter.hash_entry(e))
+    }
+
+    /// The adapter, for key comparisons during checking.
+    #[must_use]
+    pub fn raw_adapter(&self) -> &A {
+        &self.adapter
+    }
+
+    /// Corruption hook (negative tests only): swap two chain heads, so
+    /// every entry in both chains lands in the wrong directory slot.
+    pub fn raw_swap_heads(&mut self, a: usize, b: usize) {
+        self.directory.swap(a, b);
     }
 }
 

@@ -1,0 +1,62 @@
+//! Raw structural views for the `mmdb-check` verification layer.
+//!
+//! Only compiled with the `check` cargo feature. Each index exposes
+//! `raw_*` accessors returning these owned snapshots of its internal
+//! arena/directory state, so the external checker can re-derive every
+//! structural invariant (ordering, balance, occupancy, chain addressing)
+//! without the index crate leaking mutable internals — and without the
+//! checker trusting the index's own `validate()`.
+
+/// A binary-tree node view (T-Tree and AVL; an AVL node has one entry).
+#[derive(Debug, Clone)]
+pub struct TreeNodeView<E> {
+    /// Arena id of this node.
+    pub id: u32,
+    /// The node's sorted entries (`entries[0]` is the node minimum).
+    pub entries: Vec<E>,
+    /// Left child arena id, if any.
+    pub left: Option<u32>,
+    /// Right child arena id, if any.
+    pub right: Option<u32>,
+    /// Parent arena id (`None` for the root).
+    pub parent: Option<u32>,
+    /// The height stored in the node (nil = 0, leaf = 1).
+    pub height: i32,
+}
+
+/// A B-Tree node view.
+#[derive(Debug, Clone)]
+pub struct BTreeNodeView<E> {
+    /// Arena id of this node.
+    pub id: u32,
+    /// Sorted separator/data entries (data lives in interior nodes too).
+    pub entries: Vec<E>,
+    /// Child arena ids; empty for a leaf, `entries.len() + 1` otherwise
+    /// (when the structure is intact — the checker verifies exactly that).
+    pub children: Vec<u32>,
+}
+
+/// A hash bucket (or overflow chain) view, in chain order.
+#[derive(Debug, Clone)]
+pub struct BucketView<E> {
+    /// Bucket index in the table/directory.
+    pub bucket: usize,
+    /// Entries in chain/page order.
+    pub entries: Vec<E>,
+    /// True when the chain walk was cut short because it exceeded the
+    /// arena size — i.e. the chain contains a cycle.
+    pub truncated: bool,
+}
+
+/// An extendible-hashing bucket view.
+#[derive(Debug, Clone)]
+pub struct ExtBucketView<E> {
+    /// Arena id of the bucket (what directory slots point at).
+    pub id: u32,
+    /// Bits of the hash this bucket claims.
+    pub local_depth: u32,
+    /// The low `local_depth` bits shared by every entry in the bucket.
+    pub pattern: u64,
+    /// Stored entries.
+    pub entries: Vec<E>,
+}

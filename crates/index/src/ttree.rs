@@ -76,7 +76,10 @@ impl TTreeConfig {
         }
     }
 
-    fn min_count(&self) -> usize {
+    /// Minimum elements for an internal node (`max_count - slack`, at
+    /// least 1) — the paper's *minimum count*.
+    #[must_use]
+    pub fn min_count(&self) -> usize {
         self.max_count.saturating_sub(self.slack).max(1)
     }
 }
@@ -350,11 +353,7 @@ impl<A: Adapter> TTree<A> {
                 continue;
             }
             self.stats.comparisons(1);
-            if self
-                .adapter
-                .cmp_entries(entry, n.items.last().expect("non-empty"))
-                == Ordering::Greater
-            {
+            if self.adapter.cmp_entries(entry, &n.items[n.items.len() - 1]) == Ordering::Greater {
                 if n.right == NIL {
                     return Probe::Off(cur, false);
                 }
@@ -543,7 +542,8 @@ impl<A: Adapter> TTree<A> {
             if self.node(id).items.len() < self.config.min_count() {
                 // Borrow the greatest lower bound from a leaf.
                 let g = self.rightmost(self.node(id).left);
-                let borrowed = self.node_mut(g).items.pop().expect("GLB node non-empty");
+                let borrowed =
+                    crate::pop_invariant(&mut self.node_mut(g).items, "GLB node is non-empty");
                 self.stats.data_moves(2);
                 self.node_mut(id).items.insert(0, borrowed);
                 if self.node(g).items.is_empty() {
@@ -802,11 +802,7 @@ impl<A: Adapter> OrderedIndex<A> for TTree<A> {
                 continue;
             }
             self.stats.comparisons(1);
-            if self
-                .adapter
-                .cmp_entry_key(n.items.last().expect("non-empty"), key)
-                == Ordering::Less
-            {
+            if self.adapter.cmp_entry_key(&n.items[n.items.len() - 1], key) == Ordering::Less {
                 cur = n.right;
                 continue;
             }
@@ -925,6 +921,59 @@ impl<A: Adapter> OrderedIndex<A> for TTree<A> {
             return Err(format!("len {} but traversal found {count}", self.len));
         }
         Ok(())
+    }
+}
+
+/// Raw structural access for the `mmdb-check` verification layer.
+#[cfg(feature = "check")]
+impl<A: Adapter> TTree<A> {
+    /// Arena id of the root node, if the tree is non-empty.
+    #[must_use]
+    pub fn raw_root(&self) -> Option<u32> {
+        (self.root != NIL).then_some(self.root)
+    }
+
+    /// Owned views of every node reachable from the root.
+    #[must_use]
+    pub fn raw_nodes(&self) -> Vec<crate::raw::TreeNodeView<A::Entry>> {
+        let mut out = Vec::new();
+        let mut stack = match self.raw_root() {
+            Some(r) => vec![r],
+            None => Vec::new(),
+        };
+        while let Some(id) = stack.pop() {
+            let n = self.node(id);
+            out.push(crate::raw::TreeNodeView {
+                id,
+                entries: n.items.clone(),
+                left: (n.left != NIL).then_some(n.left),
+                right: (n.right != NIL).then_some(n.right),
+                parent: (n.parent != NIL).then_some(n.parent),
+                height: n.height,
+            });
+            if n.left != NIL {
+                stack.push(n.left);
+            }
+            if n.right != NIL {
+                stack.push(n.right);
+            }
+            if out.len() > self.nodes.len() {
+                break; // cycle in child pointers; the checker reports it
+            }
+        }
+        out
+    }
+
+    /// The adapter, for key comparisons during checking.
+    #[must_use]
+    pub fn raw_adapter(&self) -> &A {
+        &self.adapter
+    }
+
+    /// Corruption hook (negative tests only): mutable access to the item
+    /// vector of node `id`.
+    pub fn raw_items_mut(&mut self, id: u32) -> &mut Vec<A::Entry> {
+        &mut self.node_mut(id).items
     }
 }
 

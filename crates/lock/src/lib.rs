@@ -17,9 +17,12 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod manager;
 pub mod table;
 
 pub use manager::{LockError, LockManager, LockMode, TxnId};
+#[cfg(feature = "check")]
+pub use manager::{LockTableSnapshot, TargetSnapshot};
 pub use table::LockTarget;

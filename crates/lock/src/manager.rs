@@ -163,53 +163,68 @@ impl LockManager {
         }
         let is_upgrade = held_mode.is_some();
         loop {
-            let st = state_lock(&mut s, target);
-            let front_is_me = st.queue.front().is_none_or(|r| r.txn == txn);
-            let can_grant = st.grantable(txn, mode) && (front_is_me || is_upgrade);
-            if can_grant {
-                // Grant (or upgrade in place).
-                st.holders.retain(|(t, _)| *t != txn);
-                st.holders.push((txn, mode));
-                st.queue.retain(|r| r.txn != txn);
-                if !s
-                    .held
-                    .get(&txn)
-                    .map(|v| v.contains(&target))
-                    .unwrap_or(false)
-                {
-                    s.held
-                        .get_mut(&txn)
-                        .ok_or(LockError::UnknownTxn)?
-                        .push(target);
-                }
-                // Cascade: compatible requests behind this one (e.g. a run
-                // of shared locks) must re-evaluate now, not at release.
-                self.wakeup.notify_all();
+            if self.attempt(&mut s, txn, target, mode, is_upgrade)? {
                 return Ok(());
-            }
-            // Must wait: enqueue (once) and check for deadlock. The
-            // notify lets anyone watching queue occupancy (tests, and
-            // waiters whose deadlock picture just changed) re-evaluate.
-            if !state_lock(&mut s, target)
-                .queue
-                .iter()
-                .any(|r| r.txn == txn)
-            {
-                state_lock(&mut s, target)
-                    .queue
-                    .push_back(Request { txn, mode });
-                self.wakeup.notify_all();
-            }
-            if self.would_deadlock(&s, txn) {
-                state_lock(&mut s, target).queue.retain(|r| r.txn != txn);
-                self.wakeup.notify_all();
-                return Err(LockError::Deadlock);
             }
             self.wakeup.wait(&mut s);
             if !s.held.contains_key(&txn) {
                 return Err(LockError::UnknownTxn);
             }
         }
+    }
+
+    /// One grant attempt: grant (or upgrade) if the compatibility matrix
+    /// and queue discipline allow it, otherwise enqueue (once) and check
+    /// for deadlock. `Ok(true)` = granted, `Ok(false)` = queued. This is
+    /// the single grant path shared by the blocking [`LockManager::lock`]
+    /// and the deterministic [`LockManager::lock_step`] used by the
+    /// interleaving explorer — so the explorer exercises the production
+    /// grant logic, not a model of it.
+    fn attempt(
+        &self,
+        s: &mut State,
+        txn: TxnId,
+        target: LockTarget,
+        mode: LockMode,
+        is_upgrade: bool,
+    ) -> Result<bool, LockError> {
+        let st = state_lock(s, target);
+        let front_is_me = st.queue.front().is_none_or(|r| r.txn == txn);
+        let can_grant = st.grantable(txn, mode) && (front_is_me || is_upgrade);
+        if can_grant {
+            // Grant (or upgrade in place).
+            st.holders.retain(|(t, _)| *t != txn);
+            st.holders.push((txn, mode));
+            st.queue.retain(|r| r.txn != txn);
+            if !s
+                .held
+                .get(&txn)
+                .map(|v| v.contains(&target))
+                .unwrap_or(false)
+            {
+                s.held
+                    .get_mut(&txn)
+                    .ok_or(LockError::UnknownTxn)?
+                    .push(target);
+            }
+            // Cascade: compatible requests behind this one (e.g. a run
+            // of shared locks) must re-evaluate now, not at release.
+            self.wakeup.notify_all();
+            return Ok(true);
+        }
+        // Must wait: enqueue (once) and check for deadlock. The
+        // notify lets anyone watching queue occupancy (tests, and
+        // waiters whose deadlock picture just changed) re-evaluate.
+        if !state_lock(s, target).queue.iter().any(|r| r.txn == txn) {
+            state_lock(s, target).queue.push_back(Request { txn, mode });
+            self.wakeup.notify_all();
+        }
+        if self.would_deadlock(s, txn) {
+            state_lock(s, target).queue.retain(|r| r.txn != txn);
+            self.wakeup.notify_all();
+            return Err(LockError::Deadlock);
+        }
+        Ok(false)
     }
 
     /// Non-blocking acquire; `Ok(false)` if the lock is busy.
@@ -324,6 +339,83 @@ impl LockManager {
             }
         }
         false
+    }
+}
+
+/// One lock target's holders and wait queue, as captured by
+/// [`LockManager::snapshot`].
+#[cfg(feature = "check")]
+#[derive(Debug, Clone)]
+pub struct TargetSnapshot {
+    /// The locked target.
+    pub target: LockTarget,
+    /// Current holders (txn, granted mode).
+    pub holders: Vec<(TxnId, LockMode)>,
+    /// Waiting requests in queue (FIFO) order.
+    pub queued: Vec<(TxnId, LockMode)>,
+}
+
+/// A consistent snapshot of the whole lock table (taken under the state
+/// mutex), for `mmdb-check`'s compatibility/queue-discipline validation.
+#[cfg(feature = "check")]
+#[derive(Debug, Clone)]
+pub struct LockTableSnapshot {
+    /// Every target with a holder or a waiter, sorted by target.
+    pub targets: Vec<TargetSnapshot>,
+    /// Live (begun, not yet released) transactions, sorted.
+    pub live_txns: Vec<TxnId>,
+}
+
+/// Deterministic stepping and introspection for the interleaving explorer.
+#[cfg(feature = "check")]
+impl LockManager {
+    /// One non-blocking grant attempt through the *production* grant path
+    /// ([`lock`](LockManager::lock) shares the same internal `attempt`):
+    /// `Ok(true)` = granted, `Ok(false)` = now queued (call again to
+    /// re-poll), `Err(Deadlock)` = aborted and dequeued. This gives a
+    /// scheduler full control over interleavings: no condvar, no timing.
+    pub fn lock_step(
+        &self,
+        txn: TxnId,
+        target: LockTarget,
+        mode: LockMode,
+    ) -> Result<bool, LockError> {
+        let mut s = self.state.lock();
+        if !s.held.contains_key(&txn) {
+            return Err(LockError::UnknownTxn);
+        }
+        s.requests += 1;
+        let held_mode = state_lock(&mut s, target).held_by(txn);
+        if let Some(held_mode) = held_mode {
+            if held_mode == LockMode::Exclusive || mode == LockMode::Shared {
+                return Ok(true);
+            }
+        }
+        let is_upgrade = held_mode.is_some();
+        self.attempt(&mut s, txn, target, mode, is_upgrade)
+    }
+
+    /// Capture the lock table under the state mutex.
+    #[must_use]
+    pub fn snapshot(&self) -> LockTableSnapshot {
+        let s = self.state.lock();
+        let mut targets: Vec<TargetSnapshot> = Vec::new();
+        for chain in &s.buckets {
+            for (target, st) in chain {
+                if st.holders.is_empty() && st.queue.is_empty() {
+                    continue;
+                }
+                targets.push(TargetSnapshot {
+                    target: *target,
+                    holders: st.holders.clone(),
+                    queued: st.queue.iter().map(|r| (r.txn, r.mode)).collect(),
+                });
+            }
+        }
+        targets.sort_by_key(|t| t.target);
+        let mut live_txns: Vec<TxnId> = s.held.keys().copied().collect();
+        live_txns.sort_unstable();
+        LockTableSnapshot { targets, live_txns }
     }
 }
 

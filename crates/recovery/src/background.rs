@@ -21,7 +21,10 @@ pub struct ActiveLogDevice {
 impl ActiveLogDevice {
     /// Spawn a device thread over a shared recovery manager, cycling every
     /// `interval`.
-    pub fn spawn<S>(mgr: Arc<Mutex<RecoveryManager<S>>>, interval: Duration) -> Self
+    pub fn spawn<S>(
+        mgr: Arc<Mutex<RecoveryManager<S>>>,
+        interval: Duration,
+    ) -> std::io::Result<Self>
     where
         S: StableStore + Send + 'static,
     {
@@ -36,19 +39,20 @@ impl ActiveLogDevice {
                 }
                 // Final cycle so nothing committed is left behind.
                 mgr.lock().run_log_device()
-            })
-            .expect("spawn log device thread");
-        ActiveLogDevice {
+            })?;
+        Ok(ActiveLogDevice {
             stop,
             handle: Some(handle),
-        }
+        })
     }
 
     /// Stop the device, running one final propagation cycle.
     pub fn shutdown(mut self) -> std::io::Result<()> {
         self.stop.store(true, Ordering::Relaxed);
         match self.handle.take() {
-            Some(h) => h.join().expect("log device thread panicked"),
+            Some(h) => h
+                .join()
+                .unwrap_or_else(|_| Err(std::io::Error::other("log device thread panicked"))),
             None => Ok(()),
         }
     }
@@ -72,7 +76,7 @@ mod tests {
     #[test]
     fn background_device_propagates_concurrently() {
         let mgr = Arc::new(Mutex::new(RecoveryManager::new(MemDisk::new())));
-        let device = ActiveLogDevice::spawn(Arc::clone(&mgr), Duration::from_millis(1));
+        let device = ActiveLogDevice::spawn(Arc::clone(&mgr), Duration::from_millis(1)).unwrap();
         // Commit updates while the device runs.
         for txn in 0..50u64 {
             let mut m = mgr.lock();
@@ -93,7 +97,8 @@ mod tests {
     fn drop_stops_the_thread() {
         let mgr = Arc::new(Mutex::new(RecoveryManager::new(MemDisk::new())));
         {
-            let _device = ActiveLogDevice::spawn(Arc::clone(&mgr), Duration::from_millis(1));
+            let _device =
+                ActiveLogDevice::spawn(Arc::clone(&mgr), Duration::from_millis(1)).unwrap();
             let mut m = mgr.lock();
             m.log_update(1, PartitionKey::new(0, 0), vec![1]);
             m.commit(1);

@@ -53,9 +53,10 @@ impl LogDevice {
         let mut keys: Vec<PartitionKey> = self.accumulated.keys().copied().collect();
         keys.sort_unstable();
         for key in keys {
-            let (_, image) = self.accumulated.remove(&key).expect("key present");
-            disk.write(key, &image)?;
-            self.flushed += 1;
+            if let Some((_, image)) = self.accumulated.remove(&key) {
+                disk.write(key, &image)?;
+                self.flushed += 1;
+            }
         }
         Ok(())
     }

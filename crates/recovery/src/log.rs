@@ -117,6 +117,36 @@ impl StableLogBuffer {
         self.staged.len()
     }
 
+    /// Introspection for `mmdb-check`: staged records in log order.
+    #[cfg(feature = "check")]
+    #[must_use]
+    pub fn staged_records(&self) -> &[LogRecord] {
+        &self.staged
+    }
+
+    /// Introspection for `mmdb-check`: committed records in commit order.
+    #[cfg(feature = "check")]
+    #[must_use]
+    pub fn committed_records(&self) -> &[LogRecord] {
+        &self.committed
+    }
+
+    /// The next LSN the buffer will assign (every existing record's LSN is
+    /// strictly below this).
+    #[cfg(feature = "check")]
+    #[must_use]
+    pub fn next_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+
+    /// Corruption hook (negative tests only): mutable access to committed
+    /// records, so tests can break LSN ordering and watch the checker
+    /// reject it.
+    #[cfg(feature = "check")]
+    pub fn committed_records_mut(&mut self) -> &mut [LogRecord] {
+        &mut self.committed
+    }
+
     /// Number of committed records awaiting the log device.
     #[must_use]
     pub fn committed_len(&self) -> usize {

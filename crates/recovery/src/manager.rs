@@ -63,6 +63,13 @@ impl<S: StableStore> RecoveryManager<S> {
         self.device.poll(&mut self.buffer);
     }
 
+    /// Introspection for `mmdb-check`: the stable log buffer.
+    #[cfg(feature = "check")]
+    #[must_use]
+    pub fn log_buffer(&self) -> &StableLogBuffer {
+        &self.buffer
+    }
+
     /// Persist a metadata blob (the catalog) on the disk copy.
     pub fn write_meta(&mut self, name: &str, bytes: &[u8]) -> std::io::Result<()> {
         self.disk.write_meta(name, bytes)

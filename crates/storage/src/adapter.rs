@@ -153,9 +153,16 @@ impl<'a> AttrAdapter<'a> {
     /// Extract the indexed attribute of a tuple.
     #[must_use]
     pub fn value_of(&self, tid: TupleId) -> Value<'a> {
-        self.rel
-            .field(tid, self.attr)
-            .expect("index entry must reference a live tuple")
+        // The Adapter trait's comparators are infallible by design (§2.2:
+        // an index entry *is* a tuple pointer, so dereferencing cannot
+        // fail in a consistent database). A dead entry here means the
+        // index and relation have drifted apart -- exactly the invariant
+        // `mmdb-check`'s reachability pass verifies -- so panicking with
+        // the violated invariant is the only sound response.
+        match self.rel.field(tid, self.attr) {
+            Ok(v) => v,
+            Err(e) => panic!("index entry {tid:?} must reference a live tuple: {e}"),
+        }
     }
 }
 
@@ -218,9 +225,13 @@ impl<'a> TempListAdapter<'a> {
     #[must_use]
     pub fn value_of(&self, row: u32) -> Value<'a> {
         let tid = self.list.row(row as usize)[self.source];
-        self.rel
-            .field(tid, self.attr)
-            .expect("temp-list row must reference a live tuple")
+        // Infallible for the same reason as `AttrAdapter::value_of`: a
+        // temp-list row that no longer dereferences is index/relation
+        // drift, which the verification layer reports as a violation.
+        match self.rel.field(tid, self.attr) {
+            Ok(v) => v,
+            Err(e) => panic!("temp-list row {tid:?} must reference a live tuple: {e}"),
+        }
     }
 }
 

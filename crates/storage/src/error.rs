@@ -36,6 +36,9 @@ pub enum StorageError {
     /// A forwarding chain was longer than the storage engine permits
     /// (indicates corruption).
     ForwardingCycle(TupleId),
+    /// A serialized partition image or heap payload failed validation
+    /// (truncated image, bad UTF-8, out-of-range offsets).
+    CorruptImage(&'static str),
 }
 
 impl std::fmt::Display for StorageError {
@@ -56,6 +59,7 @@ impl std::fmt::Display for StorageError {
             StorageError::UnknownAttribute(n) => write!(f, "unknown attribute: {n}"),
             StorageError::HeapExhausted => write!(f, "partition heap exhausted"),
             StorageError::ForwardingCycle(t) => write!(f, "forwarding cycle at {t:?}"),
+            StorageError::CorruptImage(what) => write!(f, "corrupt storage image: {what}"),
         }
     }
 }

@@ -152,10 +152,7 @@ impl Partition {
 
     fn read_cell_pair(&self, slot: u32, attr: usize) -> (u32, u32) {
         let c = self.cell(slot, attr);
-        (
-            u32::from_le_bytes(c[..4].try_into().expect("4 bytes")),
-            u32::from_le_bytes(c[4..].try_into().expect("4 bytes")),
-        )
+        (le_u32(&c[..4]), le_u32(&c[4..]))
     }
 
     /// Append `bytes` to the heap; returns the offset, or `HeapExhausted`.
@@ -248,12 +245,16 @@ impl Partition {
         Ok(match ty {
             AttrType::Int => {
                 let c = self.cell(slot, attr);
-                Value::Int(i64::from_le_bytes(c.try_into().expect("8 bytes")))
+                Value::Int(le_i64(c))
             }
             AttrType::Str => {
                 let (off, len) = self.read_cell_pair(slot, attr);
                 let bytes = &self.heap[off as usize..off as usize + len as usize];
-                Value::Str(std::str::from_utf8(bytes).expect("heap strings are valid UTF-8"))
+                Value::Str(
+                    std::str::from_utf8(bytes).map_err(|_| {
+                        StorageError::CorruptImage("heap string is not valid UTF-8")
+                    })?,
+                )
             }
             AttrType::Ptr => {
                 let (p, s) = self.read_cell_pair(slot, attr);
@@ -265,9 +266,8 @@ impl Partition {
                 let mut list = Vec::with_capacity(count as usize);
                 for i in 0..count as usize {
                     let base = off as usize + i * 8;
-                    let p = u32::from_le_bytes(self.heap[base..base + 4].try_into().expect("4"));
-                    let s =
-                        u32::from_le_bytes(self.heap[base + 4..base + 8].try_into().expect("4"));
+                    let p = le_u32(&self.heap[base..base + 4]);
+                    let s = le_u32(&self.heap[base + 4..base + 8]);
                     list.push(TupleId::new(p, s));
                 }
                 Value::PtrList(list)
@@ -382,24 +382,29 @@ impl Partition {
         out
     }
 
-    /// Reconstruct a partition from [`Partition::to_bytes`] output.
-    #[must_use]
-    pub fn from_bytes(bytes: &[u8]) -> Self {
+    /// Reconstruct a partition from [`Partition::to_bytes`] output,
+    /// rejecting truncated or malformed images with a typed error.
+    pub fn try_from_bytes(bytes: &[u8]) -> Result<Self, StorageError> {
         let mut pos = 0usize;
-        let read_u64 = |pos: &mut usize| {
-            let v = u64::from_le_bytes(bytes[*pos..*pos + 8].try_into().expect("8 bytes"));
+        let read_u64 = |pos: &mut usize| -> Result<usize, StorageError> {
+            let b = bytes
+                .get(*pos..*pos + 8)
+                .ok_or(StorageError::CorruptImage("truncated length field"))?;
             *pos += 8;
-            v as usize
+            Ok(le_u64(b) as usize)
         };
-        let slot_size = read_u64(&mut pos);
-        let capacity = read_u64(&mut pos);
-        let heap_budget = read_u64(&mut pos);
-        let n_states = read_u64(&mut pos);
+        let slot_size = read_u64(&mut pos)?;
+        let capacity = read_u64(&mut pos)?;
+        let heap_budget = read_u64(&mut pos)?;
+        let n_states = read_u64(&mut pos)?;
+        let state_bytes = bytes
+            .get(pos..pos + n_states)
+            .ok_or(StorageError::CorruptImage("truncated slot-state table"))?;
         let mut states = Vec::with_capacity(n_states);
         let mut free_slots = Vec::new();
         let mut live = 0usize;
-        for i in 0..n_states {
-            let s = match bytes[pos] {
+        for (i, b) in state_bytes.iter().enumerate() {
+            states.push(match b {
                 1 => {
                     live += 1;
                     SlotState::Occupied
@@ -409,16 +414,21 @@ impl Partition {
                     free_slots.push(i as u32);
                     SlotState::Empty
                 }
-            };
-            pos += 1;
-            states.push(s);
+            });
         }
-        let n_slots = read_u64(&mut pos);
-        let slots = bytes[pos..pos + n_slots].to_vec();
+        pos += n_states;
+        let n_slots = read_u64(&mut pos)?;
+        let slots = bytes
+            .get(pos..pos + n_slots)
+            .ok_or(StorageError::CorruptImage("truncated slot payload"))?
+            .to_vec();
         pos += n_slots;
-        let n_heap = read_u64(&mut pos);
-        let heap = bytes[pos..pos + n_heap].to_vec();
-        Partition {
+        let n_heap = read_u64(&mut pos)?;
+        let heap = bytes
+            .get(pos..pos + n_heap)
+            .ok_or(StorageError::CorruptImage("truncated heap payload"))?
+            .to_vec();
+        Ok(Partition {
             slot_size,
             capacity,
             heap_budget,
@@ -427,8 +437,24 @@ impl Partition {
             heap,
             free_slots,
             live,
-        }
+        })
     }
+}
+
+/// Decode a little-endian `u32` from a 4-byte slice (the fixed cell
+/// layout guarantees the width, so no fallible `try_into` is needed).
+fn le_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+}
+
+/// Decode a little-endian `i64` from an 8-byte cell.
+fn le_i64(b: &[u8]) -> i64 {
+    i64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+}
+
+/// Decode a little-endian `u64` from an 8-byte slice.
+fn le_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
 }
 
 #[cfg(test)]
@@ -570,7 +596,7 @@ mod tests {
         p.delete(a).unwrap();
         p.forward(b, TupleId::new(9, 9)).unwrap();
         let img = p.to_bytes();
-        let q = Partition::from_bytes(&img);
+        let q = Partition::try_from_bytes(&img).unwrap();
         assert_eq!(q.live(), p.live());
         assert_eq!(q.capacity(), p.capacity());
         assert_eq!(q.slot_state(a).unwrap(), SlotState::Empty);

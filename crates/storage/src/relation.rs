@@ -280,8 +280,10 @@ impl Relation {
     }
 
     /// Replace a partition from a byte image (recovery restart path).
-    pub fn load_partition_image(&mut self, p: u32, image: &[u8]) {
-        let part = Partition::from_bytes(image);
+    /// Fails with [`StorageError::CorruptImage`] on a malformed image,
+    /// leaving the relation untouched.
+    pub fn load_partition_image(&mut self, p: u32, image: &[u8]) -> Result<(), StorageError> {
+        let part = Partition::try_from_bytes(image)?;
         if p as usize >= self.partitions.len() {
             while self.partitions.len() < p as usize {
                 self.partitions
@@ -295,6 +297,7 @@ impl Relation {
             self.dirty[p as usize] = false;
         }
         self.len = self.partitions.iter().map(Partition::live).sum();
+        Ok(())
     }
 
     /// Partitions dirtied since the last [`Relation::clear_dirty`] call.
@@ -539,7 +542,7 @@ mod tests {
         let img = r.partition_image(0).unwrap();
         // Wreck the tuple, then restore the image.
         r.update_field(t, 1, &OwnedValue::Int(-1)).unwrap();
-        r.load_partition_image(0, &img);
+        r.load_partition_image(0, &img).unwrap();
         assert_eq!(r.field(t, 1).unwrap(), Value::Int(23));
         assert_eq!(r.len(), 1);
     }

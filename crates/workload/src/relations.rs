@@ -64,7 +64,7 @@ fn materialize(name: &str, values: ValueSet) -> JoinRelation {
     for (i, v) in values.values.iter().enumerate() {
         let tid = relation
             .insert(&[OwnedValue::Int(i as i64), OwnedValue::Int(*v)])
-            .expect("workload insert cannot fail");
+            .unwrap_or_else(|e| panic!("workload insert cannot fail: {e}"));
         tids.push(tid);
     }
     JoinRelation {
@@ -85,7 +85,7 @@ pub fn build_single_column(name: &str, spec: &RelationSpec) -> (Relation, Vec<Tu
     for v in &values.values {
         let tid = relation
             .insert(&[OwnedValue::Int(*v)])
-            .expect("workload insert cannot fail");
+            .unwrap_or_else(|e| panic!("workload insert cannot fail: {e}"));
         tids.push(tid);
     }
     (relation, tids)

@@ -9,6 +9,8 @@
 //! cargo run --example active_log_device
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use mmdb_recovery::{ActiveLogDevice, MemDisk, PartitionKey, RecoveryManager, RestartPhase};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -16,7 +18,8 @@ use std::time::Duration;
 
 fn main() {
     let mgr = Arc::new(Mutex::new(RecoveryManager::new(MemDisk::new())));
-    let device = ActiveLogDevice::spawn(Arc::clone(&mgr), Duration::from_millis(2));
+    let device = ActiveLogDevice::spawn(Arc::clone(&mgr), Duration::from_millis(2))
+        .expect("spawn log device");
     println!("log device running in the background (2 ms cycle)");
 
     // 200 transactions across 8 partitions, committed while the device

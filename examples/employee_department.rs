@@ -12,6 +12,8 @@
 //! cargo run --example employee_department
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use mmdb_core::{Database, IndexKind};
 use mmdb_exec::{JoinMethod, Predicate};
 use mmdb_storage::{AttrType, KeyValue, OwnedValue, Schema, TupleId};

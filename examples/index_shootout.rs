@@ -5,6 +5,8 @@
 //! cargo run --release --example index_shootout [n]
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use mmdb_bench::indexes::{shuffled_keys, IndexKindB};
 use std::time::Instant;
 

@@ -7,6 +7,8 @@
 //! cargo run --release --example multi_user
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use mmdb_core::{DbServer, IndexKind};
 use mmdb_exec::Predicate;
 use mmdb_storage::{AttrType, KeyValue, OwnedValue, Schema};

@@ -5,6 +5,8 @@
 //! cargo run --example quickstart
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use mmdb_core::{Database, IndexKind};
 use mmdb_exec::Predicate;
 use mmdb_storage::{AttrType, KeyValue, OwnedValue, Schema};

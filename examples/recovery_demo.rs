@@ -9,6 +9,8 @@
 //! cargo run --example recovery_demo
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use mmdb_core::{Database, IndexKind};
 use mmdb_exec::Predicate;
 use mmdb_recovery::FileDisk;

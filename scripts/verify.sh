@@ -1,16 +1,58 @@
 #!/usr/bin/env sh
-# Tier-1 verification: build, test, lint, and smoke-run the benches.
-set -eux
+# Full verification: build, tests, lint gates, the mmdb-check deep
+# invariant layer, and a bench smoke run — with a per-gate PASS/FAIL
+# summary at the end. Exits non-zero if any gate fails.
+set -u
 
 cd "$(dirname "$0")/.."
 
-cargo build --release
-cargo test -q
-cargo fmt --check
-cargo clippy --workspace --all-targets -- -D warnings
+SUMMARY=""
+FAILED=0
+
+gate() {
+    name="$1"
+    shift
+    echo "==> $name: $*"
+    if "$@"; then
+        SUMMARY="$SUMMARY
+PASS  $name"
+    else
+        SUMMARY="$SUMMARY
+FAIL  $name"
+        FAILED=1
+    fi
+}
+
+# Tier-1: the seed contract.
+gate "build-release"     cargo build --release
+gate "tier1-tests"       cargo test -q
+
+# Hygiene gates. fmt and clippy fail on any drift; the workspace lint
+# table sets clippy::unwrap_used / expect_used to warn, and -D warnings
+# promotes them to hard errors for library code here.
+gate "fmt"               cargo fmt --check
+gate "clippy-D-warnings" cargo clippy --workspace --all-targets -- -D warnings
+
+# Every feature combination must at least typecheck.
+gate "check-all-features" cargo check --workspace --all-features
 
 # Full workspace suite (crate unit tests beyond the root package).
-cargo test --workspace -q
+gate "workspace-tests"   cargo test --workspace -q
 
-# Parallel-scaling bench, criterion --test smoke mode (runs each case once).
-cargo bench -p mmdb-bench --bench scaling -- --test
+# The verification layer: check-after-op hooks in the property suites,
+# the checker's own self-tests, and the corruption (negative) tests.
+gate "deep-check-tests"  cargo test --features check -q
+gate "checker-selftests" cargo test -p mmdb-check -q
+
+# Bounded interleaving-explorer smoke: the seeded scheduler must find
+# and seed-replay the toy-lock race, and drive the real lock manager
+# clean, within its bounded seed budget.
+gate "explorer-smoke"    cargo test -p mmdb-check explore -q
+
+# Parallel-scaling bench, criterion --test smoke mode (each case once).
+gate "bench-smoke"       cargo bench -p mmdb-bench --bench scaling -- --test
+
+echo ""
+echo "==== verification summary ===="
+echo "$SUMMARY" | sed '/^$/d'
+exit $FAILED

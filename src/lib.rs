@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub use mmdb_bench as bench;
 pub use mmdb_core as core;

@@ -1,6 +1,8 @@
 //! Cross-crate integration: the full MM-DBMS pipeline — generated
 //! workload → storage → indexes → query processing → recovery.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use mmdb_core::{Database, IndexKind};
 use mmdb_exec::{JoinMethod, Predicate};
 use mmdb_storage::{AttrType, KeyValue, OwnedValue, Schema};

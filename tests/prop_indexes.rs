@@ -2,6 +2,8 @@
 //! tuple-pointer adapters (the §2.2 configuration), stays equivalent to a
 //! model under arbitrary operation sequences.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use mmdb_core::SharedAdapter;
 use mmdb_index::traits::{OrderedIndex, UnorderedIndex};
 use mmdb_index::{
@@ -108,8 +110,18 @@ macro_rules! drive {
                 Op::Range(_, _) => { /* handled in the ordered macro */ }
             }
             prop_assert_eq!(idx.len(), model.len());
+            // Check-after-op: with the verification layer on, re-derive
+            // every structural invariant after every single operation.
+            #[cfg(all(feature = "check", debug_assertions))]
+            mmdb_check::DeepCheck::deep_check(&*idx)
+                .into_result()
+                .map_err(TestCaseError::fail)?;
         }
         idx.validate().map_err(|e| TestCaseError::fail(e))?;
+        #[cfg(all(feature = "check", debug_assertions))]
+        mmdb_check::DeepCheck::deep_check(&*idx)
+            .into_result()
+            .map_err(TestCaseError::fail)?;
         model
     }};
 }

@@ -2,6 +2,8 @@
 //! equijoin, over arbitrary value multisets (duplicates, skew, partial
 //! overlap, empty sides).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use mmdb_exec::{
     hash_join, nested_loops_join, sort_merge_join, tree_join, tree_merge_join, JoinSide,
 };

@@ -2,6 +2,8 @@
 //! same rows, same order — to their serial counterparts over arbitrary
 //! relations, predicates, and degrees of parallelism.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use mmdb_exec::{
     hash_join, parallel_hash_join, parallel_project_hash, parallel_select_scan,
     parallel_theta_join, select_scan, theta_nested_loops_join, ExecConfig, JoinSide, Predicate,
@@ -72,6 +74,10 @@ proptest! {
         let (rel, tids) = rel_with_values("r", &values);
         let pred = predicate(variant, a, b);
         let serial = select_scan(&rel, 1, &tids, &pred).unwrap();
+        #[cfg(all(feature = "check", debug_assertions))]
+        mmdb_check::storage_checks::check_relation(&rel)
+            .into_result()
+            .map_err(TestCaseError::fail)?;
         for dop in DOPS {
             let par = parallel_select_scan(&rel, 1, &pred, ExecConfig::with_dop(dop)).unwrap();
             prop_assert_eq!(&par, &serial, "dop={}", dop);
@@ -88,6 +94,20 @@ proptest! {
         let outer = JoinSide::new(&orel, 1, &otids);
         let inner = JoinSide::new(&irel, 1, &itids);
         let serial = hash_join(outer, inner).unwrap();
+        // The pool's merge rule must be completion-order independent on
+        // exactly this result shape.
+        #[cfg(all(feature = "check", debug_assertions))]
+        {
+            let tagged: Vec<(usize, Vec<TupleId>)> = serial
+                .pairs
+                .iter()
+                .enumerate()
+                .map(|(i, row)| (i, row.to_vec()))
+                .collect();
+            mmdb_check::merge_checks::check_merge_determinism(&tagged)
+                .into_result()
+                .map_err(TestCaseError::fail)?;
+        }
         for dop in DOPS {
             let cfg = ExecConfig::with_dop(dop);
             let par = parallel_hash_join(outer, inner, cfg).unwrap();
@@ -129,6 +149,10 @@ proptest! {
             let par =
                 parallel_project_hash(&list, &desc, &[&rel], ExecConfig::with_dop(dop)).unwrap();
             prop_assert_eq!(&par.rows, &serial.rows, "dop={}", dop);
+            #[cfg(all(feature = "check", debug_assertions))]
+            mmdb_check::storage_checks::check_templist(&par.rows, &desc, &[&rel])
+                .into_result()
+                .map_err(TestCaseError::fail)?;
         }
     }
 }

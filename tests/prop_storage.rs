@@ -2,6 +2,8 @@
 //! arbitrary operation sequences, partition byte-image roundtrips, and
 //! catalog codec roundtrips with arbitrary schemas.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use mmdb_core::catalog::{decode_catalog, encode_catalog, CatalogMeta, IndexMeta, TableMeta};
 use mmdb_core::IndexKind;
 use mmdb_storage::{
@@ -89,6 +91,10 @@ proptest! {
         // Full cross-check: every model tuple readable via its ORIGINAL id
         // (forwarding must be transparent), count matches, tids() agrees.
         prop_assert_eq!(rel.len(), model.len());
+        #[cfg(all(feature = "check", debug_assertions))]
+        mmdb_check::storage_checks::check_relation(&rel)
+            .into_result()
+            .map_err(TestCaseError::fail)?;
         for (tid, (name, age)) in &model {
             prop_assert_eq!(rel.field(*tid, 0).unwrap(), Value::Str(name));
             prop_assert_eq!(rel.field(*tid, 1).unwrap(), Value::Int(*age));
@@ -134,7 +140,11 @@ proptest! {
         );
         for p in 0..rel.partition_count() {
             let img = rel.partition_image(p as u32).unwrap();
-            twin.load_partition_image(p as u32, &img);
+            twin.load_partition_image(p as u32, &img).unwrap();
+            #[cfg(all(feature = "check", debug_assertions))]
+            mmdb_check::storage_checks::check_relation(&twin)
+                .into_result()
+                .map_err(TestCaseError::fail)?;
         }
         prop_assert_eq!(twin.len(), rel.len());
         for tid in rel.tids() {

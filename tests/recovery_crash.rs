@@ -2,6 +2,8 @@
 //! interleavings of commits, aborts, log-device progress, and crash
 //! points must always recover exactly the committed state.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use mmdb_core::{Database, IndexKind};
 use mmdb_exec::Predicate;
 use mmdb_storage::{AttrType, KeyValue, OwnedValue, Schema};
