@@ -98,7 +98,16 @@ pub struct Database<S: StableStore = MemDisk> {
     locks: LockManager,
     recovery: RecoveryManager<S>,
     exec: ExecConfig,
+    /// Monotone catalog version; selects which shadow slot the next
+    /// persist writes (see [`Database::persist_catalog`]).
+    catalog_epoch: u64,
 }
+
+/// Shadow slots for the catalog blob. Persists alternate between them,
+/// so a torn write (power cut mid-catalog-write) can destroy at most
+/// one slot — restart always finds the previous intact epoch in the
+/// other.
+const CATALOG_SLOTS: [&str; 2] = ["catalog.a", "catalog.b"];
 
 impl Database<MemDisk> {
     /// A database whose disk copy is simulated in memory.
@@ -124,6 +133,7 @@ impl<S: StableStore> Database<S> {
             locks: LockManager::default(),
             recovery: RecoveryManager::new(disk),
             exec: ExecConfig::default(),
+            catalog_epoch: 0,
         }
     }
 
@@ -238,7 +248,7 @@ impl<S: StableStore> Database<S> {
         Ok(())
     }
 
-    fn persist_catalog(&mut self) -> Result<(), DbError> {
+    pub(crate) fn persist_catalog(&mut self) -> Result<(), DbError> {
         let meta = CatalogMeta {
             tables: self
                 .tables
@@ -264,8 +274,14 @@ impl<S: StableStore> Database<S> {
                 })
                 .collect(),
         };
-        self.recovery
-            .write_meta("catalog", &encode_catalog(&meta))?;
+        // Shadow write: bump the epoch, prefix it to the blob, and write
+        // the slot the *previous* epoch did not use. A crash mid-write
+        // tears this slot only; the other still decodes at the old epoch.
+        self.catalog_epoch += 1;
+        let mut blob = self.catalog_epoch.to_le_bytes().to_vec();
+        blob.extend_from_slice(&encode_catalog(&meta));
+        let slot = CATALOG_SLOTS[(self.catalog_epoch % 2) as usize];
+        self.recovery.write_meta(slot, &blob)?;
         Ok(())
     }
 
@@ -284,6 +300,22 @@ impl<S: StableStore> Database<S> {
     /// several relations at once for materialization).
     pub(crate) fn relation_handle(&self, table: &str) -> Result<Rc<RefCell<Relation>>, DbError> {
         Ok(Rc::clone(&self.table(self.table_id(table)?).rel))
+    }
+
+    /// Every table's relation handle, in table-id order (checkpoint
+    /// work-list construction).
+    pub(crate) fn relations(&self) -> impl Iterator<Item = &Rc<RefCell<Relation>>> {
+        self.tables.iter().map(|t| &t.rel)
+    }
+
+    /// Relation handle by table id (checkpoint step path).
+    pub(crate) fn relation_by_id(&self, t: TableId) -> Rc<RefCell<Relation>> {
+        Rc::clone(&self.tables[t].rel)
+    }
+
+    /// Mutable recovery manager (checkpoint step path).
+    pub(crate) fn recovery_mut(&mut self) -> &mut RecoveryManager<S> {
+        &mut self.recovery
     }
 
     /// Run a closure against the table's relation (read-only).
@@ -825,17 +857,56 @@ impl<S: StableStore> CrashedDatabase<S> {
         self,
         working_set: &[(&str, u32)],
     ) -> Result<(Database<S>, RecoveryReport), DbError> {
-        let bytes = self
-            .recovery
-            .read_meta("catalog")?
-            .ok_or_else(|| DbError::Catalog("no catalog on disk copy".into()))?;
-        let meta = decode_catalog(&bytes).map_err(DbError::Catalog)?;
+        // Read both shadow slots; the freshest epoch that still decodes
+        // wins. A torn slot is reported (and skipped) — restart only
+        // fails if no slot survives.
+        let mut best: Option<(u64, CatalogMeta)> = None;
+        let mut slot_errors: Vec<String> = Vec::new();
+        let mut slots_present = 0usize;
+        for slot in CATALOG_SLOTS {
+            let Some(bytes) = self.recovery.read_meta(slot)? else {
+                continue;
+            };
+            slots_present += 1;
+            if bytes.len() < 8 {
+                slot_errors.push(format!("{slot}: catalog truncated before epoch header"));
+                continue;
+            }
+            let mut e = [0u8; 8];
+            e.copy_from_slice(&bytes[..8]);
+            let epoch = u64::from_le_bytes(e);
+            match decode_catalog(&bytes[8..]) {
+                Ok(meta) => {
+                    let fresher = match &best {
+                        Some((have, _)) => epoch > *have,
+                        None => true,
+                    };
+                    if fresher {
+                        best = Some((epoch, meta));
+                    }
+                }
+                Err(err) => slot_errors.push(format!("{slot}: {err}")),
+            }
+        }
+        let (catalog_epoch, meta) = match best {
+            Some(found) => found,
+            None if slots_present == 0 => {
+                return Err(DbError::Catalog("no catalog on disk copy".into()))
+            }
+            None => {
+                return Err(DbError::Catalog(format!(
+                    "no catalog slot survived: {}",
+                    slot_errors.join("; ")
+                )))
+            }
+        };
         let mut db = Database {
             tables: Vec::new(),
             indexes: Vec::new(),
             locks: LockManager::default(),
             recovery: self.recovery,
             exec: ExecConfig::default(),
+            catalog_epoch,
         };
         for t in &meta.tables {
             db.tables.push(Table {
@@ -866,7 +937,17 @@ impl<S: StableStore> CrashedDatabase<S> {
             db.tables[t]
                 .rel
                 .borrow_mut()
-                .load_partition_image(key.partition, &image)?;
+                .load_partition_image(key.partition, &image)
+                .map_err(|e| match e {
+                    // A torn/truncated image must fail loudly with the
+                    // partition's identity, never be redone as-is.
+                    mmdb_storage::StorageError::CorruptImage(_) => DbError::CorruptPartition {
+                        table: db.tables[t].name.clone(),
+                        partition: key.partition,
+                        source: e,
+                    },
+                    other => DbError::Storage(other),
+                })?;
             loaded.push((db.tables[t].name.clone(), key.partition, phase));
         }
         // Rebuild indexes from the reloaded relations.
@@ -1325,6 +1406,58 @@ mod tests {
             db.create_index("i", "t", "name", IndexKind::Hash),
             Err(DbError::Duplicate(_))
         ));
+    }
+
+    #[test]
+    fn checkpoint_truncates_the_log_and_survives_a_crash() {
+        let (mut db, _) = seeded_db();
+        let report = db.checkpoint().unwrap();
+        assert!(report.images_written >= 1);
+        assert!(report.records_truncated >= 1);
+        // Everything committed was subsumed by checkpoint images: the log
+        // device finds nothing left to pull or flush.
+        db.run_log_device().unwrap();
+        assert_eq!(db.log_device_counters(), (0, 0));
+        // A second checkpoint has no dirty partitions to write.
+        let again = db.checkpoint().unwrap();
+        assert_eq!(again.images_written, 0);
+        // And the checkpoint alone is enough to restart from.
+        let (db2, _) = db.crash().recover(&[("emp", 0)]).unwrap();
+        assert_eq!(db2.len("emp").unwrap(), 6);
+        db2.validate_indexes().unwrap();
+    }
+
+    #[test]
+    fn fuzzy_checkpoint_interleaved_with_commits_recovers_exactly() {
+        let (mut db, tids) = seeded_db();
+        let mut ckpt = db.checkpoint_begin();
+        assert!(ckpt.remaining() >= 1);
+        // One step, then live updates land mid-checkpoint.
+        ckpt.step(&mut db).unwrap();
+        let mut txn = db.begin();
+        db.update(&mut txn, "emp", tids[0], "age", OwnedValue::Int(80))
+            .unwrap();
+        db.insert(&mut txn, "emp", vec!["Mid".into(), OwnedValue::Int(33)])
+            .unwrap();
+        db.commit(txn).unwrap();
+        ckpt.run(&mut db).unwrap();
+        // The mid-checkpoint commit re-dirtied its partition.
+        let trailing = db.checkpoint_begin();
+        assert!(trailing.remaining() >= 1, "re-dirtied partition pending");
+        let (db2, _) = db.crash().recover(&[("emp", 0)]).unwrap();
+        assert_eq!(db2.len("emp").unwrap(), 7);
+        db2.validate_indexes().unwrap();
+        let hits = db2
+            .select("emp", "age", &Predicate::Eq(KeyValue::Int(80)))
+            .unwrap();
+        assert_eq!(hits.len(), 1, "mid-checkpoint update survives");
+        assert_eq!(
+            db2.select("emp", "name", &Predicate::Eq(KeyValue::from("Mid")))
+                .unwrap()
+                .len(),
+            1,
+            "mid-checkpoint insert survives"
+        );
     }
 
     #[test]

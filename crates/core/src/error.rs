@@ -26,6 +26,17 @@ pub enum DbError {
     MissingIndex(String),
     /// The catalog blob on the disk copy is malformed.
     Catalog(String),
+    /// A partition image read back at restart failed validation (torn or
+    /// truncated write). Restart refuses to redo from it — redoing a
+    /// corrupt image would silently resurrect garbage.
+    CorruptPartition {
+        /// Table whose image is damaged.
+        table: String,
+        /// Partition number within the table.
+        partition: u32,
+        /// What the image decoder rejected.
+        source: StorageError,
+    },
     /// An unordered index was asked to serve a range predicate.
     RangeNeedsOrderedIndex,
     /// A fluent query referenced an unbound table or attribute.
@@ -47,6 +58,14 @@ impl std::fmt::Display for DbError {
                 "table {n} has no index; every relation needs at least one (§2.1)"
             ),
             DbError::Catalog(m) => write!(f, "catalog: {m}"),
+            DbError::CorruptPartition {
+                table,
+                partition,
+                source,
+            } => write!(
+                f,
+                "restart: partition image {table}.p{partition} is corrupt ({source}) — refusing to redo it"
+            ),
             DbError::RangeNeedsOrderedIndex => {
                 write!(f, "range predicates require an order-preserving index")
             }
@@ -62,6 +81,7 @@ impl std::error::Error for DbError {
             DbError::Exec(e) => Some(e),
             DbError::Lock(e) => Some(e),
             DbError::Io(e) => Some(e),
+            DbError::CorruptPartition { source, .. } => Some(source),
             _ => None,
         }
     }

@@ -36,6 +36,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod catalog;
+pub mod checkpoint;
 pub mod db;
 pub mod error;
 pub mod query;
@@ -43,6 +44,7 @@ pub mod server;
 pub mod shared;
 pub mod txn;
 
+pub use checkpoint::{CheckpointReport, Checkpointer};
 pub use db::{CrashedDatabase, Database, IndexKind, RecoveryReport, TableId};
 pub use error::DbError;
 pub use query::{QueryBuilder, QueryOutput};

@@ -47,18 +47,55 @@ impl LogDevice {
         }
     }
 
-    /// Write every accumulated image to the disk copy and clear the
-    /// accumulation log.
+    /// Write every accumulated image to the disk copy, clearing each
+    /// entry only once its write succeeded. On a write failure the
+    /// unwritten images — the failed one included — stay in the
+    /// accumulation log, so a later retry (or a crash-restart reading
+    /// [`LogDevice::pending`]) still sees them; a failed flush must never
+    /// lose committed work.
     pub fn flush(&mut self, disk: &mut dyn StableStore) -> std::io::Result<()> {
         let mut keys: Vec<PartitionKey> = self.accumulated.keys().copied().collect();
         keys.sort_unstable();
         for key in keys {
-            if let Some((_, image)) = self.accumulated.remove(&key) {
-                disk.write(key, &image)?;
-                self.flushed += 1;
+            let Some((lsn, image)) = self.accumulated.remove(&key) else {
+                continue;
+            };
+            match disk.write(key, &image) {
+                Ok(()) => self.flushed += 1,
+                Err(e) => {
+                    self.accumulated.insert(key, (lsn, image));
+                    return Err(e);
+                }
             }
         }
         Ok(())
+    }
+
+    /// Place an image directly into the accumulation log (newest LSN
+    /// still wins). Checkpoints use this as a guard copy: the image
+    /// stays here — surviving any crash — until the in-place disk write
+    /// is known good, so a torn overwrite can never destroy the only
+    /// durable copy of a partition.
+    pub fn stage(&mut self, key: PartitionKey, lsn: u64, image: Vec<u8>) {
+        match self.accumulated.get(&key) {
+            Some((old_lsn, _)) if *old_lsn > lsn => {}
+            _ => {
+                self.accumulated.insert(key, (lsn, image));
+            }
+        }
+    }
+
+    /// Checkpoint truncation: drop the accumulated image of `key` if its
+    /// LSN is strictly below `below_lsn` (a checkpoint image at that cut
+    /// supersedes it). Returns the number of images dropped (0 or 1).
+    pub fn truncate(&mut self, key: PartitionKey, below_lsn: u64) -> usize {
+        match self.accumulated.get(&key) {
+            Some((lsn, _)) if *lsn < below_lsn => {
+                self.accumulated.remove(&key);
+                1
+            }
+            _ => 0,
+        }
     }
 
     /// Unapplied image for a partition, if any — checked during restart:

@@ -51,11 +51,13 @@
 pub mod background;
 pub mod device;
 pub mod disk;
+pub mod fault;
 pub mod log;
 pub mod manager;
 
 pub use background::ActiveLogDevice;
 pub use device::LogDevice;
 pub use disk::{FileDisk, MemDisk, StableStore};
+pub use fault::{FaultCounters, FaultHandle, FaultPlan, FaultyDisk, SplitMix64};
 pub use log::{LogRecord, PartitionKey, StableLogBuffer};
 pub use manager::{RecoveryManager, RestartPhase};

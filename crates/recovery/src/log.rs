@@ -117,6 +117,14 @@ impl StableLogBuffer {
         self.staged.len()
     }
 
+    /// Discard every staged (uncommitted) record — the crash path:
+    /// in-flight transactions died with the CPU. Committed records and
+    /// the LSN counter are untouched, so cross-layer LSN comparisons
+    /// (buffer vs device accumulation) stay valid across the crash.
+    pub fn discard_staged(&mut self) {
+        self.staged.clear();
+    }
+
     /// Introspection for `mmdb-check`: staged records in log order.
     #[cfg(feature = "check")]
     #[must_use]
@@ -132,11 +140,22 @@ impl StableLogBuffer {
     }
 
     /// The next LSN the buffer will assign (every existing record's LSN is
-    /// strictly below this).
-    #[cfg(feature = "check")]
+    /// strictly below this). Checkpoints use this as their truncation cut.
     #[must_use]
     pub fn next_lsn(&self) -> u64 {
         self.next_lsn
+    }
+
+    /// Checkpoint truncation: drop committed records of `key` whose LSN is
+    /// strictly below `below_lsn` — a checkpoint image written at cut
+    /// `below_lsn` supersedes them. Staged records are never truncated
+    /// (they are uncommitted; the checkpoint image carries no uncommitted
+    /// data). Returns the number of records dropped.
+    pub fn truncate_committed(&mut self, key: PartitionKey, below_lsn: u64) -> usize {
+        let before = self.committed.len();
+        self.committed
+            .retain(|r| !(r.key == key && r.lsn < below_lsn));
+        before - self.committed.len()
     }
 
     /// Corruption hook (negative tests only): mutable access to committed

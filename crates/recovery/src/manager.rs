@@ -22,6 +22,8 @@ pub struct RecoveryManager<S: StableStore> {
     buffer: StableLogBuffer,
     device: LogDevice,
     disk: S,
+    /// Partition images written by checkpoints (diagnostics).
+    images_checkpointed: u64,
 }
 
 impl<S: StableStore> RecoveryManager<S> {
@@ -31,6 +33,7 @@ impl<S: StableStore> RecoveryManager<S> {
             buffer: StableLogBuffer::new(),
             device: LogDevice::new(),
             disk,
+            images_checkpointed: 0,
         }
     }
 
@@ -70,6 +73,75 @@ impl<S: StableStore> RecoveryManager<S> {
         &self.buffer
     }
 
+    // ---- checkpointing -------------------------------------------------
+
+    /// The LSN cut for a (fuzzy) checkpoint of one partition: every
+    /// committed record below this cut is reflected in the partition's
+    /// in-memory state *right now*, so an image captured immediately
+    /// after taking the cut supersedes all of them. Take the cut, then
+    /// serialize the image, then call
+    /// [`RecoveryManager::checkpoint_image`] — updates landing between
+    /// two partitions' checkpoints get cuts of their own.
+    #[must_use]
+    pub fn checkpoint_cut(&self) -> u64 {
+        self.buffer.next_lsn()
+    }
+
+    /// Write a checkpointed partition image to the disk copy and, only
+    /// once that write succeeded, truncate the log up to the cut: drop
+    /// committed buffer records and the device's accumulated image for
+    /// `key` with LSN below `cut`. Returns the number of log entries
+    /// truncated (not counting the guard copy below). On a write error
+    /// nothing is truncated — the log still covers the partition, so a
+    /// crash before a retry loses nothing.
+    ///
+    /// The disk write overwrites the previous image *in place*, and the
+    /// log records it covered may already have been drained by earlier
+    /// flushes — so a power cut that tears this write would otherwise
+    /// destroy the only durable copy. Guard: the image is first staged
+    /// into the device's (crash-surviving) accumulation log at
+    /// `cut - 1`, and only removed by the truncation that follows a
+    /// successful write. A torn write under power cut therefore leaves
+    /// the guard copy for restart; only a *lying* disk (reporting
+    /// success for a torn write) loses it — and restart detects that
+    /// case as a corrupt image instead of redoing it.
+    pub fn checkpoint_image(
+        &mut self,
+        key: PartitionKey,
+        image: &[u8],
+        cut: u64,
+    ) -> std::io::Result<usize> {
+        let had_device_entry = self.device.pending(key).is_some();
+        let guard = cut > 0;
+        if guard {
+            self.device.stage(key, cut - 1, image.to_vec());
+        }
+        self.disk.write(key, image)?;
+        self.images_checkpointed += 1;
+        let from_buffer = self.buffer.truncate_committed(key, cut);
+        let from_device = self.device.truncate(key, cut);
+        // The guard copy (if it replaced nothing) is bookkeeping, not a
+        // truncated log record — keep it out of the count.
+        let from_device = if guard {
+            usize::from(had_device_entry && from_device > 0)
+        } else {
+            from_device
+        };
+        Ok(from_buffer + from_device)
+    }
+
+    /// Total partition images written by checkpoints.
+    #[must_use]
+    pub fn images_checkpointed(&self) -> u64 {
+        self.images_checkpointed
+    }
+
+    /// Committed records still waiting in the stable buffer (diagnostics).
+    #[must_use]
+    pub fn committed_backlog(&self) -> usize {
+        self.buffer.committed_len()
+    }
+
     /// Persist a metadata blob (the catalog) on the disk copy.
     pub fn write_meta(&mut self, name: &str, bytes: &[u8]) -> std::io::Result<()> {
         self.disk.write_meta(name, bytes)
@@ -88,17 +160,11 @@ impl<S: StableStore> RecoveryManager<S> {
     pub fn crash_volatile(&mut self) {
         // Discard uncommitted work: in-flight transactions died with the
         // CPU. (Committed-but-unflushed records survive in the buffer.)
-        if self.buffer.staged_len() > 0 {
-            // There is no per-txn enumeration need: clearing staged
-            // records for all txns is equivalent after a crash.
-            let mut tmp = StableLogBuffer::new();
-            std::mem::swap(&mut tmp, &mut self.buffer);
-            // Rebuild: keep only the committed queue.
-            for r in tmp.drain_committed() {
-                self.buffer.log(r.txn, r.key, r.image);
-                self.buffer.commit(r.txn);
-            }
-        }
+        // This must not renumber surviving records: device-accumulated
+        // images carry the original LSNs, and restart compares across
+        // the two layers — a rebuilt buffer restarting at LSN 0 would
+        // let stale device images outrank fresher committed records.
+        self.buffer.discard_staged();
     }
 
     /// The freshest recoverable image of `key`: committed-but-unpulled log
@@ -274,6 +340,48 @@ mod tests {
         m.crash_volatile();
         let plan = m.restart(&[k(0)]).unwrap();
         assert_eq!(plan[0].1, vec![2], "restart must merge the log update");
+    }
+
+    #[test]
+    fn checkpoint_truncates_covered_records_and_disk_takes_over() {
+        let mut m = mgr();
+        // One record stuck in the device, one newer in the buffer.
+        m.log_update(1, k(0), vec![1]);
+        m.commit(1);
+        m.run_log_device_poll_only();
+        m.log_update(2, k(0), vec![2]);
+        m.commit(2);
+        let cut = m.checkpoint_cut();
+        let truncated = m.checkpoint_image(k(0), &[9], cut).unwrap();
+        assert_eq!(truncated, 2, "device + buffer records both superseded");
+        assert_eq!(m.images_checkpointed(), 1);
+        assert_eq!(m.committed_backlog(), 0);
+        m.crash_volatile();
+        assert_eq!(
+            m.recover_image(k(0)).unwrap(),
+            Some(vec![9]),
+            "after truncation the checkpoint image is the freshest copy"
+        );
+    }
+
+    #[test]
+    fn fuzzy_checkpoint_keeps_records_past_the_cut() {
+        let mut m = mgr();
+        m.log_update(1, k(0), vec![1]);
+        m.commit(1);
+        let cut = m.checkpoint_cut();
+        // A commit lands between taking the cut and writing the image —
+        // the fuzzy window. Its record must survive truncation.
+        m.log_update(2, k(0), vec![2]);
+        m.commit(2);
+        let truncated = m.checkpoint_image(k(0), &[1], cut).unwrap();
+        assert_eq!(truncated, 1, "only the pre-cut record is superseded");
+        m.crash_volatile();
+        assert_eq!(
+            m.recover_image(k(0)).unwrap(),
+            Some(vec![2]),
+            "the post-cut record must win over the checkpoint image"
+        );
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! Shared conformance suite for every [`StableStore`] backend: the
+//! in-memory simulation, the real directory-backed disk, and the
+//! fault-injection wrapper in passthrough mode must be observationally
+//! identical.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use mmdb_recovery::{FaultPlan, FaultyDisk, FileDisk, MemDisk, PartitionKey, StableStore};
+
+fn k(r: u32, p: u32) -> PartitionKey {
+    PartitionKey::new(r, p)
+}
+
+/// The behavior every backend must exhibit. Ran against a fresh store.
+fn conformance(store: &mut dyn StableStore, label: &str) {
+    // Missing image and meta read back as None, not an error.
+    assert_eq!(store.read(k(9, 9)).unwrap(), None, "{label}: missing image");
+    assert_eq!(
+        store.read_meta("absent").unwrap(),
+        None,
+        "{label}: missing meta"
+    );
+    assert!(store.keys().unwrap().is_empty(), "{label}: fresh store");
+
+    // Round-trips.
+    store.write(k(1, 0), &[1, 2, 3]).unwrap();
+    store.write(k(1, 1), &[4]).unwrap();
+    store.write(k(2, 0), &[5]).unwrap();
+    assert_eq!(
+        store.read(k(1, 0)).unwrap(),
+        Some(vec![1, 2, 3]),
+        "{label}: image round-trip"
+    );
+
+    // Overwrite fully replaces (no stale tail from a longer old image).
+    store.write(k(1, 0), &[9, 9]).unwrap();
+    assert_eq!(
+        store.read(k(1, 0)).unwrap(),
+        Some(vec![9, 9]),
+        "{label}: overwrite replaces"
+    );
+
+    // An empty image is stored, listed, and distinct from missing.
+    store.write(k(3, 7), &[]).unwrap();
+    assert_eq!(
+        store.read(k(3, 7)).unwrap(),
+        Some(Vec::new()),
+        "{label}: empty image round-trips"
+    );
+    store.write(k(1, 1), &[]).unwrap();
+    assert_eq!(
+        store.read(k(1, 1)).unwrap(),
+        Some(Vec::new()),
+        "{label}: overwrite with empty image"
+    );
+
+    // keys() is sorted and complete.
+    assert_eq!(
+        store.keys().unwrap(),
+        vec![k(1, 0), k(1, 1), k(2, 0), k(3, 7)],
+        "{label}: keys sorted and complete"
+    );
+
+    // (relation, partition) components must not collide.
+    store.write(k(0, 1), &[11]).unwrap();
+    assert_eq!(store.read(k(0, 1)).unwrap(), Some(vec![11]));
+    assert_eq!(
+        store.read(k(1, 0)).unwrap(),
+        Some(vec![9, 9]),
+        "{label}: key components independent"
+    );
+
+    // Meta blobs: round-trip, overwrite (incl. empty), name independence.
+    store.write_meta("catalog", b"v1").unwrap();
+    assert_eq!(
+        store.read_meta("catalog").unwrap(),
+        Some(b"v1".to_vec()),
+        "{label}: meta round-trip"
+    );
+    store.write_meta("catalog", b"").unwrap();
+    assert_eq!(
+        store.read_meta("catalog").unwrap(),
+        Some(Vec::new()),
+        "{label}: empty meta"
+    );
+    store.write_meta("catalog", b"v2").unwrap();
+    store.write_meta("other", b"x").unwrap();
+    assert_eq!(
+        store.read_meta("catalog").unwrap(),
+        Some(b"v2".to_vec()),
+        "{label}: meta names independent"
+    );
+    // Meta blobs never show up in the partition-image namespace.
+    assert_eq!(
+        store.keys().unwrap(),
+        vec![k(0, 1), k(1, 0), k(1, 1), k(2, 0), k(3, 7)],
+        "{label}: meta outside image namespace"
+    );
+}
+
+#[test]
+fn mem_disk_conforms() {
+    conformance(&mut MemDisk::new(), "MemDisk");
+}
+
+#[test]
+fn file_disk_conforms_and_persists() {
+    let dir = std::env::temp_dir().join(format!(
+        "mmqp-conformance-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut disk = FileDisk::open(&dir).unwrap();
+    conformance(&mut disk, "FileDisk");
+    // A re-opened FileDisk sees everything a previous instance wrote.
+    drop(disk);
+    let reopened = FileDisk::open(&dir).unwrap();
+    assert_eq!(
+        reopened.keys().unwrap(),
+        vec![k(0, 1), k(1, 0), k(1, 1), k(2, 0), k(3, 7)],
+        "FileDisk: keys survive reopen"
+    );
+    assert_eq!(reopened.read(k(1, 0)).unwrap(), Some(vec![9, 9]));
+    assert_eq!(reopened.read(k(3, 7)).unwrap(), Some(Vec::new()));
+    assert_eq!(reopened.read_meta("catalog").unwrap(), Some(b"v2".to_vec()));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn faulty_disk_armed_without_faults_conforms() {
+    // A FaultyDisk with an empty plan must be a transparent proxy even
+    // while armed — injected behavior comes only from the plan.
+    let (mut disk, handle) = FaultyDisk::new(MemDisk::new(), FaultPlan::none());
+    handle.arm();
+    conformance(&mut disk, "FaultyDisk<MemDisk>");
+    let c = handle.counters();
+    assert!(c.ops > 0, "armed gate must count operations");
+    assert_eq!(c.injected_errors, 0);
+    assert_eq!(c.torn_writes, 0);
+    assert!(!c.power_cut);
+}

@@ -21,8 +21,13 @@ pub struct Relation {
     partitions: Vec<Partition>,
     config: PartitionConfig,
     len: usize,
-    /// Partitions touched since the last checkpoint (recovery hook).
+    /// Partitions touched since the last commit (log write-ahead hook;
+    /// consumed wholesale by [`Relation::clear_dirty`]).
     dirty: Vec<bool>,
+    /// Partitions touched since they were last checkpointed (checkpoint
+    /// hook; cleared one partition at a time as a fuzzy checkpoint makes
+    /// progress).
+    ckpt_dirty: Vec<bool>,
 }
 
 impl Relation {
@@ -36,6 +41,7 @@ impl Relation {
             config,
             len: 0,
             dirty: Vec::new(),
+            ckpt_dirty: Vec::new(),
         }
     }
 
@@ -89,6 +95,7 @@ impl Relation {
 
     fn mark_dirty(&mut self, p: u32) {
         self.dirty[p as usize] = true;
+        self.ckpt_dirty[p as usize] = true;
     }
 
     /// Find (or create) a partition that can host `values`.
@@ -108,6 +115,7 @@ impl Relation {
         self.partitions
             .push(Partition::new(self.schema.arity(), self.config));
         self.dirty.push(true);
+        self.ckpt_dirty.push(true);
         (self.partitions.len() - 1) as u32
     }
 
@@ -289,12 +297,15 @@ impl Relation {
                 self.partitions
                     .push(Partition::new(self.schema.arity(), self.config));
                 self.dirty.push(false);
+                self.ckpt_dirty.push(false);
             }
             self.partitions.push(part);
             self.dirty.push(false);
+            self.ckpt_dirty.push(false);
         } else {
             self.partitions[p as usize] = part;
             self.dirty[p as usize] = false;
+            self.ckpt_dirty[p as usize] = false;
         }
         self.len = self.partitions.iter().map(Partition::live).sum();
         Ok(())
@@ -311,9 +322,32 @@ impl Relation {
             .collect()
     }
 
-    /// Reset dirty tracking (after a checkpoint).
+    /// Reset the per-commit dirty tracking (after the commit path has
+    /// logged every dirtied partition's after-image).
     pub fn clear_dirty(&mut self) {
         for d in &mut self.dirty {
+            *d = false;
+        }
+    }
+
+    /// Partitions modified since they were last checkpointed — the work
+    /// list a [checkpoint](crate::Relation::clear_checkpoint_dirty) walks.
+    #[must_use]
+    pub fn checkpoint_dirty_partitions(&self) -> Vec<u32> {
+        self.ckpt_dirty
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| **d)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// Mark one partition checkpointed. Cleared per partition (not
+    /// wholesale) so a fuzzy checkpoint interleaved with live updates
+    /// never marks a partition clean that was re-dirtied after its image
+    /// was captured.
+    pub fn clear_checkpoint_dirty(&mut self, p: u32) {
+        if let Some(d) = self.ckpt_dirty.get_mut(p as usize) {
             *d = false;
         }
     }

@@ -49,6 +49,21 @@ gate "checker-selftests" cargo test -p mmdb-check -q
 # clean, within its bounded seed budget.
 gate "explorer-smoke"    cargo test -p mmdb-check explore -q
 
+# Crash-recovery torture: scripted workloads over the fault-injecting
+# disk, crashed at seeded power-cut points across a bounded seed sweep
+# (64 seeds — the CI budget; any failure prints its seed for replay),
+# plus the torn-write negative tests and the buggy-manager catch.
+gate "recovery-torture"  env MMDB_TORTURE_SEEDS=64 cargo test --test recovery_torture -q
+
+# Fault-injection smoke: the StableStore conformance suite (MemDisk,
+# FileDisk, FaultyDisk passthrough) and the log-device counter/retry
+# tests under injected flush failures.
+gate "inject-smoke"      cargo test -p mmdb-recovery --test stable_store_conformance --test device_faults -q
+
+# Manager-level recovery properties: random commit/abort interleavings
+# must restart to exactly the latest-LSN committed images.
+gate "prop-recovery"     cargo test --test prop_recovery -q
+
 # Parallel-scaling bench, criterion --test smoke mode (each case once).
 gate "bench-smoke"       cargo bench -p mmdb-bench --bench scaling -- --test
 

@@ -1,0 +1,173 @@
+//! Property tests for the recovery manager under random commit/abort
+//! interleavings: after `crash_volatile` + `restart`, aborted
+//! transactions leave no trace and every recovered image is the
+//! latest-LSN committed one — regardless of how log-device polls and
+//! flushes interleaved with the transactions.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use mmdb_recovery::{MemDisk, PartitionKey, RecoveryManager, RestartPhase};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+const TXNS: u64 = 3;
+const PARTS: u32 = 4;
+
+/// One scripted step against the recovery manager.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Stage a log record for `txn` on partition `part`.
+    Log { txn: u64, part: u32 },
+    /// Commit everything `txn` has staged.
+    Commit(u64),
+    /// Abort `txn`: §2.4 removes its records, no undo.
+    Abort(u64),
+    /// Log device pulls committed records into the accumulation log.
+    Poll,
+    /// Full device cycle: pull + flush images to the disk copy.
+    Flush,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        5 => (0..TXNS, 0..PARTS).prop_map(|(txn, part)| Step::Log { txn, part }),
+        2 => (0..TXNS).prop_map(Step::Commit),
+        2 => (0..TXNS).prop_map(Step::Abort),
+        1 => Just(Step::Poll),
+        1 => Just(Step::Flush),
+    ]
+}
+
+/// Outcome of driving one script: the manager (crashed), the committed
+/// model (`key -> latest-LSN image`), and every image an aborted
+/// transaction ever staged.
+struct Driven {
+    mgr: RecoveryManager<MemDisk>,
+    committed: BTreeMap<PartitionKey, Vec<u8>>,
+    aborted_images: BTreeSet<Vec<u8>>,
+}
+
+fn drive(steps: &[Step]) -> Driven {
+    let mut mgr = RecoveryManager::new(MemDisk::new());
+    let mut lsn = 0u64;
+    let mut seq = 0u8;
+    // Per-transaction staged records (key, lsn, image).
+    let mut staged: BTreeMap<u64, Vec<(PartitionKey, u64, Vec<u8>)>> = BTreeMap::new();
+    // Strict 2PL at partition granularity (the contract the lock
+    // manager enforces above the log): a partition staged by one
+    // in-flight transaction is not logged by another.
+    let mut owner: BTreeMap<PartitionKey, u64> = BTreeMap::new();
+    let mut committed: BTreeMap<PartitionKey, (u64, Vec<u8>)> = BTreeMap::new();
+    let mut aborted_images: BTreeSet<Vec<u8>> = BTreeSet::new();
+    for step in steps {
+        match step {
+            Step::Log { txn, part } => {
+                let key = PartitionKey::new(0, *part);
+                if *owner.get(&key).unwrap_or(txn) != *txn {
+                    continue; // lock conflict: the write never happens
+                }
+                owner.insert(key, *txn);
+                // Unique payload per record, so "no trace of aborted
+                // work" is checkable on raw bytes.
+                seq = seq.wrapping_add(1);
+                let image = vec![*txn as u8, *part as u8, seq];
+                staged
+                    .entry(*txn)
+                    .or_default()
+                    .push((key, lsn, image.clone()));
+                lsn += 1;
+                mgr.log_update(*txn, key, image);
+            }
+            Step::Commit(txn) => {
+                for (key, l, img) in staged.remove(txn).unwrap_or_default() {
+                    match committed.get(&key) {
+                        Some(&(have, _)) if have > l => {}
+                        _ => {
+                            committed.insert(key, (l, img));
+                        }
+                    }
+                }
+                owner.retain(|_, holder| holder != txn);
+                mgr.commit(*txn);
+            }
+            Step::Abort(txn) => {
+                for (_, _, img) in staged.remove(txn).unwrap_or_default() {
+                    aborted_images.insert(img);
+                }
+                owner.retain(|_, holder| holder != txn);
+                mgr.abort(*txn);
+            }
+            Step::Poll => mgr.run_log_device_poll_only(),
+            Step::Flush => mgr.run_log_device().expect("MemDisk flush cannot fail"),
+        }
+    }
+    // Whatever was still in flight dies with the crash — it is neither
+    // committed nor (explicitly) aborted, and must equally leave no
+    // trace.
+    for (_, records) in staged {
+        for (_, _, img) in records {
+            aborted_images.insert(img);
+        }
+    }
+    mgr.crash_volatile();
+    Driven {
+        mgr,
+        committed: committed
+            .into_iter()
+            .map(|(k, (_l, img))| (k, img))
+            .collect(),
+        aborted_images,
+    }
+}
+
+fn restart_images(
+    mgr: &RecoveryManager<MemDisk>,
+    working_set: &[PartitionKey],
+) -> BTreeMap<PartitionKey, Vec<u8>> {
+    mgr.restart(working_set)
+        .expect("MemDisk restart cannot fail")
+        .into_iter()
+        .map(|(k, img, _phase)| (k, img))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The headline property: restart returns exactly the latest-LSN
+    /// committed image per partition — no aborted or in-flight bytes.
+    #[test]
+    fn restart_recovers_latest_committed_images_only(
+        steps in prop::collection::vec(step_strategy(), 1..50)
+    ) {
+        let driven = drive(&steps);
+        let recovered = restart_images(&driven.mgr, &[]);
+        prop_assert_eq!(&recovered, &driven.committed,
+            "recovered images must be the latest-LSN committed set");
+        for img in recovered.values() {
+            prop_assert!(!driven.aborted_images.contains(img),
+                "aborted/in-flight record resurrected: {:?}", img);
+        }
+    }
+
+    /// Restart is read-only: running it twice (with different working
+    /// sets) yields the identical image set, and naming a partition in
+    /// the working set moves it to the working-set phase without
+    /// changing what is recovered.
+    #[test]
+    fn restart_is_stable_across_working_sets(
+        steps in prop::collection::vec(step_strategy(), 1..40),
+        ws_part in 0..PARTS,
+    ) {
+        let driven = drive(&steps);
+        let ws = PartitionKey::new(0, ws_part);
+        let plain = restart_images(&driven.mgr, &[]);
+        let with_ws = restart_images(&driven.mgr, &[ws]);
+        prop_assert_eq!(&plain, &with_ws,
+            "the working set prioritizes, it must not change content");
+        for (key, _img, phase) in driven.mgr.restart(&[ws]).unwrap() {
+            let want = if key == ws { RestartPhase::WorkingSet } else { RestartPhase::Background };
+            prop_assert_eq!(phase, want, "phase mismatch for {:?}", key);
+        }
+    }
+}
