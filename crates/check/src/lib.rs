@@ -17,6 +17,9 @@
 //! * [`log_checks`] — LSN monotonicity and the redo-only constraint.
 //! * [`lock_checks`] — lock-table compatibility-matrix and queue
 //!   discipline over [`mmdb_lock::LockManager::snapshot`].
+//! * [`plan_checks`] — query-plan invariants: logical resolution,
+//!   physical feasibility under index availability, and
+//!   logical/physical semantic equivalence.
 //! * [`merge_checks`] — worker-pool merge determinism.
 //! * [`explore`] — a deterministic-seed interleaving explorer (a small
 //!   shuttle-style scheduler) for concurrency invariants.
@@ -30,6 +33,7 @@ pub mod index_checks;
 pub mod lock_checks;
 pub mod log_checks;
 pub mod merge_checks;
+pub mod plan_checks;
 pub mod report;
 pub mod storage_checks;
 

@@ -4,19 +4,25 @@ use crate::catalog::{decode_catalog, encode_catalog, CatalogMeta, IndexMeta, Tab
 use crate::error::DbError;
 use crate::shared::SharedAdapter;
 use crate::txn::{Transaction, WriteOp};
+use mmdb_exec::plan::{
+    AttrInfo, BoxedOperator, DistinctOp, FullScanOp, HashLookupOp, JoinKernel, JoinOp, PlanCatalog,
+    PlanNode, PlanNodeKind, PostFilterOp, PrecomputedKernel, ProjectOp, SeqFilterOp, SidesKernel,
+    TreeJoinKernel, TreeLookupOp, TreeMergeKernel,
+};
 use mmdb_exec::{
-    choose_select_path, parallel_hash_join, parallel_nested_loops_join, parallel_select_scan,
-    precomputed_join, select_hash_index, select_tree_index, sort_merge_join, tree_join,
-    tree_merge_join, ExecConfig, IndexAvailability, JoinMethod, JoinOutput, JoinPlanner, JoinSide,
-    Predicate, SelectPath,
+    choose_select_path, parallel_select_scan, select_hash_index, select_tree_index, ExecConfig,
+    IndexAvailability, JoinMethod, JoinOutput, JoinPlanner, Predicate, SelectPath,
 };
 use mmdb_index::traits::{OrderedIndex, UnorderedIndex};
 use mmdb_index::{ModifiedLinearHash, TTree, TTreeConfig};
 use mmdb_lock::{LockManager, LockMode, LockTarget};
 use mmdb_recovery::{MemDisk, PartitionKey, RecoveryManager, RestartPhase, StableStore};
-use mmdb_storage::{AttrType, OwnedValue, PartitionConfig, Relation, Schema, TempList, TupleId};
+use mmdb_storage::{
+    AttrType, OwnedValue, PartitionConfig, Relation, ResultDescriptor, Schema, TempList, TupleId,
+};
 use std::cell::RefCell;
 use std::collections::HashSet;
+use std::marker::PhantomData;
 use std::rc::Rc;
 
 /// Identifies a table (position in catalog order).
@@ -150,10 +156,11 @@ impl<S: StableStore> Database<S> {
         self.exec = cfg;
     }
 
-    /// Set the degree of parallelism for subsequent operations. `dop = 1`
-    /// restores the strictly serial (paper) code paths.
+    /// Set the degree of parallelism for subsequent operations, keeping
+    /// every other [`ExecConfig`] field (e.g. the parallel threshold)
+    /// intact. `dop = 1` restores the strictly serial (paper) code paths.
     pub fn set_parallelism(&mut self, dop: usize) {
-        self.exec = ExecConfig::with_dop(dop);
+        self.exec = self.exec.override_dop(dop);
     }
 
     // ---- catalog -------------------------------------------------------
@@ -747,30 +754,18 @@ impl<S: StableStore> Database<S> {
         let irel = self.table(it).rel.borrow();
         let o_attr = orel.schema().index_of(outer_attr)?;
         let i_attr = irel.schema().index_of(inner_attr)?;
-        let itids = irel.tids();
-        let outer = JoinSide::new(&orel, o_attr, outer_tids);
-        let inner = JoinSide::new(&irel, i_attr, &itids);
-        let out = match method {
-            JoinMethod::Precomputed => precomputed_join(outer)?,
-            JoinMethod::TreeMerge => {
-                let oidx = self
-                    .find_ttree(ot, o_attr)
-                    .ok_or_else(|| DbError::NoSuchIndex(format!("{outer_table}.{outer_attr}")))?;
-                let iidx = self
-                    .find_ttree(it, i_attr)
-                    .ok_or_else(|| DbError::NoSuchIndex(format!("{inner_table}.{inner_attr}")))?;
-                tree_merge_join(&orel, o_attr, oidx, &irel, i_attr, iidx)?
-            }
-            JoinMethod::TreeJoin => {
-                let iidx = self
-                    .find_ttree(it, i_attr)
-                    .ok_or_else(|| DbError::NoSuchIndex(format!("{inner_table}.{inner_attr}")))?;
-                tree_join(outer, iidx)?
-            }
-            JoinMethod::HashJoin => parallel_hash_join(outer, inner, cfg)?,
-            JoinMethod::SortMerge => sort_merge_join(outer, inner)?,
-            JoinMethod::NestedLoops => parallel_nested_loops_join(outer, inner, cfg)?,
-        };
+        let kernel = self.make_join_kernel(
+            method,
+            &orel,
+            o_attr,
+            ot,
+            &irel,
+            i_attr,
+            it,
+            outer_table,
+            inner_table,
+        )?;
+        let out = kernel.run(outer_tids, None, cfg)?;
         Ok((out, method))
     }
 
@@ -791,31 +786,218 @@ impl<S: StableStore> Database<S> {
         let o_attr = orel.schema().index_of(outer_attr)?;
         let i_attr = irel.schema().index_of(inner_attr)?;
         let otids = orel.tids();
-        let itids = irel.tids();
-        let outer = JoinSide::new(&orel, o_attr, &otids);
-        let inner = JoinSide::new(&irel, i_attr, &itids);
-        let out = match method {
-            JoinMethod::Precomputed => precomputed_join(outer)?,
+        let kernel = self.make_join_kernel(
+            method,
+            &orel,
+            o_attr,
+            ot,
+            &irel,
+            i_attr,
+            it,
+            outer_table,
+            inner_table,
+        )?;
+        let out = kernel.run(&otids, None, cfg)?;
+        Ok(out)
+    }
+
+    /// Bind one §3.3 join method to concrete relations and indices as a
+    /// uniform [`JoinKernel`] — the single dispatch point shared by the
+    /// legacy join entry points and the planned operator engine.
+    #[allow(clippy::too_many_arguments)]
+    fn make_join_kernel<'b>(
+        &'b self,
+        method: JoinMethod,
+        orel: &'b Relation,
+        o_attr: usize,
+        ot: TableId,
+        irel: &'b Relation,
+        i_attr: usize,
+        it: TableId,
+        outer_name: &str,
+        inner_name: &str,
+    ) -> Result<Box<dyn JoinKernel + 'b>, DbError> {
+        Ok(match method {
+            JoinMethod::Precomputed => Box::new(PrecomputedKernel {
+                outer_rel: orel,
+                outer_attr: o_attr,
+            }),
             JoinMethod::TreeMerge => {
                 let oidx = self
                     .find_ttree(ot, o_attr)
-                    .ok_or_else(|| DbError::NoSuchIndex(format!("{outer_table}.{outer_attr}")))?;
+                    .ok_or_else(|| DbError::NoSuchIndex(format!("{outer_name}.{o_attr}")))?;
                 let iidx = self
                     .find_ttree(it, i_attr)
-                    .ok_or_else(|| DbError::NoSuchIndex(format!("{inner_table}.{inner_attr}")))?;
-                tree_merge_join(&orel, o_attr, oidx, &irel, i_attr, iidx)?
+                    .ok_or_else(|| DbError::NoSuchIndex(format!("{inner_name}.{i_attr}")))?;
+                Box::new(TreeMergeKernel {
+                    outer_rel: orel,
+                    outer_attr: o_attr,
+                    outer_index: oidx,
+                    inner_rel: irel,
+                    inner_attr: i_attr,
+                    inner_index: iidx,
+                })
             }
             JoinMethod::TreeJoin => {
                 let iidx = self
                     .find_ttree(it, i_attr)
-                    .ok_or_else(|| DbError::NoSuchIndex(format!("{inner_table}.{inner_attr}")))?;
-                tree_join(outer, iidx)?
+                    .ok_or_else(|| DbError::NoSuchIndex(format!("{inner_name}.{i_attr}")))?;
+                Box::new(TreeJoinKernel {
+                    outer_rel: orel,
+                    outer_attr: o_attr,
+                    inner_index: iidx,
+                })
             }
-            JoinMethod::HashJoin => parallel_hash_join(outer, inner, cfg)?,
-            JoinMethod::SortMerge => sort_merge_join(outer, inner)?,
-            JoinMethod::NestedLoops => parallel_nested_loops_join(outer, inner, cfg)?,
+            JoinMethod::HashJoin | JoinMethod::SortMerge | JoinMethod::NestedLoops => {
+                Box::new(SidesKernel {
+                    outer_rel: orel,
+                    outer_attr: o_attr,
+                    inner_rel: irel,
+                    inner_attr: i_attr,
+                    method,
+                })
+            }
+        })
+    }
+
+    /// Bind a planned operator tree to this database's relations and
+    /// indices. `tables` is the plan's binding order, `rels` the borrowed
+    /// relation per position, `desc` the projection descriptor (consumed
+    /// by duplicate elimination).
+    pub(crate) fn bind_plan<'b>(
+        &'b self,
+        node: &PlanNode,
+        tables: &[String],
+        rels: &[&'b Relation],
+        desc: &ResultDescriptor,
+    ) -> Result<BoxedOperator<'b>, DbError> {
+        let position = |table: &str| -> Result<usize, DbError> {
+            tables
+                .iter()
+                .position(|t| t == table)
+                .ok_or_else(|| DbError::BadQuery(format!("table {table} is not bound")))
         };
-        Ok(out)
+        Ok(match &node.kind {
+            PlanNodeKind::Scan { table } => {
+                let rel = rels[position(table)?];
+                Box::new(FullScanOp { id: node.id, rel })
+            }
+            PlanNodeKind::Select {
+                table,
+                attr,
+                pred,
+                path,
+            } => {
+                let rel = rels[position(table)?];
+                let t = self.table_id(table)?;
+                let attr_idx = rel.schema().index_of(attr)?;
+                match path {
+                    SelectPath::HashLookup => {
+                        let idx = self.find_hash(t, attr_idx).ok_or_else(|| {
+                            DbError::Catalog("planned hash index disappeared".into())
+                        })?;
+                        let Predicate::Eq(key) = pred else {
+                            return Err(DbError::BadQuery(
+                                "hash lookup planned for a range predicate".into(),
+                            ));
+                        };
+                        Box::new(HashLookupOp {
+                            id: node.id,
+                            index: idx,
+                            key: key.clone(),
+                            _adapter: PhantomData,
+                        })
+                    }
+                    SelectPath::TreeLookup => {
+                        let idx = self.find_ttree(t, attr_idx).ok_or_else(|| {
+                            DbError::Catalog("planned tree index disappeared".into())
+                        })?;
+                        Box::new(TreeLookupOp {
+                            id: node.id,
+                            index: idx,
+                            pred: pred.clone(),
+                            _adapter: PhantomData,
+                        })
+                    }
+                    SelectPath::SequentialScan => Box::new(SeqFilterOp {
+                        id: node.id,
+                        rel,
+                        attr: attr_idx,
+                        pred: pred.clone(),
+                    }),
+                }
+            }
+            PlanNodeKind::PostFilter {
+                table,
+                attr,
+                pred,
+                src_col,
+            } => {
+                let child = self.bind_plan(&node.children[0], tables, rels, desc)?;
+                let rel = rels[position(table)?];
+                let attr_idx = rel.schema().index_of(attr)?;
+                Box::new(PostFilterOp {
+                    id: node.id,
+                    child,
+                    rel,
+                    attr: attr_idx,
+                    pred: pred.clone(),
+                    src_col: *src_col,
+                })
+            }
+            PlanNodeKind::Join {
+                method,
+                source_table,
+                outer_attr,
+                inner_table,
+                inner_attr,
+                src_col,
+                ..
+            } => {
+                let child = self.bind_plan(&node.children[0], tables, rels, desc)?;
+                let inner = match node.children.get(1) {
+                    Some(n) => Some(self.bind_plan(n, tables, rels, desc)?),
+                    None => None,
+                };
+                let orel = rels[position(source_table)?];
+                let irel = rels[position(inner_table)?];
+                let ot = self.table_id(source_table)?;
+                let it = self.table_id(inner_table)?;
+                let o_attr = orel.schema().index_of(outer_attr)?;
+                let i_attr = irel.schema().index_of(inner_attr)?;
+                let kernel = self.make_join_kernel(
+                    *method,
+                    orel,
+                    o_attr,
+                    ot,
+                    irel,
+                    i_attr,
+                    it,
+                    source_table,
+                    inner_table,
+                )?;
+                Box::new(JoinOp {
+                    id: node.id,
+                    child,
+                    inner,
+                    src_col: *src_col,
+                    kernel,
+                })
+            }
+            PlanNodeKind::Project { .. } => {
+                let child = self.bind_plan(&node.children[0], tables, rels, desc)?;
+                Box::new(ProjectOp { id: node.id, child })
+            }
+            PlanNodeKind::Distinct => {
+                let child = self.bind_plan(&node.children[0], tables, rels, desc)?;
+                Box::new(DistinctOp {
+                    id: node.id,
+                    child,
+                    desc: desc.clone(),
+                    sources: rels.to_vec(),
+                })
+            }
+        })
     }
 
     /// Materialize chosen attributes of a temp-list column into owned
@@ -984,6 +1166,26 @@ impl<S: StableStore> CrashedDatabase<S> {
                 indexes_rebuilt: rebuilt,
             },
         ))
+    }
+}
+
+impl<S: StableStore> PlanCatalog for Database<S> {
+    fn cardinality(&self, table: &str) -> Option<usize> {
+        let t = self.table_id(table).ok()?;
+        Some(self.table(t).rel.borrow().len())
+    }
+
+    fn resolve_attr(&self, table: &str, attr: &str) -> Option<AttrInfo> {
+        let t = self.table_id(table).ok()?;
+        let rel = self.table(t).rel.borrow();
+        let idx = rel.schema().index_of(attr).ok()?;
+        let ty = rel.schema().attr(idx).ok()?.ty;
+        let fk = ty == AttrType::Ptr || ty == AttrType::PtrList;
+        Some(AttrInfo {
+            index: idx,
+            pointer: fk,
+            avail: self.availability(t, idx, fk),
+        })
     }
 }
 

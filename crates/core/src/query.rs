@@ -1,7 +1,11 @@
-//! A small fluent query layer over [`Database`]: filter → join… →
-//! project(distinct) pipelines, planned with the §4 preference ordering
-//! and executed entirely on temp lists (§2.3 — tuple pointers until the
-//! final fetch).
+//! The fluent query layer over [`Database`]: filter → join… →
+//! project(distinct) pipelines, compiled in two phases. The builder
+//! lowers to a typed [`LogicalPlan`]; the cost-based
+//! [`Planner`](mmdb_exec::Planner) picks access paths, join methods,
+//! predicate placement, and join order from the §3.3.4 comparison
+//! formulas; and the bound operator tree executes with per-operator
+//! instrumentation. Every [`QueryOutput`] carries the full
+//! estimates-vs-actuals [`PlanProfile`].
 //!
 //! ```
 //! # use mmdb_core::{Database, IndexKind};
@@ -24,44 +28,55 @@
 //!     .run()
 //!     .unwrap();
 //! assert_eq!(result.rows.len(), 1);
+//! println!("{}", result.profile.render());
 //! ```
 
 use crate::db::Database;
 use crate::error::DbError;
-use mmdb_exec::{parallel_project_hash, ExecConfig, Predicate};
+use mmdb_exec::plan::{LogicalPlan, PlanProfile, Planner, PlannerOptions};
+use mmdb_exec::{ExecContext, JoinMethod, Predicate};
 use mmdb_recovery::StableStore;
-use mmdb_storage::{OutputField, OwnedValue, ResultDescriptor, TempList, TupleId};
-use std::collections::HashMap;
+use mmdb_storage::{OutputField, OwnedValue, ResultDescriptor};
 
-/// One join step in a pipeline.
-struct JoinStep {
-    /// Which already-bound source the outer attribute lives on.
-    source_table: String,
-    outer_attr: String,
-    inner_table: String,
-    inner_attr: String,
+/// One written pipeline step (order matters for naive placement).
+enum Step {
+    Filter {
+        table: String,
+        attr: String,
+        pred: Predicate,
+    },
+    Join {
+        source_table: String,
+        outer_attr: String,
+        inner_table: String,
+        inner_attr: String,
+    },
 }
 
 /// A query under construction (see the module docs for the shape).
 pub struct QueryBuilder<'a, S: StableStore> {
     db: &'a Database<S>,
     base: String,
-    filter: Option<(String, Predicate)>,
-    joins: Vec<JoinStep>,
+    steps: Vec<Step>,
     projection: Vec<(String, String)>,
     distinct: bool,
-    exec: Option<ExecConfig>,
+    dop: Option<usize>,
+    pushdown: bool,
+    reorder: bool,
+    forced_join: Option<JoinMethod>,
 }
 
-/// A finished query: materialized rows plus the plan that produced them.
+/// A finished query: materialized rows plus the per-operator profile
+/// that produced them.
 #[derive(Debug)]
 pub struct QueryOutput {
     /// Output column names (`table.attr`).
     pub columns: Vec<String>,
     /// Materialized rows (the single copy the engine ever makes).
     pub rows: Vec<Vec<OwnedValue>>,
-    /// EXPLAIN-style plan lines, one per executed step.
-    pub plan: Vec<String>,
+    /// Per-operator estimates and actuals; `profile.render()` is the
+    /// explain text.
+    pub profile: PlanProfile,
 }
 
 impl<S: StableStore> Database<S> {
@@ -70,21 +85,37 @@ impl<S: StableStore> Database<S> {
         QueryBuilder {
             db: self,
             base: table.to_string(),
-            filter: None,
-            joins: Vec::new(),
+            steps: Vec::new(),
             projection: Vec::new(),
             distinct: false,
-            exec: None,
+            dop: None,
+            pushdown: true,
+            reorder: true,
+            forced_join: None,
         }
     }
 }
 
 impl<S: StableStore> QueryBuilder<'_, S> {
-    /// Filter the base table on one attribute (applied first, through the
-    /// best §4 access path).
+    /// Filter the base table on one attribute (through the best §4
+    /// access path).
     #[must_use]
-    pub fn filter(mut self, attr: &str, pred: Predicate) -> Self {
-        self.filter = Some((attr.to_string(), pred));
+    pub fn filter(self, attr: &str, pred: Predicate) -> Self {
+        let base = self.base.clone();
+        self.filter_on(&base, attr, pred)
+    }
+
+    /// Filter any bound table on one attribute. The planner pushes the
+    /// predicate below later joins into that table's access path (unless
+    /// [`pushdown`](Self::pushdown) is disabled, in which case it runs
+    /// where written, against the joined temp list).
+    #[must_use]
+    pub fn filter_on(mut self, table: &str, attr: &str, pred: Predicate) -> Self {
+        self.steps.push(Step::Filter {
+            table: table.to_string(),
+            attr: attr.to_string(),
+            pred,
+        });
         self
     }
 
@@ -105,7 +136,7 @@ impl<S: StableStore> QueryBuilder<'_, S> {
         inner_table: &str,
         inner_attr: &str,
     ) -> Self {
-        self.joins.push(JoinStep {
+        self.steps.push(Step::Join {
             source_table: source_table.to_string(),
             outer_attr: outer_attr.to_string(),
             inner_table: inner_table.to_string(),
@@ -132,97 +163,45 @@ impl<S: StableStore> QueryBuilder<'_, S> {
         self
     }
 
-    /// Degree of parallelism for this query only (scans, hash /
-    /// nested-loops joins, and duplicate elimination run partition-
-    /// parallel when `dop > 1`). Defaults to the database-level
-    /// [`ExecConfig`]; `dop = 1` forces the serial code paths.
+    /// Degree of parallelism for this query only. Overrides just the
+    /// `dop` of the database-level [`mmdb_exec::ExecConfig`] — every
+    /// other field (e.g. the parallel threshold) is kept. `dop = 1`
+    /// forces the serial code paths.
     #[must_use]
     pub fn parallelism(mut self, dop: usize) -> Self {
-        self.exec = Some(ExecConfig::with_dop(dop));
+        self.dop = Some(dop);
         self
     }
 
-    /// Execute the pipeline.
-    pub fn run(self) -> Result<QueryOutput, DbError> {
-        let db = self.db;
-        let exec = self.exec.unwrap_or_else(|| db.exec_config());
-        let mut plan = Vec::new();
+    /// Enable/disable pushing filters below joins (default on). Off =
+    /// naive as-written placement; disabling it also disables
+    /// reordering (reordering around in-place filters is unsound).
+    #[must_use]
+    pub fn pushdown(mut self, on: bool) -> Self {
+        self.pushdown = on;
+        self
+    }
 
-        // Bound sources, in temp-list column order.
-        let mut sources: Vec<String> = vec![self.base.clone()];
+    /// Enable/disable greedy join reordering by estimated comparisons
+    /// (default on). Off = joins execute in written order.
+    #[must_use]
+    pub fn reorder(mut self, on: bool) -> Self {
+        self.reorder = on;
+        self
+    }
 
-        // 1. Base access: filter through the planner, or full scan.
-        let base_tids: Vec<TupleId> = match &self.filter {
-            Some((attr, pred)) => {
-                let path = db.plan_select(&self.base, attr, pred)?;
-                plan.push(format!("select {}.{attr} via {path:?}", self.base));
-                db.select_with_config(&self.base, attr, pred, exec)?
-                    .column(0)
-            }
-            None => {
-                plan.push(format!("scan {}", self.base));
-                db.tids(&self.base)?
-            }
-        };
-        let filtered = self.filter.is_some();
-        let mut list = TempList::from_tids(base_tids);
+    /// Force every join to use `method` (tests, benchmarks). Planning
+    /// fails if the method is infeasible on these inputs.
+    #[must_use]
+    pub fn force_join_method(mut self, method: JoinMethod) -> Self {
+        self.forced_join = Some(method);
+        self
+    }
 
-        // 2. Joins, each widening the temp list by one column.
-        for step in &self.joins {
-            let src_col = sources
-                .iter()
-                .position(|s| *s == step.source_table)
-                .ok_or_else(|| {
-                    DbError::BadQuery(format!(
-                        "join source {} is not bound (have: {})",
-                        step.source_table,
-                        sources.join(", ")
-                    ))
-                })?;
-            // Distinct outer tids for the join input.
-            let mut outer_tids = list.column(src_col);
-            outer_tids.sort_unstable();
-            outer_tids.dedup();
-            let outer_full = !filtered && self.joins.is_empty();
-            let (pairs, method) = db.join_tids_with_config(
-                &step.source_table,
-                &step.outer_attr,
-                &outer_tids,
-                outer_full && src_col == 0,
-                &step.inner_table,
-                &step.inner_attr,
-                exec,
-            )?;
-            plan.push(format!(
-                "join {}.{} = {}.{} via {method:?} ({} pairs)",
-                step.source_table,
-                step.outer_attr,
-                step.inner_table,
-                step.inner_attr,
-                pairs.len()
-            ));
-            // Expand existing rows by the matches of their source column.
-            let mut matches: HashMap<TupleId, Vec<TupleId>> = HashMap::new();
-            for row in pairs.pairs.iter() {
-                matches.entry(row[0]).or_default().push(row[1]);
-            }
-            let mut widened = TempList::new(list.arity() + 1);
-            for row in list.iter() {
-                if let Some(ms) = matches.get(&row[src_col]) {
-                    for m in ms {
-                        let mut new_row = row.to_vec();
-                        new_row.push(*m);
-                        widened.push(&new_row)?;
-                    }
-                }
-            }
-            list = widened;
-            sources.push(step.inner_table.clone());
-        }
-
-        // 3. Projection descriptor.
+    /// Lower the builder state to a logical plan (projection resolved).
+    fn logical(&self) -> Result<LogicalPlan, DbError> {
         let projection: Vec<(String, String)> = if self.projection.is_empty() {
-            db.with_relation(&self.base, |r| {
+            self.db.with_relation(&self.base, |r| {
                 r.schema()
                     .attrs()
                     .iter()
@@ -232,47 +211,116 @@ impl<S: StableStore> QueryBuilder<'_, S> {
         } else {
             self.projection.clone()
         };
-        let mut fields = Vec::with_capacity(projection.len());
-        for (t, a) in &projection {
-            let source = sources
-                .iter()
-                .position(|s| s == t)
-                .ok_or_else(|| DbError::BadQuery(format!("projected table {t} is not bound")))?;
+        let mut node = LogicalPlan::Scan {
+            table: self.base.clone(),
+        };
+        for step in &self.steps {
+            node = match step {
+                Step::Filter { table, attr, pred } => LogicalPlan::Filter {
+                    input: Box::new(node),
+                    table: table.clone(),
+                    attr: attr.clone(),
+                    pred: pred.clone(),
+                },
+                Step::Join {
+                    source_table,
+                    outer_attr,
+                    inner_table,
+                    inner_attr,
+                } => LogicalPlan::Join {
+                    input: Box::new(node),
+                    source_table: source_table.clone(),
+                    outer_attr: outer_attr.clone(),
+                    inner_table: inner_table.clone(),
+                    inner_attr: inner_attr.clone(),
+                },
+            };
+        }
+        node = LogicalPlan::Project {
+            input: Box::new(node),
+            cols: projection,
+        };
+        if self.distinct {
+            node = LogicalPlan::Distinct {
+                input: Box::new(node),
+            };
+        }
+        Ok(node)
+    }
+
+    fn options(&self) -> PlannerOptions {
+        PlannerOptions {
+            pushdown: self.pushdown,
+            reorder: self.reorder,
+            forced_join: self.forced_join,
+        }
+    }
+
+    /// Plan the query without executing it, returning the stable explain
+    /// rendering (estimates only; actuals show `-`).
+    pub fn explain(&self) -> Result<String, DbError> {
+        let logical = self.logical()?;
+        let planned = Planner::plan(&logical, self.db, &self.options())
+            .map_err(|e| DbError::BadQuery(e.to_string()))?;
+        Ok(PlanProfile::estimates(&planned).render())
+    }
+
+    /// Execute the pipeline: plan, bind, run, materialize.
+    pub fn run(self) -> Result<QueryOutput, DbError> {
+        let db = self.db;
+        let cfg = match self.dop {
+            Some(d) => db.exec_config().override_dop(d),
+            None => db.exec_config(),
+        };
+
+        // Phase 1: logical plan; Phase 2: cost-based physical plan.
+        let logical = self.logical()?;
+        let planned = Planner::plan(&logical, db, &self.options())
+            .map_err(|e| DbError::BadQuery(e.to_string()))?;
+
+        #[cfg(feature = "check")]
+        {
+            let report = mmdb_check::plan_checks::check_plans(&logical, &planned, db);
+            if let Err(msg) = report.into_result() {
+                return Err(DbError::BadQuery(format!("plan invariants: {msg}")));
+            }
+        }
+
+        // Projection descriptor over the plan's binding order.
+        let mut fields = Vec::with_capacity(planned.columns.len());
+        for (t, a) in &planned.columns {
+            let source =
+                planned.tables.iter().position(|s| s == t).ok_or_else(|| {
+                    DbError::BadQuery(format!("projected table {t} is not bound"))
+                })?;
             let attr = db.with_relation(t, |r| r.schema().index_of(a))??;
             fields.push(OutputField::new(source, attr, &format!("{t}.{a}")));
         }
         let desc = ResultDescriptor::new(fields);
 
-        // 4. Optional duplicate elimination (on the projected fields).
-        let rel_handles: Vec<_> = sources
+        // Bind the operator tree to borrowed relations and execute.
+        let handles: Vec<_> = planned
+            .tables
             .iter()
-            .map(|s| db.relation_handle(s))
+            .map(|t| db.relation_handle(t))
             .collect::<Result<_, _>>()?;
-        let borrowed: Vec<_> = rel_handles.iter().map(|h| h.borrow()).collect();
-        let rels: Vec<&mmdb_storage::Relation> = borrowed.iter().map(|r| &**r).collect();
-        let final_list = if self.distinct {
-            let out = parallel_project_hash(&list, &desc, &rels, exec)?;
-            plan.push(format!(
-                "distinct via Hash ({} → {} rows)",
-                list.len(),
-                out.rows.len()
-            ));
-            out.rows
-        } else {
-            list
-        };
+        let guards: Vec<_> = handles.iter().map(|h| h.borrow()).collect();
+        let rels: Vec<&mmdb_storage::Relation> = guards.iter().map(|r| &**r).collect();
+        let mut root = db.bind_plan(&planned.root, &planned.tables, &rels, &desc)?;
+        let mut ctx = ExecContext::new(cfg, planned.node_count);
+        let list = root.execute(&mut ctx)?;
+        drop(root);
 
-        // 5. Materialize (the only copy).
-        let mut rows = Vec::with_capacity(final_list.len());
-        for i in 0..final_list.len() {
-            let vals = final_list.materialize_row(i, &desc, &rels)?;
+        // Materialize (the only copy the engine ever makes).
+        let mut rows = Vec::with_capacity(list.len());
+        for i in 0..list.len() {
+            let vals = list.materialize_row(i, &desc, &rels)?;
             rows.push(
                 vals.iter()
                     .map(mmdb_storage::Value::to_owned_value)
                     .collect(),
             );
         }
-        plan.push(format!("fetch {} rows × {} cols", rows.len(), desc.width()));
         Ok(QueryOutput {
             columns: desc
                 .column_names()
@@ -280,7 +328,7 @@ impl<S: StableStore> QueryBuilder<'_, S> {
                 .map(|s| (*s).to_string())
                 .collect(),
             rows,
-            plan,
+            profile: PlanProfile::assemble(&planned, &ctx),
         })
     }
 }
@@ -370,7 +418,8 @@ mod tests {
                 ("Suzan".to_string(), "Toy".to_string())
             ]
         );
-        assert!(out.plan[0].contains("TreeLookup"));
+        let text = out.profile.render();
+        assert!(text.contains("via TreeLookup"), "{text}");
     }
 
     #[test]
@@ -424,10 +473,13 @@ mod tests {
             .run()
             .unwrap();
         // The filtered outer list must not claim a full-relation merge.
-        let join_line = out.plan.iter().find(|l| l.starts_with("join")).unwrap();
-        assert!(
-            !join_line.contains("TreeMerge"),
-            "filtered outer cannot tree-merge: {join_line}"
+        let joins = out.profile.joins();
+        assert_eq!(joins.len(), 1);
+        assert_ne!(
+            joins[0].method,
+            Some(JoinMethod::TreeMerge),
+            "filtered outer cannot tree-merge: {}",
+            joins[0].label
         );
     }
 
@@ -480,5 +532,79 @@ mod tests {
             .run()
             .unwrap_err();
         assert!(matches!(err, DbError::BadQuery(_)));
+    }
+
+    #[test]
+    fn explain_before_and_profile_after() {
+        let db = company_db();
+        let builder = || {
+            db.query("emp")
+                .filter("age", Predicate::greater(KeyValue::Int(60)))
+                .join("dept_id", "dept", "id")
+                .join_from("dept", "id", "project", "dept_id")
+                .project(&[("emp", "ename"), ("project", "pname")])
+        };
+        let explained = builder().explain().unwrap();
+        assert!(explained.contains("act_rows=-"), "{explained}");
+        assert!(explained.contains("est_cmp="), "{explained}");
+        let out = builder().run().unwrap();
+        let text = out.profile.render();
+        // Same plan shape, now with actuals.
+        assert!(!text.contains("act_rows=-"), "{text}");
+        for op in &out.profile.ops {
+            assert!(op.executed, "{} did not run", op.label);
+        }
+        // Estimated and actual comparisons both present for joins, and
+        // the chosen method never estimates above a rejected one.
+        for j in out.profile.joins() {
+            for (m, est) in &j.rejected {
+                assert!(
+                    j.est_comparisons <= *est,
+                    "{:?} ({}) worse than rejected {m:?} ({est})",
+                    j.method,
+                    j.est_comparisons
+                );
+            }
+        }
+    }
+
+    fn names(out: &QueryOutput) -> Vec<String> {
+        let mut v: Vec<String> = out
+            .rows
+            .iter()
+            .map(|r| match &r[0] {
+                OwnedValue::Str(s) => s.clone(),
+                other => panic!("expected string, got {other:?}"),
+            })
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn forced_method_and_naive_mode_match_planned_results() {
+        let db = company_db();
+        let shoe_emps = || {
+            db.query("emp")
+                .join("dept_id", "dept", "id")
+                .filter_on("dept", "dname", Predicate::Eq(KeyValue::from("Shoe")))
+                .project(&[("emp", "ename")])
+        };
+        let want = names(&shoe_emps().run().unwrap());
+        assert_eq!(want, vec!["Jane".to_string(), "Yaman".to_string()]);
+        // Naive placement: the dept filter runs where written — as a
+        // post-filter over the joined list — instead of being pushed
+        // into dept's access path.
+        let naive = shoe_emps().pushdown(false).reorder(false).run().unwrap();
+        assert_eq!(names(&naive), want);
+        // Forced methods all agree.
+        for m in [
+            JoinMethod::HashJoin,
+            JoinMethod::SortMerge,
+            JoinMethod::NestedLoops,
+        ] {
+            let forced = shoe_emps().force_join_method(m).run().unwrap();
+            assert_eq!(names(&forced), want, "{m:?}");
+        }
     }
 }

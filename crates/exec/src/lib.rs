@@ -16,6 +16,10 @@
 //! * **Partition-parallel execution** ([`parallel`]): morsel-style
 //!   multicore variants of the scan, join, and dedup hot paths, bit-
 //!   identical to their serial counterparts ([`parallel::ExecConfig`]).
+//! * **Two-phase query compilation** ([`plan`]): typed logical plans, a
+//!   cost-based planner over the §3.3.4 formulas (pushdown, join
+//!   reordering, method choice), and an instrumented operator engine
+//!   with per-operator estimates-vs-actuals profiles.
 //!
 //! Every operator consumes and produces §2.3 temporary lists — tuple
 //! pointers only; attribute values are extracted exactly when compared and
@@ -29,6 +33,7 @@ pub mod error;
 pub mod join;
 pub mod optimizer;
 pub mod parallel;
+pub mod plan;
 pub mod project;
 pub mod select;
 
@@ -54,6 +59,9 @@ pub use optimizer::{choose_select_path, IndexAvailability, JoinMethod, JoinPlann
 pub use parallel::{
     merge_indexed, parallel_hash_join, parallel_nested_loops_join, parallel_project_hash,
     parallel_select_scan, parallel_theta_join, ExecConfig,
+};
+pub use plan::{
+    ExecContext, LogicalPlan, PlanError, PlanProfile, PlannedQuery, Planner, PlannerOptions,
 };
 pub use project::{project_hash, project_hash_sized, project_sort, ProjectOutput};
 pub use select::{select_hash_index, select_scan, select_tree_index, Predicate};

@@ -36,6 +36,10 @@ pub struct ExecConfig {
     /// Number of worker threads operators may use. `1` means strictly
     /// serial execution on the calling thread (the paper's code path).
     pub dop: usize,
+    /// Inputs smaller than this many tuples run serially even when
+    /// `dop > 1` (thread spawn + merge overhead dwarfs small inputs).
+    /// `0` disables the floor.
+    pub parallel_threshold: usize,
 }
 
 impl Default for ExecConfig {
@@ -43,6 +47,7 @@ impl Default for ExecConfig {
     fn default() -> Self {
         ExecConfig {
             dop: std::thread::available_parallelism().map_or(1, usize::from),
+            parallel_threshold: 0,
         }
     }
 }
@@ -51,19 +56,45 @@ impl ExecConfig {
     /// Strictly serial execution (the existing single-threaded operators).
     #[must_use]
     pub fn serial() -> Self {
-        ExecConfig { dop: 1 }
+        ExecConfig {
+            dop: 1,
+            parallel_threshold: 0,
+        }
     }
 
     /// Explicit degree of parallelism (clamped to at least 1).
     #[must_use]
     pub fn with_dop(dop: usize) -> Self {
-        ExecConfig { dop: dop.max(1) }
+        ExecConfig {
+            dop: dop.max(1),
+            ..ExecConfig::serial()
+        }
+    }
+
+    /// This config with only the degree of parallelism replaced — the
+    /// per-query override knob (`QueryBuilder::parallelism`), which must
+    /// not discard other configured fields.
+    #[must_use]
+    pub fn override_dop(self, dop: usize) -> Self {
+        ExecConfig {
+            dop: dop.max(1),
+            ..self
+        }
     }
 
     /// True when this config requests multi-threaded execution.
     #[must_use]
     pub fn is_parallel(&self) -> bool {
         self.dop > 1
+    }
+
+    /// True when an operator over `input_len` tuples should fan out:
+    /// `dop > 1` and the input is at least [`parallel_threshold`] tuples.
+    ///
+    /// [`parallel_threshold`]: ExecConfig::parallel_threshold
+    #[must_use]
+    pub fn parallel_for(&self, input_len: usize) -> bool {
+        self.is_parallel() && input_len >= self.parallel_threshold
     }
 }
 
@@ -169,7 +200,7 @@ pub fn parallel_select_scan(
     pred: &Predicate,
     cfg: ExecConfig,
 ) -> Result<TempList, ExecError> {
-    if !cfg.is_parallel() {
+    if !cfg.parallel_for(rel.len()) {
         let tids: Vec<TupleId> = rel.iter_tids().collect();
         return select_scan(rel, attr, &tids, pred);
     }
@@ -270,7 +301,7 @@ pub fn parallel_hash_join(
     inner: JoinSide<'_>,
     cfg: ExecConfig,
 ) -> Result<JoinOutput, ExecError> {
-    if !cfg.is_parallel() {
+    if !cfg.parallel_for(outer.len()) {
         return hash_join(outer, inner);
     }
     let table = ProbeTable::build(inner)?;
@@ -301,7 +332,7 @@ pub fn parallel_theta_join(
     op: ThetaOp,
     cfg: ExecConfig,
 ) -> Result<JoinOutput, ExecError> {
-    if !cfg.is_parallel() {
+    if !cfg.parallel_for(outer.len()) {
         return theta_nested_loops_join(outer, inner, op);
     }
     let (pairs, stats) = run_chunks(2, outer.len(), cfg.dop, |range| {
@@ -348,7 +379,7 @@ pub fn parallel_project_hash(
     sources: &[&Relation],
     cfg: ExecConfig,
 ) -> Result<ProjectOutput, ExecError> {
-    if !cfg.is_parallel() {
+    if !cfg.parallel_for(list.len()) {
         return project_hash(list, desc, sources);
     }
     let n = list.len();
@@ -470,6 +501,30 @@ mod tests {
         assert!(ExecConfig::default().dop >= 1);
         assert!(!ExecConfig::serial().is_parallel());
         assert_eq!(ExecConfig::with_dop(0).dop, 1);
+    }
+
+    #[test]
+    fn override_dop_preserves_other_fields() {
+        let cfg = ExecConfig {
+            dop: 4,
+            parallel_threshold: 1000,
+        };
+        let overridden = cfg.override_dop(2);
+        assert_eq!(overridden.dop, 2);
+        assert_eq!(overridden.parallel_threshold, 1000, "threshold survives");
+        assert_eq!(cfg.override_dop(0).dop, 1, "clamped to 1");
+    }
+
+    #[test]
+    fn parallel_threshold_gates_fan_out() {
+        let cfg = ExecConfig {
+            dop: 8,
+            parallel_threshold: 100,
+        };
+        assert!(!cfg.parallel_for(99));
+        assert!(cfg.parallel_for(100));
+        assert!(ExecConfig::with_dop(8).parallel_for(0), "0 = no floor");
+        assert!(!ExecConfig::serial().parallel_for(1_000_000));
     }
 
     #[test]

@@ -1,0 +1,213 @@
+//! The logical plan: *what* a query asks for, in the order it was
+//! written, with no access paths or join methods chosen yet.
+//!
+//! `QueryBuilder` lowers its fluent calls into this tree; the
+//! [`Planner`](crate::plan::Planner) normalises it (predicate placement,
+//! join order) and picks physical methods, producing a
+//! [`PlannedQuery`](crate::plan::PlannedQuery).
+
+use crate::select::Predicate;
+
+/// A typed logical operator tree (Scan / Filter / Join / Project /
+/// Distinct). Leaves are scans; every other node has exactly one input.
+#[derive(Debug, Clone)]
+pub enum LogicalPlan {
+    /// Read every live tuple of `table` (the pipeline's base).
+    Scan {
+        /// Base table name.
+        table: String,
+    },
+    /// Keep input rows whose `table.attr` satisfies `pred`.
+    Filter {
+        /// The input subtree.
+        input: Box<LogicalPlan>,
+        /// Table the filtered attribute lives on (any bound table, not
+        /// just the base — the planner places the predicate).
+        table: String,
+        /// Attribute name.
+        attr: String,
+        /// The predicate.
+        pred: Predicate,
+    },
+    /// Equijoin `source_table.outer_attr = inner_table.inner_attr`,
+    /// widening each input row with matching `inner_table` tuples.
+    Join {
+        /// The input subtree.
+        input: Box<LogicalPlan>,
+        /// Already-bound table supplying the outer join values.
+        source_table: String,
+        /// Outer join attribute.
+        outer_attr: String,
+        /// The relation being joined in.
+        inner_table: String,
+        /// Inner join attribute.
+        inner_attr: String,
+    },
+    /// Choose output columns as `(table, attr)` pairs.
+    Project {
+        /// The input subtree.
+        input: Box<LogicalPlan>,
+        /// Output columns in order.
+        cols: Vec<(String, String)>,
+    },
+    /// Eliminate duplicate output rows (over the projected columns).
+    Distinct {
+        /// The input subtree.
+        input: Box<LogicalPlan>,
+    },
+}
+
+impl LogicalPlan {
+    /// The base table at the bottom of the tree.
+    #[must_use]
+    pub fn base(&self) -> &str {
+        match self {
+            LogicalPlan::Scan { table } => table,
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Join { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Distinct { input } => input.base(),
+        }
+    }
+
+    /// Tables bound by the pipeline, in binding (temp-list column) order:
+    /// the base first, then each join's inner table in written order.
+    #[must_use]
+    pub fn bound_tables(&self) -> Vec<String> {
+        fn walk(node: &LogicalPlan, out: &mut Vec<String>) {
+            match node {
+                LogicalPlan::Scan { table } => out.push(table.clone()),
+                LogicalPlan::Filter { input, .. }
+                | LogicalPlan::Project { input, .. }
+                | LogicalPlan::Distinct { input } => walk(input, out),
+                LogicalPlan::Join {
+                    input, inner_table, ..
+                } => {
+                    walk(input, out);
+                    out.push(inner_table.clone());
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
+    }
+
+    /// Filters in written order as `(table, attr, pred)`.
+    #[must_use]
+    pub fn filters(&self) -> Vec<(&str, &str, &Predicate)> {
+        fn walk<'p>(node: &'p LogicalPlan, out: &mut Vec<(&'p str, &'p str, &'p Predicate)>) {
+            match node {
+                LogicalPlan::Scan { .. } => {}
+                LogicalPlan::Filter {
+                    input,
+                    table,
+                    attr,
+                    pred,
+                } => {
+                    walk(input, out);
+                    out.push((table, attr, pred));
+                }
+                LogicalPlan::Join { input, .. }
+                | LogicalPlan::Project { input, .. }
+                | LogicalPlan::Distinct { input } => walk(input, out),
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
+    }
+
+    /// Joins in written order as
+    /// `(source_table, outer_attr, inner_table, inner_attr)`.
+    #[must_use]
+    pub fn joins(&self) -> Vec<(&str, &str, &str, &str)> {
+        fn walk<'p>(node: &'p LogicalPlan, out: &mut Vec<(&'p str, &'p str, &'p str, &'p str)>) {
+            match node {
+                LogicalPlan::Scan { .. } => {}
+                LogicalPlan::Filter { input, .. }
+                | LogicalPlan::Project { input, .. }
+                | LogicalPlan::Distinct { input } => walk(input, out),
+                LogicalPlan::Join {
+                    input,
+                    source_table,
+                    outer_attr,
+                    inner_table,
+                    inner_attr,
+                } => {
+                    walk(input, out);
+                    out.push((source_table, outer_attr, inner_table, inner_attr));
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
+    }
+
+    /// The projection columns, if a `Project` node exists.
+    #[must_use]
+    pub fn projection(&self) -> Option<&[(String, String)]> {
+        match self {
+            LogicalPlan::Project { cols, .. } => Some(cols),
+            LogicalPlan::Distinct { input } => input.projection(),
+            _ => None,
+        }
+    }
+
+    /// True when the tree contains a `Distinct` node.
+    #[must_use]
+    pub fn is_distinct(&self) -> bool {
+        match self {
+            LogicalPlan::Distinct { .. } => true,
+            LogicalPlan::Project { input, .. } => input.is_distinct(),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdb_storage::KeyValue;
+
+    fn sample() -> LogicalPlan {
+        LogicalPlan::Distinct {
+            input: Box::new(LogicalPlan::Project {
+                cols: vec![("emp".into(), "ename".into())],
+                input: Box::new(LogicalPlan::Join {
+                    source_table: "emp".into(),
+                    outer_attr: "dept_id".into(),
+                    inner_table: "dept".into(),
+                    inner_attr: "id".into(),
+                    input: Box::new(LogicalPlan::Filter {
+                        table: "emp".into(),
+                        attr: "age".into(),
+                        pred: Predicate::greater(KeyValue::Int(65)),
+                        input: Box::new(LogicalPlan::Scan {
+                            table: "emp".into(),
+                        }),
+                    }),
+                }),
+            }),
+        }
+    }
+
+    #[test]
+    fn accessors_walk_the_tree() {
+        let p = sample();
+        assert_eq!(p.base(), "emp");
+        assert_eq!(p.bound_tables(), vec!["emp".to_string(), "dept".into()]);
+        assert_eq!(p.filters().len(), 1);
+        assert_eq!(p.filters()[0].0, "emp");
+        assert_eq!(p.joins(), vec![("emp", "dept_id", "dept", "id")]);
+        assert_eq!(
+            p.projection().unwrap(),
+            &[("emp".to_string(), "ename".to_string())]
+        );
+        assert!(p.is_distinct());
+        let bare = LogicalPlan::Scan { table: "t".into() };
+        assert!(!bare.is_distinct());
+        assert!(bare.projection().is_none());
+    }
+}

@@ -80,6 +80,74 @@ impl Predicate {
     }
 }
 
+impl std::fmt::Display for Predicate {
+    /// Stable rendering used by plan explains: `= 60`, `> 60`, `>= 60`,
+    /// `< 60`, `<= 60`, `in [10, 40]`, or the general `> lo, <= hi`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fn key(f: &mut std::fmt::Formatter<'_>, k: &KeyValue) -> std::fmt::Result {
+            match k {
+                KeyValue::Int(i) => write!(f, "{i}"),
+                KeyValue::Str(s) => write!(f, "{s:?}"),
+                KeyValue::Ptr(t) => write!(f, "ptr({t:?})"),
+            }
+        }
+        match self {
+            Predicate::Eq(k) => {
+                write!(f, "= ")?;
+                key(f, k)
+            }
+            Predicate::Range {
+                lo: Bound::Included(a),
+                hi: Bound::Included(b),
+            } => {
+                write!(f, "in [")?;
+                key(f, a)?;
+                write!(f, ", ")?;
+                key(f, b)?;
+                write!(f, "]")
+            }
+            Predicate::Range { lo, hi } => {
+                let mut first = true;
+                match lo {
+                    Bound::Unbounded => {}
+                    Bound::Included(k) => {
+                        write!(f, ">= ")?;
+                        key(f, k)?;
+                        first = false;
+                    }
+                    Bound::Excluded(k) => {
+                        write!(f, "> ")?;
+                        key(f, k)?;
+                        first = false;
+                    }
+                }
+                match hi {
+                    Bound::Unbounded => {
+                        if first {
+                            write!(f, "unbounded")?;
+                        }
+                    }
+                    Bound::Included(k) => {
+                        if !first {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "<= ")?;
+                        key(f, k)?;
+                    }
+                    Bound::Excluded(k) => {
+                        if !first {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "< ")?;
+                        key(f, k)?;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
 fn as_ref_bound(b: &Bound<KeyValue>) -> Bound<&KeyValue> {
     match b {
         Bound::Unbounded => Bound::Unbounded,
@@ -235,6 +303,37 @@ mod tests {
         let pred = Predicate::less(KeyValue::from("E"));
         let hits = select_scan(&r, 0, &tids, &pred).unwrap();
         assert_eq!(hits.len(), 2, "Cindy and Dave");
+    }
+
+    #[test]
+    fn predicate_display_is_stable() {
+        assert_eq!(Predicate::Eq(KeyValue::Int(60)).to_string(), "= 60");
+        assert_eq!(
+            Predicate::Eq(KeyValue::from("Toy")).to_string(),
+            "= \"Toy\""
+        );
+        assert_eq!(Predicate::greater(KeyValue::Int(65)).to_string(), "> 65");
+        assert_eq!(Predicate::less(KeyValue::Int(30)).to_string(), "< 30");
+        assert_eq!(
+            Predicate::between(KeyValue::Int(10), KeyValue::Int(40)).to_string(),
+            "in [10, 40]"
+        );
+        assert_eq!(
+            Predicate::Range {
+                lo: Bound::Included(KeyValue::Int(1)),
+                hi: Bound::Excluded(KeyValue::Int(9)),
+            }
+            .to_string(),
+            ">= 1, < 9"
+        );
+        assert_eq!(
+            Predicate::Range {
+                lo: Bound::Unbounded,
+                hi: Bound::Unbounded,
+            }
+            .to_string(),
+            "unbounded"
+        );
     }
 
     #[test]

@@ -122,7 +122,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .project(&[("employee", "name"), ("department", "name")])
         .run()?;
     println!("query pipeline ({:?}):", result.columns);
-    for line in &result.plan {
+    for line in result.profile.render().lines() {
         println!("  plan: {line}");
     }
     for row in &result.rows {

@@ -49,6 +49,13 @@ gate "checker-selftests" cargo test -p mmdb-check -q
 # clean, within its bounded seed budget.
 gate "explorer-smoke"    cargo test -p mmdb-check explore -q
 
+# Planner gates: golden explain snapshots (exact plan renderings for
+# every join method, pushdown, and reordering) and the accuracy smoke —
+# the cost model's chosen method must land within tolerance of the
+# fastest measured method (writes results/planner_accuracy.csv).
+gate "plan-golden"       cargo test --test plan_explain -q
+gate "planner-accuracy"  cargo run --release --example planner_accuracy
+
 # Crash-recovery torture: scripted workloads over the fault-injecting
 # disk, crashed at seeded power-cut points across a bounded seed sweep
 # (64 seeds — the CI budget; any failure prints its seed for replay),
