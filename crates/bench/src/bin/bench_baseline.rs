@@ -1,0 +1,375 @@
+//! Quick-mode perf baseline: re-runs the criterion suites' workloads
+//! (`index_ops`, `join_kernels`, `dedup`, `scaling`) at reduced
+//! cardinalities with fixed seeds and emits machine-readable
+//! `BENCH_baseline.json` (op → ns/iter) so future changes have a perf
+//! baseline to diff against.
+//!
+//! ```text
+//! bench_baseline [--out FILE]
+//! ```
+//!
+//! Deliberately *not* criterion: criterion is a dev-dependency (benches
+//! only) and its on-disk reports are not stable to diff. Keys are emitted
+//! in sorted (`BTreeMap`) order with fixed workload sizes and seeds, so
+//! two generated files align line-by-line and only the measured ns values
+//! move. Each cell is best-of-`MMDB_BENCH_REPS` (default 3) over a fixed
+//! iteration count — the same minimum-time defence the figure harness
+//! uses against scheduler noise.
+
+use mmdb_bench::indexes::{shuffled_keys, IndexKindB};
+use mmdb_bench::time_best;
+use mmdb_exec::{
+    hash_join, parallel_hash_join, parallel_project_hash, parallel_select_scan, project_hash,
+    project_sort, sort_merge_join, tree_join, tree_merge_join, ExecConfig, JoinSide, Predicate,
+};
+use mmdb_index::adapter::Adapter;
+use mmdb_index::traits::OrderedIndex;
+use mmdb_index::{TTree, TTreeConfig};
+use mmdb_storage::{
+    AttrAdapter, AttrType, KeyValue, OutputField, OwnedValue, PartitionConfig, Relation,
+    ResultDescriptor, Schema, TempList, TupleId,
+};
+use mmdb_workload::relations::build_matching_relation;
+use mmdb_workload::{build_join_relation, build_single_column, JoinRelation, RelationSpec};
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+/// Index-suite cardinality (criterion runs 30,000; quick mode 1/3).
+const INDEX_N: usize = 10_000;
+/// T-Tree / array node size (the criterion suites' fixed choice).
+const NODE_SIZE: usize = 30;
+/// Join / dedup cardinality (criterion runs 10,000).
+const JOIN_N: usize = 4_000;
+/// Parallel-scaling cardinality and fan-outs.
+const SCALE_N: usize = 10_000;
+const DOPS: [usize; 3] = [1, 2, 4];
+
+fn reps() -> usize {
+    std::env::var("MMDB_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+}
+
+/// Measure `f` as best-of-reps over `iters` calls; record rounded ns/iter.
+fn measure(out: &mut BTreeMap<String, u64>, key: &str, iters: usize, mut f: impl FnMut()) {
+    let ((), secs) = time_best(reps(), || {
+        for _ in 0..iters {
+            f();
+        }
+    });
+    let ns = (secs * 1e9 / iters as f64).round().max(0.0);
+    out.insert(key.to_string(), ns as u64);
+}
+
+fn index_suite(out: &mut BTreeMap<String, u64>) {
+    let keys = shuffled_keys(INDEX_N, 1);
+    let probes = shuffled_keys(INDEX_N, 2);
+    for kind in IndexKindB::all() {
+        let mut idx = kind.build(NODE_SIZE, INDEX_N);
+        for k in &keys {
+            idx.insert(*k);
+        }
+        let mut i = 0usize;
+        measure(
+            out,
+            &format!("index_search/{}", kind.name()),
+            INDEX_N,
+            || {
+                let k = probes[i % INDEX_N];
+                i += 1;
+                black_box(idx.search(black_box(k)));
+            },
+        );
+    }
+    let keys = shuffled_keys(INDEX_N, 3);
+    for kind in IndexKindB::all() {
+        // Same N/10 concession the criterion suite makes for the array's
+        // O(n) shifts.
+        let n = if kind == IndexKindB::Array {
+            INDEX_N / 10
+        } else {
+            INDEX_N
+        };
+        let mut idx = kind.build(NODE_SIZE, n);
+        for k in keys.iter().take(n) {
+            idx.insert(*k);
+        }
+        let mut next = n as u64;
+        measure(
+            out,
+            &format!("index_insert_delete/{}", kind.name()),
+            n,
+            || {
+                idx.insert(black_box(next));
+                black_box(idx.delete(black_box(next)));
+                next += 1;
+            },
+        );
+    }
+    let keys = shuffled_keys(INDEX_N, 4);
+    for kind in IndexKindB::ordered() {
+        let mut idx = kind.build(NODE_SIZE, INDEX_N);
+        for k in &keys {
+            idx.insert(*k);
+        }
+        measure(out, &format!("ordered_scan/{}", kind.name()), 10, || {
+            black_box(idx.range_count(0, INDEX_N as u64));
+        });
+    }
+}
+
+/// T-Tree descent over a *stored-attribute* adapter (tuple-pointer
+/// entries dereferenced per comparison — the §2.2 configuration), tagged
+/// vs untagged: the node-local key-tag cache should cut most of the
+/// pointer chases out of descent. `index_search/T Tree` above uses the
+/// natural adapter (entries are their own keys), where tags buy nothing.
+fn ttree_attr_suite(out: &mut BTreeMap<String, u64>) {
+    /// [`AttrAdapter`] with the tag hooks forced back to the
+    /// always-undecided default — the pre-cache behaviour.
+    struct Untagged<'a>(AttrAdapter<'a>);
+    impl Adapter for Untagged<'_> {
+        type Entry = TupleId;
+        type Key = KeyValue;
+        fn cmp_entries(&self, a: &TupleId, b: &TupleId) -> Ordering {
+            self.0.cmp_entries(a, b)
+        }
+        fn cmp_entry_key(&self, e: &TupleId, key: &KeyValue) -> Ordering {
+            self.0.cmp_entry_key(e, key)
+        }
+    }
+
+    let keys = shuffled_keys(INDEX_N, 5);
+    let probes = shuffled_keys(INDEX_N, 6);
+    let mut rel = Relation::new(
+        "r",
+        Schema::of(&[
+            ("v", AttrType::Int),
+            // Distinct first-8-bytes: the tag decides most comparisons.
+            ("s", AttrType::Str),
+            // Shared 8-byte prefix ("key-0000…"): every tag ties, so each
+            // comparison falls back to the full dereference — the
+            // documented worst case, measured here as pure tag overhead.
+            ("p", AttrType::Str),
+        ]),
+        PartitionConfig::default(),
+    );
+    let tids: Vec<TupleId> = keys
+        .iter()
+        .map(|k| {
+            rel.insert(&[
+                OwnedValue::Int(*k as i64),
+                OwnedValue::Str(format!("{k:08}")),
+                OwnedValue::Str(format!("key-{k:08}")),
+            ])
+            .expect("insert")
+        })
+        .collect();
+    for (attr, label) in [(0usize, "int"), (1, "str"), (2, "str_shared_prefix")] {
+        let mut tagged = TTree::new(
+            AttrAdapter::new(&rel, attr),
+            TTreeConfig::with_node_size(NODE_SIZE),
+        );
+        let mut plain = TTree::new(
+            Untagged(AttrAdapter::new(&rel, attr)),
+            TTreeConfig::with_node_size(NODE_SIZE),
+        );
+        for t in &tids {
+            tagged.insert(*t);
+            plain.insert(*t);
+        }
+        let probe = |k: u64| -> KeyValue {
+            match attr {
+                0 => KeyValue::Int(k as i64),
+                1 => KeyValue::from(format!("{k:08}").as_str()),
+                _ => KeyValue::from(format!("key-{k:08}").as_str()),
+            }
+        };
+        let mut i = 0usize;
+        measure(
+            out,
+            &format!("ttree_attr_search/{label}/tagged"),
+            INDEX_N,
+            || {
+                let k = probe(probes[i % INDEX_N]);
+                i += 1;
+                black_box(tagged.search(black_box(&k)));
+            },
+        );
+        let mut i = 0usize;
+        measure(
+            out,
+            &format!("ttree_attr_search/{label}/untagged"),
+            INDEX_N,
+            || {
+                let k = probe(probes[i % INDEX_N]);
+                i += 1;
+                black_box(plain.search(black_box(&k)));
+            },
+        );
+    }
+}
+
+fn join_suite(out: &mut BTreeMap<String, u64>) {
+    let outer = build_join_relation("r1", &RelationSpec::unique(JOIN_N, 1));
+    let inner = build_matching_relation("r2", &RelationSpec::unique(JOIN_N, 2), &outer, 100.0);
+    let o = JoinSide::new(&outer.relation, JoinRelation::JCOL, &outer.tids);
+    let i = JoinSide::new(&inner.relation, JoinRelation::JCOL, &inner.tids);
+    let mut oidx = TTree::new(
+        AttrAdapter::new(&outer.relation, JoinRelation::JCOL),
+        TTreeConfig::with_node_size(NODE_SIZE),
+    );
+    for t in &outer.tids {
+        oidx.insert(*t);
+    }
+    let mut iidx = TTree::new(
+        AttrAdapter::new(&inner.relation, JoinRelation::JCOL),
+        TTreeConfig::with_node_size(NODE_SIZE),
+    );
+    for t in &inner.tids {
+        iidx.insert(*t);
+    }
+    measure(out, "join_4k/hash_join", 3, || {
+        black_box(hash_join(o, i).expect("join").len());
+    });
+    measure(out, "join_4k/tree_join", 3, || {
+        black_box(tree_join(o, &iidx).expect("join").len());
+    });
+    measure(out, "join_4k/sort_merge", 3, || {
+        black_box(sort_merge_join(o, i).expect("join").len());
+    });
+    measure(out, "join_4k/tree_merge", 3, || {
+        black_box(
+            tree_merge_join(
+                &outer.relation,
+                JoinRelation::JCOL,
+                &oidx,
+                &inner.relation,
+                JoinRelation::JCOL,
+                &iidx,
+            )
+            .expect("join")
+            .len(),
+        );
+    });
+}
+
+fn dedup_suite(out: &mut BTreeMap<String, u64>) {
+    for dup in [0.0f64, 50.0, 95.0] {
+        let (rel, tids) = build_single_column(
+            "p",
+            &RelationSpec {
+                cardinality: JOIN_N,
+                duplicate_pct: dup,
+                sigma: 0.8,
+                seed: 1,
+            },
+        );
+        let list = TempList::from_tids(tids);
+        let desc = ResultDescriptor::new(vec![OutputField::new(0, 0, "val")]);
+        measure(out, &format!("dedup_4k/hash/{dup:.0}pct"), 3, || {
+            black_box(
+                project_hash(&list, &desc, &[&rel])
+                    .expect("dedup")
+                    .rows
+                    .len(),
+            );
+        });
+        measure(out, &format!("dedup_4k/sort_scan/{dup:.0}pct"), 3, || {
+            black_box(
+                project_sort(&list, &desc, &[&rel])
+                    .expect("dedup")
+                    .rows
+                    .len(),
+            );
+        });
+    }
+}
+
+fn scaling_suite(out: &mut BTreeMap<String, u64>) {
+    let outer = build_join_relation("r1", &RelationSpec::unique(SCALE_N, 1));
+    let inner = build_matching_relation("r2", &RelationSpec::unique(SCALE_N, 2), &outer, 100.0);
+    let o = JoinSide::new(&outer.relation, JoinRelation::JCOL, &outer.tids);
+    let i = JoinSide::new(&inner.relation, JoinRelation::JCOL, &inner.tids);
+    let pred = Predicate::greater(KeyValue::Int(0));
+    let dedup = build_join_relation(
+        "r3",
+        &RelationSpec {
+            cardinality: SCALE_N,
+            duplicate_pct: 90.0,
+            sigma: 0.8,
+            seed: 3,
+        },
+    );
+    let list = TempList::from_tids(dedup.tids.clone());
+    let desc = ResultDescriptor::new(vec![OutputField::new(0, JoinRelation::JCOL, "jcol")]);
+    for dop in DOPS {
+        let cfg = ExecConfig::with_dop(dop);
+        measure(out, &format!("scaling_10k/scan/dop{dop}"), 3, || {
+            black_box(
+                parallel_select_scan(&outer.relation, JoinRelation::JCOL, &pred, cfg)
+                    .expect("scan")
+                    .len(),
+            );
+        });
+        measure(out, &format!("scaling_10k/hash_join/dop{dop}"), 3, || {
+            black_box(parallel_hash_join(o, i, cfg).expect("join").pairs.len());
+        });
+        measure(out, &format!("scaling_10k/distinct/dop{dop}"), 3, || {
+            black_box(
+                parallel_project_hash(&list, &desc, &[&dedup.relation], cfg)
+                    .expect("dedup")
+                    .rows
+                    .len(),
+            );
+        });
+    }
+}
+
+fn write_json(path: &str, entries: &BTreeMap<String, u64>) -> std::io::Result<()> {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema_version\": 1,\n");
+    s.push_str("  \"mode\": \"quick\",\n");
+    s.push_str("  \"unit\": \"ns_per_iter\",\n");
+    s.push_str("  \"entries\": {\n");
+    let last = entries.len().saturating_sub(1);
+    for (n, (k, v)) in entries.iter().enumerate() {
+        // Keys are ASCII workload names (letters, digits, '/', '(', ')',
+        // spaces, '%') — nothing needing JSON escaping.
+        s.push_str(&format!(
+            "    \"{k}\": {v}{}\n",
+            if n == last { "" } else { "," }
+        ));
+    }
+    s.push_str("  }\n}\n");
+    std::fs::write(path, s)
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_baseline.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("usage: bench_baseline [--out FILE]");
+                    std::process::exit(2);
+                });
+            }
+            _ => {
+                eprintln!("usage: bench_baseline [--out FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut entries = BTreeMap::new();
+    index_suite(&mut entries);
+    ttree_attr_suite(&mut entries);
+    join_suite(&mut entries);
+    dedup_suite(&mut entries);
+    scaling_suite(&mut entries);
+    write_json(&out_path, &entries).expect("write baseline");
+    println!("wrote {} ({} entries)", out_path, entries.len());
+}

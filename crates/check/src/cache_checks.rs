@@ -1,0 +1,219 @@
+//! Reuse-cache invariants: every resident entry's fingerprint re-derives
+//! from its canonical form, stamp bookkeeping is internally consistent,
+//! and no entry whose inputs have changed can be served.
+//!
+//! The staleness judgement here is *independent* of the cache's own
+//! freshness test: [`check_cache`] recomputes "did any input move?" from
+//! the entry's stamps and the live [`VersionSource`], then asserts the
+//! cache's serving decision ([`ReuseCache::would_serve`]) agrees. A bug
+//! in either side surfaces as a named violation instead of a stale row.
+
+use crate::report::Report;
+use mmdb_exec::cache::{fingerprint, ReuseCache, VersionSource};
+
+const STRUCTURE: &str = "reuse cache";
+
+/// Validate every resident entry of `cache` against `live`.
+#[must_use]
+pub fn check_cache(cache: &ReuseCache, live: &dyn VersionSource) -> Report {
+    let mut report = Report::new();
+    for e in cache.entries() {
+        let loc = || format!("entry {:#x} ({})", e.fingerprint, e.canonical);
+
+        // The key is a pure function of the canonical form.
+        let derived = fingerprint(&e.canonical);
+        if e.fingerprint != derived {
+            report.fail(
+                STRUCTURE,
+                loc(),
+                "the fingerprint re-derives identically from the canonical form",
+                format!("stored {:#x}, derived {derived:#x}", e.fingerprint),
+            );
+        }
+
+        // Stamp bookkeeping: one stamp vector per table, rows arity
+        // matching the bound-table count.
+        if e.tables.is_empty() {
+            report.fail(
+                STRUCTURE,
+                loc(),
+                "an entry covers at least one table",
+                "tables list is empty".to_string(),
+            );
+        }
+        if e.tables.len() != e.stamps.len() {
+            report.fail(
+                STRUCTURE,
+                loc(),
+                "one version-stamp vector per covered table",
+                format!(
+                    "{} tables, {} stamp vectors",
+                    e.tables.len(),
+                    e.stamps.len()
+                ),
+            );
+        }
+        if e.rows.arity() != e.tables.len() {
+            report.fail(
+                STRUCTURE,
+                loc(),
+                "cached rows carry one column per covered table",
+                format!("arity {}, {} tables", e.rows.arity(), e.tables.len()),
+            );
+        }
+
+        // Independent staleness judgement: an entry is fresh iff the
+        // epoch matches and every covered table's live version vector
+        // equals the stamp taken at compute time.
+        let fresh = e.epoch == live.catalog_epoch()
+            && e.tables.len() == e.stamps.len()
+            && e.tables
+                .iter()
+                .zip(&e.stamps)
+                .all(|(t, stamp)| live.table_versions(t).as_deref() == Some(stamp.as_slice()));
+        let derivable = e.fingerprint == derived;
+        let served = cache.would_serve(e.fingerprint, &e.canonical, live);
+        if fresh && derivable && !served {
+            report.fail(
+                STRUCTURE,
+                loc(),
+                "a fresh entry is servable",
+                "stamps match the live versions but would_serve is false".to_string(),
+            );
+        }
+        if !fresh && served {
+            report.fail(
+                STRUCTURE,
+                loc(),
+                "stamped versions match or the entry is unreachable",
+                "an input version moved but the entry would still serve".to_string(),
+            );
+        }
+    }
+
+    // Occupancy accounting must agree with the per-entry bytes.
+    let sum: usize = cache.entries().map(|e| e.bytes).sum();
+    let r = cache.report();
+    if r.bytes != sum {
+        report.fail(
+            STRUCTURE,
+            "occupancy".to_string(),
+            "retained-bytes counter equals the sum of entry sizes",
+            format!("counter {}, sum {sum}", r.bytes),
+        );
+    }
+    if r.bytes > cache.capacity_bytes() {
+        report.fail(
+            STRUCTURE,
+            "occupancy".to_string(),
+            "retained bytes stay within the configured budget",
+            format!("{} > {}", r.bytes, cache.capacity_bytes()),
+        );
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdb_exec::cache::StoreTicket;
+    use mmdb_storage::{TempList, TupleId};
+    use std::collections::HashMap;
+
+    struct MemVersions(HashMap<String, Vec<u64>>);
+
+    impl VersionSource for MemVersions {
+        fn table_versions(&self, table: &str) -> Option<Vec<u64>> {
+            self.0.get(table).cloned()
+        }
+    }
+
+    fn live(v: u64) -> MemVersions {
+        MemVersions(HashMap::from([("emp".to_string(), vec![v])]))
+    }
+
+    fn ticket(v: u64) -> StoreTicket {
+        let canonical = "sel(emp.age = 30)".to_string();
+        StoreTicket {
+            fingerprint: fingerprint(&canonical),
+            canonical,
+            tables: vec!["emp".to_string()],
+            stamps: vec![vec![v]],
+            epoch: 0,
+            cost: 100.0,
+        }
+    }
+
+    fn rows() -> TempList {
+        TempList::from_tids(vec![TupleId::new(0, 1), TupleId::new(0, 3)])
+    }
+
+    #[test]
+    fn healthy_cache_passes() {
+        let mut cache = ReuseCache::default();
+        cache.insert(&ticket(5), &rows());
+        assert!(check_cache(&cache, &live(5)).is_ok());
+        // Stale-but-resident is fine too: lazy invalidation means the
+        // entry lingers, the invariant is only that it cannot serve.
+        assert!(check_cache(&cache, &live(6)).is_ok());
+    }
+
+    #[test]
+    fn tampered_fingerprint_is_caught() {
+        let mut cache = ReuseCache::default();
+        cache.insert(&ticket(5), &rows());
+        for e in cache.entries_mut() {
+            e.fingerprint ^= 0xdead_beef;
+        }
+        // NB: the entry is keyed by the old fingerprint, so would_serve
+        // also goes false — the re-derivation check is what fires.
+        let report = check_cache(&cache, &live(5));
+        assert!(!report.is_ok());
+        let err = format!("{:?}", report.into_result());
+        assert!(err.contains("re-derives"), "{err}");
+    }
+
+    #[test]
+    fn tampered_canonical_is_caught() {
+        let mut cache = ReuseCache::default();
+        cache.insert(&ticket(5), &rows());
+        for e in cache.entries_mut() {
+            e.canonical = "sel(emp.age = 99)".to_string();
+        }
+        assert!(!check_cache(&cache, &live(5)).is_ok());
+    }
+
+    #[test]
+    fn tampered_stamps_must_not_serve() {
+        let mut cache = ReuseCache::default();
+        cache.insert(&ticket(5), &rows());
+        // Pretend the entry was computed at a future version: live says
+        // 5, the stamp says 9 — the entry must be unservable.
+        for e in cache.entries_mut() {
+            e.stamps = vec![vec![9]];
+        }
+        let report = check_cache(&cache, &live(5));
+        assert!(report.is_ok(), "stale entries may linger unservable");
+        assert!(!cache.would_serve(ticket(5).fingerprint, "sel(emp.age = 30)", &live(5)));
+    }
+
+    #[test]
+    fn arity_mismatch_is_caught() {
+        let mut cache = ReuseCache::default();
+        let mut t = ticket(5);
+        t.tables.push("dept".to_string());
+        t.stamps.push(vec![1]);
+        cache.insert(&t, &rows()); // arity-1 rows against two tables
+        assert!(!check_cache(&cache, &live(5)).is_ok());
+    }
+
+    #[test]
+    fn missing_stamp_vector_is_caught() {
+        let mut cache = ReuseCache::default();
+        cache.insert(&ticket(5), &rows());
+        for e in cache.entries_mut() {
+            e.stamps.clear();
+        }
+        assert!(!check_cache(&cache, &live(5)).is_ok());
+    }
+}

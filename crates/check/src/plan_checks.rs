@@ -259,15 +259,21 @@ fn collect_ids(node: &PlanNode, out: &mut Vec<usize>) {
 }
 
 fn collect_joins<'p>(node: &'p PlanNode, out: &mut Vec<(&'p str, &'p str, &'p str, &'p str)>) {
-    if let PlanNodeKind::Join {
-        source_table,
-        outer_attr,
-        inner_table,
-        inner_attr,
-        ..
-    } = &node.kind
-    {
-        out.push((source_table, outer_attr, inner_table, inner_attr));
+    match &node.kind {
+        PlanNodeKind::Join {
+            source_table,
+            outer_attr,
+            inner_table,
+            inner_attr,
+            ..
+        } => out.push((source_table, outer_attr, inner_table, inner_attr)),
+        // A cache hit still *implements* the joins it absorbed.
+        PlanNodeKind::Cached { joins, .. } => {
+            for (s, o, i, a) in joins {
+                out.push((s, o, i, a));
+            }
+        }
+        _ => {}
     }
     for c in &node.children {
         collect_joins(c, out);
@@ -282,6 +288,12 @@ fn collect_filters<'p>(node: &'p PlanNode, out: &mut Vec<(&'p str, &'p str, &'p 
         | PlanNodeKind::PostFilter {
             table, attr, pred, ..
         } => out.push((table, attr, pred)),
+        // A cache hit still *implements* the filters it absorbed.
+        PlanNodeKind::Cached { filters, .. } => {
+            for (t, a, p) in filters {
+                out.push((t, a, p));
+            }
+        }
         _ => {}
     }
     for c in &node.children {
@@ -520,6 +532,47 @@ fn walk_physical(
                     "a distinct node implies the plan's distinct flag",
                     "planned.distinct is false".to_string(),
                 );
+            }
+        }
+        PlanNodeKind::Cached {
+            fingerprint,
+            canonical,
+            tables,
+            ..
+        } => {
+            if !node.children.is_empty() {
+                report.fail(
+                    STRUCTURE,
+                    loc("cached"),
+                    "cached reads are leaves",
+                    format!("{} children", node.children.len()),
+                );
+            }
+            if *fingerprint != mmdb_exec::cache::fingerprint(canonical) {
+                report.fail(
+                    STRUCTURE,
+                    loc("cached"),
+                    "the fingerprint re-derives from the canonical form",
+                    format!("node fp {fingerprint:#x} vs canonical {canonical:?}"),
+                );
+            }
+            if tables.is_empty() {
+                report.fail(
+                    STRUCTURE,
+                    loc("cached"),
+                    "a cached read covers at least one table",
+                    "tables list is empty".to_string(),
+                );
+            }
+            for t in tables {
+                if !planned.tables.iter().any(|b| b == t) {
+                    report.fail(
+                        STRUCTURE,
+                        loc("cached"),
+                        "cached tables are bound",
+                        format!("table {t} missing from {:?}", planned.tables),
+                    );
+                }
             }
         }
     }

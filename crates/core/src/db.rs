@@ -5,13 +5,14 @@ use crate::error::DbError;
 use crate::shared::SharedAdapter;
 use crate::txn::{Transaction, WriteOp};
 use mmdb_exec::plan::{
-    AttrInfo, BoxedOperator, DistinctOp, FullScanOp, HashLookupOp, JoinKernel, JoinOp, PlanCatalog,
-    PlanNode, PlanNodeKind, PostFilterOp, PrecomputedKernel, ProjectOp, SeqFilterOp, SidesKernel,
-    TreeJoinKernel, TreeLookupOp, TreeMergeKernel,
+    AttrInfo, BoxedOperator, DistinctOp, FullScanOp, HashLookupOp, JoinKernel, JoinOp, NodeId,
+    PlanCatalog, PlanNode, PlanNodeKind, PostFilterOp, PrecomputedKernel, ProjectOp, SeqFilterOp,
+    SidesKernel, TreeJoinKernel, TreeLookupOp, TreeMergeKernel,
 };
 use mmdb_exec::{
-    choose_select_path, parallel_select_scan, select_hash_index, select_tree_index, ExecConfig,
-    IndexAvailability, JoinMethod, JoinOutput, JoinPlanner, Predicate, SelectPath,
+    choose_select_path, parallel_select_scan, select_hash_index, select_tree_index, CacheReport,
+    CachedReadOp, ExecConfig, IndexAvailability, JoinMethod, JoinOutput, JoinPlanner, MemoizeOp,
+    Predicate, ReuseCache, SelectPath, StoreTicket, VersionSource,
 };
 use mmdb_index::traits::{OrderedIndex, UnorderedIndex};
 use mmdb_index::{ModifiedLinearHash, TTree, TTreeConfig};
@@ -21,7 +22,7 @@ use mmdb_storage::{
     AttrType, OwnedValue, PartitionConfig, Relation, ResultDescriptor, Schema, TempList, TupleId,
 };
 use std::cell::RefCell;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::marker::PhantomData;
 use std::rc::Rc;
 
@@ -105,8 +106,14 @@ pub struct Database<S: StableStore = MemDisk> {
     recovery: RecoveryManager<S>,
     exec: ExecConfig,
     /// Monotone catalog version; selects which shadow slot the next
-    /// persist writes (see [`Database::persist_catalog`]).
+    /// persist writes (see [`Database::persist_catalog`]). Doubles as the
+    /// reuse cache's epoch stamp: index creation changes access paths
+    /// (and thus result order), so entries never survive it.
     catalog_epoch: u64,
+    /// Plan-keyed intermediate-result reuse cache (queries take `&self`,
+    /// hence the cell). Consulted only when [`ExecConfig::cache`] or the
+    /// per-query `QueryBuilder::cache(true)` knob asks for it.
+    cache: RefCell<ReuseCache>,
 }
 
 /// Shadow slots for the catalog blob. Persists alternate between them,
@@ -140,6 +147,7 @@ impl<S: StableStore> Database<S> {
             recovery: RecoveryManager::new(disk),
             exec: ExecConfig::default(),
             catalog_epoch: 0,
+            cache: RefCell::new(ReuseCache::default()),
         }
     }
 
@@ -161,6 +169,34 @@ impl<S: StableStore> Database<S> {
     /// intact. `dop = 1` restores the strictly serial (paper) code paths.
     pub fn set_parallelism(&mut self, dop: usize) {
         self.exec = self.exec.override_dop(dop);
+    }
+
+    // ---- reuse cache ---------------------------------------------------
+
+    /// Lifetime counters of the intermediate-result reuse cache.
+    #[must_use]
+    pub fn cache_report(&self) -> CacheReport {
+        self.cache.borrow().report()
+    }
+
+    /// Drop every cached intermediate result (counters are kept).
+    pub fn clear_cache(&self) {
+        self.cache.borrow_mut().clear();
+    }
+
+    /// Set the reuse cache's retention budget, evicting down if needed.
+    pub fn set_cache_capacity_bytes(&self, bytes: usize) {
+        self.cache.borrow_mut().set_capacity_bytes(bytes);
+    }
+
+    /// Run `f` against the reuse cache (for inspection and checking;
+    /// queries go through [`Database::query`] and touch it themselves).
+    pub fn with_cache<R>(&self, f: impl FnOnce(&ReuseCache) -> R) -> R {
+        f(&self.cache.borrow())
+    }
+
+    pub(crate) fn reuse_cache(&self) -> &RefCell<ReuseCache> {
+        &self.cache
     }
 
     // ---- catalog -------------------------------------------------------
@@ -863,13 +899,16 @@ impl<S: StableStore> Database<S> {
     /// Bind a planned operator tree to this database's relations and
     /// indices. `tables` is the plan's binding order, `rels` the borrowed
     /// relation per position, `desc` the projection descriptor (consumed
-    /// by duplicate elimination).
+    /// by duplicate elimination). `tickets` marks subtrees whose result
+    /// the reuse cache wants retained: the matching operator is wrapped
+    /// in a transparent [`MemoizeOp`] that stores its output on success.
     pub(crate) fn bind_plan<'b>(
         &'b self,
         node: &PlanNode,
         tables: &[String],
         rels: &[&'b Relation],
         desc: &ResultDescriptor,
+        tickets: &HashMap<NodeId, StoreTicket>,
     ) -> Result<BoxedOperator<'b>, DbError> {
         let position = |table: &str| -> Result<usize, DbError> {
             tables
@@ -877,7 +916,7 @@ impl<S: StableStore> Database<S> {
                 .position(|t| t == table)
                 .ok_or_else(|| DbError::BadQuery(format!("table {table} is not bound")))
         };
-        Ok(match &node.kind {
+        let op: BoxedOperator<'b> = match &node.kind {
             PlanNodeKind::Scan { table } => {
                 let rel = rels[position(table)?];
                 Box::new(FullScanOp { id: node.id, rel })
@@ -933,7 +972,7 @@ impl<S: StableStore> Database<S> {
                 pred,
                 src_col,
             } => {
-                let child = self.bind_plan(&node.children[0], tables, rels, desc)?;
+                let child = self.bind_plan(&node.children[0], tables, rels, desc, tickets)?;
                 let rel = rels[position(table)?];
                 let attr_idx = rel.schema().index_of(attr)?;
                 Box::new(PostFilterOp {
@@ -943,6 +982,7 @@ impl<S: StableStore> Database<S> {
                     attr: attr_idx,
                     pred: pred.clone(),
                     src_col: *src_col,
+                    est_rows: node.est_rows.round() as usize,
                 })
             }
             PlanNodeKind::Join {
@@ -954,9 +994,9 @@ impl<S: StableStore> Database<S> {
                 src_col,
                 ..
             } => {
-                let child = self.bind_plan(&node.children[0], tables, rels, desc)?;
+                let child = self.bind_plan(&node.children[0], tables, rels, desc, tickets)?;
                 let inner = match node.children.get(1) {
-                    Some(n) => Some(self.bind_plan(n, tables, rels, desc)?),
+                    Some(n) => Some(self.bind_plan(n, tables, rels, desc, tickets)?),
                     None => None,
                 };
                 let orel = rels[position(source_table)?];
@@ -982,14 +1022,15 @@ impl<S: StableStore> Database<S> {
                     inner,
                     src_col: *src_col,
                     kernel,
+                    est_rows: node.est_rows.round() as usize,
                 })
             }
             PlanNodeKind::Project { .. } => {
-                let child = self.bind_plan(&node.children[0], tables, rels, desc)?;
+                let child = self.bind_plan(&node.children[0], tables, rels, desc, tickets)?;
                 Box::new(ProjectOp { id: node.id, child })
             }
             PlanNodeKind::Distinct => {
-                let child = self.bind_plan(&node.children[0], tables, rels, desc)?;
+                let child = self.bind_plan(&node.children[0], tables, rels, desc, tickets)?;
                 Box::new(DistinctOp {
                     id: node.id,
                     child,
@@ -997,6 +1038,28 @@ impl<S: StableStore> Database<S> {
                     sources: rels.to_vec(),
                 })
             }
+            PlanNodeKind::Cached {
+                fingerprint,
+                canonical,
+                ..
+            } => {
+                let rows = self
+                    .cache
+                    .borrow()
+                    .peek(*fingerprint, canonical)
+                    .ok_or_else(|| {
+                        DbError::BadQuery("cached plan node lost its cache entry".into())
+                    })?;
+                Box::new(CachedReadOp { id: node.id, rows })
+            }
+        };
+        Ok(match tickets.get(&node.id) {
+            Some(ticket) => Box::new(MemoizeOp {
+                child: op,
+                cache: &self.cache,
+                ticket: ticket.clone(),
+            }),
+            None => op,
         })
     }
 
@@ -1089,6 +1152,7 @@ impl<S: StableStore> CrashedDatabase<S> {
             recovery: self.recovery,
             exec: ExecConfig::default(),
             catalog_epoch,
+            cache: RefCell::new(ReuseCache::default()),
         };
         for t in &meta.tables {
             db.tables.push(Table {
@@ -1166,6 +1230,17 @@ impl<S: StableStore> CrashedDatabase<S> {
                 indexes_rebuilt: rebuilt,
             },
         ))
+    }
+}
+
+impl<S: StableStore> VersionSource for Database<S> {
+    fn table_versions(&self, table: &str) -> Option<Vec<u64>> {
+        let t = self.table_id(table).ok()?;
+        Some(self.table(t).rel.borrow().partition_versions().to_vec())
+    }
+
+    fn catalog_epoch(&self) -> u64 {
+        self.catalog_epoch
     }
 }
 
@@ -1295,6 +1370,10 @@ impl<S: StableStore> Database<S> {
         ));
         report.merge(mmdb_check::log_checks::check_log_buffer(
             self.recovery.log_buffer(),
+        ));
+        report.merge(mmdb_check::cache_checks::check_cache(
+            &self.cache.borrow(),
+            self,
         ));
         report
     }

@@ -62,6 +62,15 @@ impl Adapter for SharedAdapter {
         let v = live_field(&r, *e, self.attr);
         key.cmp_value(&v)
     }
+
+    fn entry_tag(&self, e: &TupleId) -> u64 {
+        let r = self.rel.borrow();
+        mmdb_storage::value_order_tag(&live_field(&r, *e, self.attr))
+    }
+
+    fn key_tag(&self, key: &KeyValue) -> u64 {
+        key.order_tag()
+    }
 }
 
 impl HashAdapter for SharedAdapter {

@@ -1,0 +1,840 @@
+//! Intermediate-result reuse cache: plan-keyed [`TempList`] caching with
+//! write invalidation.
+//!
+//! Every planned subtree that reads base relations (selections, joins,
+//! post-filters) canonicalises to a stable string — relation names,
+//! attribute names, predicate text, and the logical join shape, but *not*
+//! the chosen access path or join method — whose hash is the cache key.
+//! When a query runs with the cache enabled, [`apply_cache`] substitutes a
+//! [`PlanNodeKind::Cached`] leaf for the largest subtrees whose entries
+//! are still valid, and hands back *store tickets* for the subtrees that
+//! missed; the binder wraps those operators in [`MemoizeOp`] so their
+//! results populate the cache as a side effect of normal execution.
+//!
+//! Validity is version-stamped: each entry records the per-partition
+//! version counters ([`VersionSource::table_versions`]) of every relation
+//! the subtree read, plus the catalog epoch (index creation changes access
+//! paths and therefore result *order*). Any write bumps a partition
+//! counter, so the next lookup sees a stamp mismatch and drops the entry
+//! lazily — invalidation costs the write path nothing beyond the counter
+//! bump it already does for dirty tracking.
+//!
+//! Eviction is cost-weighted LRU in the spirit of Dursun et al.: the
+//! benefit score is the planner's own §3.3.4 comparison estimate for the
+//! absorbed subtree (scaled by observed hits) per byte retained, so cheap
+//! huge results go first and expensive small ones stay.
+
+use crate::error::ExecError;
+use crate::plan::physical::{BoxedOperator, ExecContext, Operator};
+use crate::plan::planner::{NodeId, PlanNode, PlanNodeKind, PlannedQuery};
+use crate::select::Predicate;
+use mmdb_index::adapter::mix64;
+use mmdb_index::stats::Snapshot;
+use mmdb_storage::TempList;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// Default cache budget: 16 MiB of cached tuple pointers.
+pub const DEFAULT_CAPACITY_BYTES: usize = 16 << 20;
+
+/// Live partition-version oracle the cache validates stamps against.
+/// Implemented by the database layer over [`Relation::partition_versions`]
+/// (`Relation` = `mmdb_storage::Relation`).
+pub trait VersionSource {
+    /// Current per-partition version counters of `table`, or `None` if
+    /// the table no longer exists (which invalidates any entry over it).
+    fn table_versions(&self, table: &str) -> Option<Vec<u64>>;
+    /// Monotone counter bumped by catalog changes (index creation/drop).
+    /// Access-path changes can reorder results, so entries never survive
+    /// an epoch change.
+    fn catalog_epoch(&self) -> u64 {
+        0
+    }
+}
+
+/// Stable fingerprint of a canonical plan string (FNV-1a folded through
+/// an avalanche finaliser). The canonical string is kept as the preimage
+/// so collisions degrade to misses, never to wrong results.
+#[must_use]
+pub fn fingerprint(canonical: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in canonical.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    mix64(h)
+}
+
+/// Is this node kind worth caching? Scans are excluded (recomputing a tid
+/// enumeration is as cheap as copying it); projection/distinct wrappers
+/// carry no relational work of their own.
+#[must_use]
+pub fn cacheable(kind: &PlanNodeKind) -> bool {
+    matches!(
+        kind,
+        PlanNodeKind::Select { .. } | PlanNodeKind::PostFilter { .. } | PlanNodeKind::Join { .. }
+    )
+}
+
+/// Canonical form of a subtree: the method-independent logical shape, or
+/// `None` when the subtree contains no cacheable relational work.
+#[must_use]
+pub fn canonical_plan(node: &PlanNode) -> Option<String> {
+    match &node.kind {
+        PlanNodeKind::Scan { table } => Some(format!("scan({table})")),
+        PlanNodeKind::Select {
+            table, attr, pred, ..
+        } => Some(format!("sel({table}.{attr} {pred})")),
+        PlanNodeKind::PostFilter {
+            table, attr, pred, ..
+        } => {
+            let child = canonical_plan(node.children.first()?)?;
+            Some(format!("filter({child}, {table}.{attr} {pred})"))
+        }
+        PlanNodeKind::Join {
+            source_table,
+            outer_attr,
+            inner_table,
+            inner_attr,
+            ..
+        } => {
+            let outer = canonical_plan(node.children.first()?)?;
+            // Methods that probe an index or follow pointers have no
+            // materialised inner child; they read the full inner
+            // relation (the planner only picks them when the inner is
+            // unfiltered), so the inner side canonicalises as a scan.
+            let inner = match node.children.get(1) {
+                Some(c) => canonical_plan(c)?,
+                None => format!("scan({inner_table})"),
+            };
+            Some(format!(
+                "join({outer}, {source_table}.{outer_attr}={inner_table}.{inner_attr}, {inner})"
+            ))
+        }
+        PlanNodeKind::Cached { canonical, .. } => Some(canonical.clone()),
+        PlanNodeKind::Project { .. } | PlanNodeKind::Distinct => None,
+    }
+}
+
+/// Tables a subtree binds, in temp-list column order (base first, then
+/// each join's inner in execution order). Duplicates are kept — the
+/// length is the cached rows' arity.
+#[must_use]
+pub fn tables_of(node: &PlanNode) -> Vec<String> {
+    fn rec(node: &PlanNode, out: &mut Vec<String>) {
+        match &node.kind {
+            PlanNodeKind::Scan { table } | PlanNodeKind::Select { table, .. } => {
+                out.push(table.clone());
+            }
+            PlanNodeKind::PostFilter { .. } => {
+                if let Some(c) = node.children.first() {
+                    rec(c, out);
+                }
+            }
+            PlanNodeKind::Join { inner_table, .. } => {
+                if let Some(c) = node.children.first() {
+                    rec(c, out);
+                }
+                out.push(inner_table.clone());
+            }
+            PlanNodeKind::Cached { tables, .. } => out.extend(tables.iter().cloned()),
+            PlanNodeKind::Project { .. } | PlanNodeKind::Distinct => {
+                for c in &node.children {
+                    rec(c, out);
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    rec(node, &mut out);
+    out
+}
+
+/// Filters a subtree applies, as `(table, attr, pred)` — including any
+/// already absorbed into [`PlanNodeKind::Cached`] children.
+#[must_use]
+pub fn absorbed_filters(node: &PlanNode) -> Vec<(String, String, Predicate)> {
+    let mut out = Vec::new();
+    fn rec(node: &PlanNode, out: &mut Vec<(String, String, Predicate)>) {
+        match &node.kind {
+            PlanNodeKind::Select {
+                table, attr, pred, ..
+            }
+            | PlanNodeKind::PostFilter {
+                table, attr, pred, ..
+            } => out.push((table.clone(), attr.clone(), pred.clone())),
+            PlanNodeKind::Cached { filters, .. } => out.extend(filters.iter().cloned()),
+            _ => {}
+        }
+        for c in &node.children {
+            rec(c, out);
+        }
+    }
+    rec(node, &mut out);
+    out
+}
+
+/// Joins a subtree performs, as `(source, outer_attr, inner, inner_attr)`
+/// — including any already absorbed into [`PlanNodeKind::Cached`]
+/// children.
+#[must_use]
+pub fn absorbed_joins(node: &PlanNode) -> Vec<(String, String, String, String)> {
+    let mut out = Vec::new();
+    fn rec(node: &PlanNode, out: &mut Vec<(String, String, String, String)>) {
+        match &node.kind {
+            PlanNodeKind::Join {
+                source_table,
+                outer_attr,
+                inner_table,
+                inner_attr,
+                ..
+            } => out.push((
+                source_table.clone(),
+                outer_attr.clone(),
+                inner_table.clone(),
+                inner_attr.clone(),
+            )),
+            PlanNodeKind::Cached { joins, .. } => out.extend(joins.iter().cloned()),
+            _ => {}
+        }
+        for c in &node.children {
+            rec(c, out);
+        }
+    }
+    rec(node, &mut out);
+    out
+}
+
+/// Instruction to memoise one operator's output after it executes,
+/// produced by [`apply_cache`] for each cacheable subtree that missed.
+#[derive(Debug, Clone)]
+pub struct StoreTicket {
+    /// Cache key.
+    pub fingerprint: u64,
+    /// Fingerprint preimage.
+    pub canonical: String,
+    /// Tables read, in column order (arity = length).
+    pub tables: Vec<String>,
+    /// Per-table partition-version stamps captured at plan time. No
+    /// write can intervene between planning and execution (queries hold
+    /// `&Database`), so plan-time stamps describe the executed input.
+    pub stamps: Vec<Vec<u64>>,
+    /// Catalog epoch captured at plan time.
+    pub epoch: u64,
+    /// Estimated comparisons saved per hit (§3.3.4 subtree total) — the
+    /// eviction benefit score.
+    pub cost: f64,
+}
+
+/// One memoised intermediate result.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// Cache key (hash of `canonical`).
+    pub fingerprint: u64,
+    /// Fingerprint preimage; checked on lookup so hash collisions
+    /// degrade to misses.
+    pub canonical: String,
+    /// Tables read, in column order.
+    pub tables: Vec<String>,
+    /// Per-table partition-version stamps the rows were computed from.
+    pub stamps: Vec<Vec<u64>>,
+    /// Catalog epoch the rows were computed under.
+    pub epoch: u64,
+    /// The memoised rows.
+    pub rows: Rc<TempList>,
+    /// Eviction benefit score (estimated comparisons per recompute).
+    pub cost: f64,
+    /// Approximate retained bytes.
+    pub bytes: usize,
+    /// Times this entry has been served.
+    pub hits: u64,
+    /// LRU clock value of the last touch.
+    pub last_used: u64,
+}
+
+fn entry_bytes(canonical: &str, tables: &[String], stamps: &[Vec<u64>], rows: &TempList) -> usize {
+    let meta = 96
+        + canonical.len()
+        + tables.iter().map(|t| t.len() + 24).sum::<usize>()
+        + stamps.iter().map(|s| s.len() * 8 + 24).sum::<usize>();
+    meta + rows.len() * rows.arity() * std::mem::size_of::<mmdb_storage::TupleId>()
+}
+
+/// Cache counters (monotone over the cache's lifetime, except `entries`
+/// and `bytes` which are current occupancy).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheReport {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that found no valid entry.
+    pub misses: u64,
+    /// Entries dropped because a version stamp or epoch mismatched.
+    pub invalidations: u64,
+    /// Entries dropped by the eviction policy.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Approximate bytes currently retained.
+    pub bytes: usize,
+}
+
+/// The bounded, plan-keyed reuse cache.
+#[derive(Debug)]
+pub struct ReuseCache {
+    entries: HashMap<u64, CacheEntry>,
+    capacity_bytes: usize,
+    bytes: usize,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+    evictions: u64,
+}
+
+impl Default for ReuseCache {
+    fn default() -> Self {
+        ReuseCache::new(DEFAULT_CAPACITY_BYTES)
+    }
+}
+
+impl ReuseCache {
+    /// Create with an explicit byte budget.
+    #[must_use]
+    pub fn new(capacity_bytes: usize) -> Self {
+        ReuseCache {
+            entries: HashMap::new(),
+            capacity_bytes,
+            bytes: 0,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            invalidations: 0,
+            evictions: 0,
+        }
+    }
+
+    /// The byte budget.
+    #[must_use]
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Change the byte budget (evicts down to it immediately).
+    pub fn set_capacity_bytes(&mut self, capacity_bytes: usize) {
+        self.capacity_bytes = capacity_bytes;
+        self.evict_to_fit(0);
+    }
+
+    /// Drop every entry (counters are kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.bytes = 0;
+    }
+
+    /// Current counters.
+    #[must_use]
+    pub fn report(&self) -> CacheReport {
+        CacheReport {
+            hits: self.hits,
+            misses: self.misses,
+            invalidations: self.invalidations,
+            evictions: self.evictions,
+            entries: self.entries.len(),
+            bytes: self.bytes,
+        }
+    }
+
+    /// Is `entry` still valid against `live`? (The staleness rule in one
+    /// place: epoch equal, every table still present, every stamp equal.)
+    fn entry_fresh(entry: &CacheEntry, live: &dyn VersionSource) -> bool {
+        if entry.epoch != live.catalog_epoch() {
+            return false;
+        }
+        entry
+            .tables
+            .iter()
+            .zip(&entry.stamps)
+            .all(|(t, stamp)| live.table_versions(t).as_deref() == Some(stamp.as_slice()))
+    }
+
+    /// Would a lookup of `fingerprint` be served right now? Non-mutating
+    /// (no counters move, stale entries stay resident) — the invariant
+    /// checker's view.
+    #[must_use]
+    pub fn would_serve(&self, fp: u64, canonical: &str, live: &dyn VersionSource) -> bool {
+        self.entries
+            .get(&fp)
+            .is_some_and(|e| e.canonical == canonical && Self::entry_fresh(e, live))
+    }
+
+    /// Look up a fingerprint, validating stamps against `live`. Stale or
+    /// colliding entries are dropped (lazy invalidation) and count as
+    /// misses.
+    pub fn lookup(
+        &mut self,
+        fp: u64,
+        canonical: &str,
+        live: &dyn VersionSource,
+    ) -> Option<Rc<TempList>> {
+        match self.entries.get_mut(&fp) {
+            Some(e) if e.canonical == canonical && Self::entry_fresh(e, live) => {
+                self.hits += 1;
+                self.clock += 1;
+                e.hits += 1;
+                e.last_used = self.clock;
+                Some(Rc::clone(&e.rows))
+            }
+            Some(e) if e.canonical == canonical => {
+                // Stale: some input changed since the rows were computed.
+                self.bytes -= e.bytes;
+                self.entries.remove(&fp);
+                self.invalidations += 1;
+                self.misses += 1;
+                None
+            }
+            _ => {
+                // Absent, or a fingerprint collision (kept: it belongs to
+                // some other plan).
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Read an entry's rows without touching counters (the binder's path:
+    /// substitution already accounted the hit this query).
+    #[must_use]
+    pub fn peek(&self, fp: u64, canonical: &str) -> Option<Rc<TempList>> {
+        self.entries
+            .get(&fp)
+            .filter(|e| e.canonical == canonical)
+            .map(|e| Rc::clone(&e.rows))
+    }
+
+    /// Memoise `rows` under `ticket`. Oversized results (more than a
+    /// quarter of the budget) are not retained; fingerprint collisions
+    /// keep the cheaper-to-recompute loser out.
+    pub fn insert(&mut self, ticket: &StoreTicket, rows: &TempList) {
+        let bytes = entry_bytes(&ticket.canonical, &ticket.tables, &ticket.stamps, rows);
+        if bytes > self.capacity_bytes / 4 {
+            return;
+        }
+        if let Some(existing) = self.entries.get(&ticket.fingerprint) {
+            if existing.canonical != ticket.canonical && existing.cost >= ticket.cost {
+                return;
+            }
+            self.bytes -= existing.bytes;
+            self.entries.remove(&ticket.fingerprint);
+        }
+        self.evict_to_fit(bytes);
+        self.clock += 1;
+        self.entries.insert(
+            ticket.fingerprint,
+            CacheEntry {
+                fingerprint: ticket.fingerprint,
+                canonical: ticket.canonical.clone(),
+                tables: ticket.tables.clone(),
+                stamps: ticket.stamps.clone(),
+                epoch: ticket.epoch,
+                rows: Rc::new(rows.clone()),
+                cost: ticket.cost,
+                bytes,
+                hits: 0,
+                last_used: self.clock,
+            },
+        );
+        self.bytes += bytes;
+    }
+
+    /// Evict lowest-benefit entries until `incoming` more bytes fit.
+    fn evict_to_fit(&mut self, incoming: usize) {
+        while self.bytes + incoming > self.capacity_bytes && !self.entries.is_empty() {
+            // Benefit per byte, scaled by observed hits; LRU tie-break.
+            let victim = self
+                .entries
+                .values()
+                .min_by(|a, b| {
+                    let sa = score(a);
+                    let sb = score(b);
+                    sa.total_cmp(&sb).then(a.last_used.cmp(&b.last_used))
+                })
+                .map(|e| e.fingerprint);
+            let Some(fp) = victim else { break };
+            if let Some(e) = self.entries.remove(&fp) {
+                self.bytes -= e.bytes;
+                self.evictions += 1;
+            }
+        }
+    }
+
+    /// The resident entries, in no particular order (invariant checks).
+    pub fn entries(&self) -> impl Iterator<Item = &CacheEntry> {
+        self.entries.values()
+    }
+
+    /// Mutable access to resident entries — exists so negative tests can
+    /// tamper with stamps/fingerprints and watch the checker object.
+    pub fn entries_mut(&mut self) -> impl Iterator<Item = &mut CacheEntry> {
+        self.entries.values_mut()
+    }
+}
+
+fn score(e: &CacheEntry) -> f64 {
+    #[allow(clippy::cast_precision_loss)] // byte counts are far below 2^52
+    let bytes = e.bytes.max(1) as f64;
+    #[allow(clippy::cast_precision_loss)]
+    let hits = e.hits as f64;
+    e.cost.max(1.0) * (1.0 + hits) / bytes
+}
+
+/// Sum of `est_comparisons` over a subtree — the work a cache hit saves.
+fn subtree_cost(node: &PlanNode) -> f64 {
+    node.est_comparisons + node.children.iter().map(subtree_cost).sum::<f64>()
+}
+
+/// Substitute cache hits into `planned` (largest valid subtree wins) and
+/// return store tickets, keyed by the *renumbered* node id, for every
+/// cacheable subtree that missed. Ids are re-assigned pre-order, so the
+/// plan stays executable and profilable afterwards.
+pub fn apply_cache(
+    planned: &mut PlannedQuery,
+    cache: &mut ReuseCache,
+    live: &dyn VersionSource,
+) -> HashMap<NodeId, StoreTicket> {
+    substitute(&mut planned.root, cache, live);
+    planned.renumber();
+    let mut tickets = HashMap::new();
+    collect_tickets(&planned.root, live, &mut tickets);
+    tickets
+}
+
+fn substitute(node: &mut PlanNode, cache: &mut ReuseCache, live: &dyn VersionSource) {
+    if cacheable(&node.kind) {
+        if let Some(canon) = canonical_plan(node) {
+            let fp = fingerprint(&canon);
+            if let Some(rows) = cache.lookup(fp, &canon, live) {
+                let tables = tables_of(node);
+                let filters = absorbed_filters(node);
+                let joins = absorbed_joins(node);
+                #[allow(clippy::cast_precision_loss)]
+                let est_rows = rows.len() as f64;
+                node.est_rows = est_rows;
+                node.est_comparisons = 0.0;
+                node.children.clear();
+                node.kind = PlanNodeKind::Cached {
+                    fingerprint: fp,
+                    canonical: canon,
+                    tables,
+                    filters,
+                    joins,
+                };
+                return;
+            }
+        }
+    }
+    for c in &mut node.children {
+        substitute(c, cache, live);
+    }
+}
+
+fn collect_tickets(
+    node: &PlanNode,
+    live: &dyn VersionSource,
+    out: &mut HashMap<NodeId, StoreTicket>,
+) {
+    if cacheable(&node.kind) {
+        if let Some(canon) = canonical_plan(node) {
+            let tables = tables_of(node);
+            let stamps: Vec<Vec<u64>> = tables
+                .iter()
+                .map(|t| live.table_versions(t).unwrap_or_default())
+                .collect();
+            out.insert(
+                node.id,
+                StoreTicket {
+                    fingerprint: fingerprint(&canon),
+                    canonical: canon,
+                    tables,
+                    stamps,
+                    epoch: live.catalog_epoch(),
+                    cost: subtree_cost(node),
+                },
+            );
+        }
+    }
+    for c in &node.children {
+        collect_tickets(c, live, out);
+    }
+}
+
+/// Leaf operator serving a [`PlanNodeKind::Cached`] node: emits the
+/// memoised rows without touching any relation.
+pub struct CachedReadOp {
+    /// Plan-node id (actuals slot).
+    pub id: NodeId,
+    /// The memoised rows (shared with the cache entry).
+    pub rows: Rc<TempList>,
+}
+
+impl Operator for CachedReadOp {
+    fn execute(&mut self, ctx: &mut ExecContext) -> Result<TempList, ExecError> {
+        let t = Instant::now();
+        let out = (*self.rows).clone();
+        ctx.record(self.id, 0, out.len(), Snapshot::default(), t.elapsed());
+        Ok(out)
+    }
+}
+
+/// Transparent wrapper that memoises its child's output under a
+/// [`StoreTicket`]. It has no plan node of its own — the child records
+/// the actuals.
+pub struct MemoizeOp<'a> {
+    /// The wrapped operator.
+    pub child: BoxedOperator<'a>,
+    /// Where to store the result.
+    pub cache: &'a RefCell<ReuseCache>,
+    /// Key, stamps, and benefit score for the stored entry.
+    pub ticket: StoreTicket,
+}
+
+impl Operator for MemoizeOp<'_> {
+    fn execute(&mut self, ctx: &mut ExecContext) -> Result<TempList, ExecError> {
+        let out = self.child.execute(ctx)?;
+        self.cache.borrow_mut().insert(&self.ticket, &out);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::{JoinMethod, SelectPath};
+    use mmdb_storage::{KeyValue, TupleId};
+
+    /// Fixed version oracle for unit tests.
+    struct MemVersions {
+        tables: HashMap<String, Vec<u64>>,
+        epoch: u64,
+    }
+
+    impl MemVersions {
+        fn new(tables: &[(&str, &[u64])]) -> Self {
+            MemVersions {
+                tables: tables
+                    .iter()
+                    .map(|(t, v)| ((*t).to_string(), v.to_vec()))
+                    .collect(),
+                epoch: 0,
+            }
+        }
+    }
+
+    impl VersionSource for MemVersions {
+        fn table_versions(&self, table: &str) -> Option<Vec<u64>> {
+            self.tables.get(table).cloned()
+        }
+        fn catalog_epoch(&self) -> u64 {
+            self.epoch
+        }
+    }
+
+    fn leaf(kind: PlanNodeKind, est: f64) -> PlanNode {
+        PlanNode {
+            id: 0,
+            kind,
+            est_rows: est,
+            est_comparisons: est,
+            children: Vec::new(),
+        }
+    }
+
+    fn select_node(table: &str, attr: &str, v: i64) -> PlanNode {
+        leaf(
+            PlanNodeKind::Select {
+                table: table.to_string(),
+                attr: attr.to_string(),
+                pred: Predicate::Eq(KeyValue::Int(v)),
+                path: SelectPath::SequentialScan,
+            },
+            10.0,
+        )
+    }
+
+    fn join_node(outer: PlanNode, method: JoinMethod, inner_child: Option<PlanNode>) -> PlanNode {
+        let mut children = vec![outer];
+        children.extend(inner_child);
+        PlanNode {
+            id: 0,
+            kind: PlanNodeKind::Join {
+                method,
+                source_table: "emp".to_string(),
+                outer_attr: "dept_id".to_string(),
+                inner_table: "dept".to_string(),
+                inner_attr: "id".to_string(),
+                src_col: 0,
+                rejected: Vec::new(),
+            },
+            est_rows: 10.0,
+            est_comparisons: 50.0,
+            children,
+        }
+    }
+
+    fn ticket_for(node: &PlanNode, live: &dyn VersionSource) -> StoreTicket {
+        let canon = canonical_plan(node).unwrap();
+        let tables = tables_of(node);
+        let stamps = tables
+            .iter()
+            .map(|t| live.table_versions(t).unwrap_or_default())
+            .collect();
+        StoreTicket {
+            fingerprint: fingerprint(&canon),
+            canonical: canon,
+            tables,
+            stamps,
+            epoch: live.catalog_epoch(),
+            cost: subtree_cost(node),
+        }
+    }
+
+    fn rows_of(n: u32) -> TempList {
+        TempList::from_tids((0..n).map(|i| TupleId::new(0, i)).collect())
+    }
+
+    #[test]
+    fn canonical_is_method_and_path_independent() {
+        let a = join_node(
+            select_node("emp", "age", 30),
+            JoinMethod::TreeJoin,
+            None, // index probe: no materialised inner
+        );
+        let b = join_node(
+            select_node("emp", "age", 30),
+            JoinMethod::HashJoin,
+            Some(leaf(
+                PlanNodeKind::Scan {
+                    table: "dept".to_string(),
+                },
+                100.0,
+            )),
+        );
+        assert_eq!(canonical_plan(&a), canonical_plan(&b));
+        // Different predicate → different canonical.
+        let c = join_node(select_node("emp", "age", 31), JoinMethod::TreeJoin, None);
+        assert_ne!(canonical_plan(&a), canonical_plan(&c));
+        assert_ne!(
+            fingerprint(&canonical_plan(&a).unwrap()),
+            fingerprint(&canonical_plan(&c).unwrap())
+        );
+    }
+
+    #[test]
+    fn tables_follow_column_order() {
+        let j = join_node(select_node("emp", "age", 30), JoinMethod::TreeJoin, None);
+        assert_eq!(tables_of(&j), vec!["emp".to_string(), "dept".into()]);
+        assert_eq!(absorbed_filters(&j).len(), 1);
+        assert_eq!(absorbed_joins(&j).len(), 1);
+    }
+
+    #[test]
+    fn hit_then_stale_then_recompute() {
+        let live = MemVersions::new(&[("emp", &[3, 7])]);
+        let node = select_node("emp", "age", 30);
+        let mut cache = ReuseCache::default();
+        let t = ticket_for(&node, &live);
+        assert!(cache.lookup(t.fingerprint, &t.canonical, &live).is_none());
+        cache.insert(&t, &rows_of(4));
+        let hit = cache.lookup(t.fingerprint, &t.canonical, &live).unwrap();
+        assert_eq!(hit.len(), 4);
+        assert!(cache.would_serve(t.fingerprint, &t.canonical, &live));
+
+        // A write bumps a partition version: next lookup must miss and
+        // drop the entry.
+        let live2 = MemVersions::new(&[("emp", &[3, 8])]);
+        assert!(!cache.would_serve(t.fingerprint, &t.canonical, &live2));
+        assert!(cache.lookup(t.fingerprint, &t.canonical, &live2).is_none());
+        let r = cache.report();
+        assert_eq!(r.hits, 1);
+        assert_eq!(r.invalidations, 1);
+        assert_eq!(r.entries, 0);
+        assert_eq!(r.bytes, 0);
+    }
+
+    #[test]
+    fn partition_growth_is_a_version_change() {
+        let live = MemVersions::new(&[("emp", &[3])]);
+        let node = select_node("emp", "age", 30);
+        let mut cache = ReuseCache::default();
+        let t = ticket_for(&node, &live);
+        cache.insert(&t, &rows_of(2));
+        let grown = MemVersions::new(&[("emp", &[3, 1])]);
+        assert!(cache.lookup(t.fingerprint, &t.canonical, &grown).is_none());
+    }
+
+    #[test]
+    fn epoch_change_invalidates() {
+        let live = MemVersions::new(&[("emp", &[1])]);
+        let node = select_node("emp", "age", 30);
+        let mut cache = ReuseCache::default();
+        let t = ticket_for(&node, &live);
+        cache.insert(&t, &rows_of(2));
+        let mut live2 = MemVersions::new(&[("emp", &[1])]);
+        live2.epoch = 1;
+        assert!(!cache.would_serve(t.fingerprint, &t.canonical, &live2));
+        assert!(cache.lookup(t.fingerprint, &t.canonical, &live2).is_none());
+    }
+
+    #[test]
+    fn eviction_prefers_low_benefit_per_byte() {
+        let live = MemVersions::new(&[("emp", &[1]), ("dept", &[1])]);
+        // Each entry is ~490 bytes; four fit, the fifth forces eviction
+        // (and 490 stays under the capacity/4 oversize limit).
+        let mut cache = ReuseCache::new(2000);
+        let cheap = select_node("emp", "age", 1);
+        let mut t1 = ticket_for(&cheap, &live);
+        t1.cost = 1.0;
+        cache.insert(&t1, &rows_of(40));
+        let dear = select_node("emp", "age", 2);
+        let mut t2 = ticket_for(&dear, &live);
+        t2.cost = 1_000_000.0;
+        cache.insert(&t2, &rows_of(40));
+        for v in 3..=5 {
+            let mid = select_node("emp", "age", v);
+            let mut t = ticket_for(&mid, &live);
+            t.cost = 500.0;
+            cache.insert(&t, &rows_of(40));
+        }
+        assert!(
+            cache.lookup(t1.fingerprint, &t1.canonical, &live).is_none(),
+            "low-benefit entry evicted"
+        );
+        assert!(cache.peek(t2.fingerprint, &t2.canonical).is_some());
+        assert!(cache.report().evictions >= 1);
+        assert!(cache.report().bytes <= cache.capacity_bytes());
+    }
+
+    #[test]
+    fn oversized_results_are_not_retained() {
+        let live = MemVersions::new(&[("emp", &[1])]);
+        let mut cache = ReuseCache::new(1000);
+        let t = ticket_for(&select_node("emp", "age", 1), &live);
+        cache.insert(&t, &rows_of(10_000));
+        assert_eq!(cache.report().entries, 0);
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_down() {
+        let live = MemVersions::new(&[("emp", &[1])]);
+        let mut cache = ReuseCache::new(1 << 20);
+        for v in 0..8 {
+            let t = ticket_for(&select_node("emp", "age", v), &live);
+            cache.insert(&t, &rows_of(50));
+        }
+        assert_eq!(cache.report().entries, 8);
+        cache.set_capacity_bytes(1);
+        assert_eq!(cache.report().entries, 0);
+        assert_eq!(cache.report().bytes, 0);
+    }
+}

@@ -20,6 +20,9 @@
 //!   cost-based planner over the §3.3.4 formulas (pushdown, join
 //!   reordering, method choice), and an instrumented operator engine
 //!   with per-operator estimates-vs-actuals profiles.
+//! * **Intermediate-result reuse** ([`cache`]): bounded plan-keyed
+//!   memoisation of selection/join temp lists with per-partition
+//!   version-stamp invalidation and cost-weighted LRU eviction.
 //!
 //! Every operator consumes and produces §2.3 temporary lists — tuple
 //! pointers only; attribute values are extracted exactly when compared and
@@ -29,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod cache;
 pub mod error;
 pub mod join;
 pub mod optimizer;
@@ -50,6 +54,10 @@ impl<T: Adapter<Entry = TupleId, Key = KeyValue>> TupleAdapter for T {}
 pub trait HashTupleAdapter: HashAdapter<Entry = TupleId, Key = KeyValue> {}
 impl<T: HashAdapter<Entry = TupleId, Key = KeyValue>> HashTupleAdapter for T {}
 
+pub use cache::{
+    apply_cache, CacheEntry, CacheReport, CachedReadOp, MemoizeOp, ReuseCache, StoreTicket,
+    VersionSource,
+};
 pub use error::ExecError;
 pub use join::{
     hash_join, nested_loops_join, precomputed_join, sort_merge_join, theta_nested_loops_join,

@@ -22,7 +22,7 @@
 
 use crate::error::ExecError;
 use crate::join::{hash_join, theta_nested_loops_join, JoinOutput, JoinSide, ThetaOp};
-use crate::project::{hash_row, project_hash, row_values, rows_equal, ProjectOutput};
+use crate::project::{hash_row, project_hash, row_values_into, rows_equal, ProjectOutput};
 use crate::select::{select_scan, Predicate};
 use mmdb_index::stats::{Counters, Snapshot};
 use mmdb_storage::{value_hash, KeyValue, Relation, ResultDescriptor, TempList, TupleId};
@@ -40,6 +40,11 @@ pub struct ExecConfig {
     /// `dop > 1` (thread spawn + merge overhead dwarfs small inputs).
     /// `0` disables the floor.
     pub parallel_threshold: usize,
+    /// Consult the plan-keyed intermediate-result reuse cache. Off by
+    /// default: cached reads substitute whole plan subtrees, which
+    /// changes the shape `explain()` and per-operator profiles report.
+    /// `QueryBuilder::cache` overrides this per query.
+    pub cache: bool,
 }
 
 impl Default for ExecConfig {
@@ -48,6 +53,7 @@ impl Default for ExecConfig {
         ExecConfig {
             dop: std::thread::available_parallelism().map_or(1, usize::from),
             parallel_threshold: 0,
+            cache: false,
         }
     }
 }
@@ -59,6 +65,7 @@ impl ExecConfig {
         ExecConfig {
             dop: 1,
             parallel_threshold: 0,
+            cache: false,
         }
     }
 
@@ -108,24 +115,41 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_tasks_scratch::<T, (), _>(tasks, dop, |(), i| f(i))
+}
+
+/// [`run_tasks`] with a worker-local scratch value: each worker (or the
+/// calling thread when running inline) creates one `S` and reuses it for
+/// every unit it pulls, so a unit's scratch buffers keep their high-water
+/// capacity across partitions instead of reallocating per unit.
+fn run_tasks_scratch<T, S, F>(tasks: usize, dop: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    S: Default,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     let workers = dop.min(tasks);
     if workers <= 1 {
-        return (0..tasks).map(f).collect();
+        let mut scratch = S::default();
+        return (0..tasks).map(|i| f(&mut scratch, i)).collect();
     }
     let next = AtomicUsize::new(0);
     let slots: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(tasks));
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, AtomicOrdering::Relaxed);
-                if i >= tasks {
-                    break;
+            scope.spawn(|| {
+                let mut scratch = S::default();
+                loop {
+                    let i = next.fetch_add(1, AtomicOrdering::Relaxed);
+                    if i >= tasks {
+                        break;
+                    }
+                    let result = f(&mut scratch, i);
+                    slots
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .push((i, result));
                 }
-                let result = f(i);
-                slots
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
-                    .push((i, result));
             });
         }
     });
@@ -201,21 +225,25 @@ pub fn parallel_select_scan(
     cfg: ExecConfig,
 ) -> Result<TempList, ExecError> {
     if !cfg.parallel_for(rel.len()) {
-        let tids: Vec<TupleId> = rel.iter_tids().collect();
+        let mut tids: Vec<TupleId> = Vec::with_capacity(rel.len());
+        tids.extend(rel.iter_tids());
         return select_scan(rel, attr, &tids, pred);
     }
     let parts = rel.partition_count();
-    let scan_one = |p: usize| -> Result<TempList, ExecError> {
-        let mut hits = Vec::new();
+    // Each worker reuses one hit buffer across the partitions it scans
+    // (cleared per partition, capacity kept); the result is copied out at
+    // the exact final size, so partitions never pay geometric growth.
+    let scan_one = |hits: &mut Vec<TupleId>, p: usize| -> Result<TempList, ExecError> {
+        hits.clear();
         for tid in rel.tids_in_partition(p as u32)? {
             let v = rel.field(tid, attr)?;
             if pred.matches(&v) {
                 hits.push(tid);
             }
         }
-        Ok(TempList::from_tids(hits))
+        Ok(TempList::from_tids(hits.as_slice().to_vec()))
     };
-    let results = run_tasks(parts, cfg.dop, scan_one);
+    let results = run_tasks_scratch(parts, cfg.dop, scan_one);
     let mut lists = Vec::with_capacity(parts);
     for r in results {
         lists.push(r?);
@@ -307,7 +335,7 @@ pub fn parallel_hash_join(
     let table = ProbeTable::build(inner)?;
     let (pairs, probe_stats) = run_chunks(2, outer.len(), cfg.dop, |range| {
         let counters = Counters::default();
-        let mut out = TempList::new(2);
+        let mut out = TempList::with_capacity(2, range.len().min(1024));
         for &ot in &outer.tids[range] {
             let ov = outer.value(ot)?;
             if let Some(key) = crate::join::probe_key(&ov) {
@@ -337,7 +365,7 @@ pub fn parallel_theta_join(
     }
     let (pairs, stats) = run_chunks(2, outer.len(), cfg.dop, |range| {
         let counters = Counters::default();
-        let mut out = TempList::new(2);
+        let mut out = TempList::with_capacity(2, range.len().min(1024));
         for &ot in &outer.tids[range] {
             let ov = outer.value(ot)?;
             for &it in inner.tids {
@@ -390,16 +418,18 @@ pub fn parallel_project_hash(
         let table_size = (range.len() / 2).max(8).next_power_of_two();
         let mask = (table_size - 1) as u64;
         let mut heads = vec![NIL; table_size];
-        let mut next: Vec<u32> = Vec::new();
-        let mut kept: Vec<u32> = Vec::new();
+        let mut next: Vec<u32> = Vec::with_capacity(range.len().min(1024));
+        let mut kept: Vec<u32> = Vec::with_capacity(range.len().min(1024));
+        let mut vals = Vec::with_capacity(desc.width());
+        let mut other = Vec::with_capacity(desc.width());
         'rows: for i in range {
-            let vals = row_values(list, i, desc, sources)?;
+            row_values_into(list, i, desc, sources, &mut vals)?;
             let bucket = (hash_row(&vals, &counters) & mask) as usize;
             let mut cur = heads[bucket];
             while cur != NIL {
                 counters.node_visits(1);
                 let j = kept[cur as usize] as usize;
-                let other = row_values(list, j, desc, sources)?;
+                row_values_into(list, j, desc, sources, &mut other)?;
                 if rows_equal(&vals, &other, &counters) {
                     continue 'rows;
                 }
@@ -430,17 +460,19 @@ pub fn parallel_project_hash(
     let table_size = (survivors.len() / 2).max(8).next_power_of_two();
     let mask = (table_size - 1) as u64;
     let mut heads = vec![NIL; table_size];
-    let mut next: Vec<u32> = Vec::new();
-    let mut kept: Vec<u32> = Vec::new();
+    let mut next: Vec<u32> = Vec::with_capacity(survivors.len().min(1024));
+    let mut kept: Vec<u32> = Vec::with_capacity(survivors.len().min(1024));
     let mut out = TempList::with_capacity(list.arity(), survivors.len().min(1024));
+    let mut vals = Vec::with_capacity(desc.width());
+    let mut other = Vec::with_capacity(desc.width());
     'survivors: for &i in &survivors {
-        let vals = row_values(list, i as usize, desc, sources)?;
+        row_values_into(list, i as usize, desc, sources, &mut vals)?;
         let bucket = (hash_row(&vals, &counters) & mask) as usize;
         let mut cur = heads[bucket];
         while cur != NIL {
             counters.node_visits(1);
             let j = kept[cur as usize] as usize;
-            let other = row_values(list, j, desc, sources)?;
+            row_values_into(list, j, desc, sources, &mut other)?;
             if rows_equal(&vals, &other, &counters) {
                 continue 'survivors;
             }
@@ -508,10 +540,12 @@ mod tests {
         let cfg = ExecConfig {
             dop: 4,
             parallel_threshold: 1000,
+            cache: true,
         };
         let overridden = cfg.override_dop(2);
         assert_eq!(overridden.dop, 2);
         assert_eq!(overridden.parallel_threshold, 1000, "threshold survives");
+        assert!(overridden.cache, "cache flag survives");
         assert_eq!(cfg.override_dop(0).dop, 1, "clamped to 1");
     }
 
@@ -520,6 +554,7 @@ mod tests {
         let cfg = ExecConfig {
             dop: 8,
             parallel_threshold: 100,
+            cache: false,
         };
         assert!(!cfg.parallel_for(99));
         assert!(cfg.parallel_for(100));

@@ -198,13 +198,15 @@ pub struct PostFilterOp<'a> {
     pub pred: Predicate,
     /// Temp-list column holding `rel`'s tuple ids.
     pub src_col: usize,
+    /// Planner row estimate for this node, used to pre-size the output.
+    pub est_rows: usize,
 }
 
 impl Operator for PostFilterOp<'_> {
     fn execute(&mut self, ctx: &mut ExecContext) -> Result<TempList, ExecError> {
         let input = self.child.execute(ctx)?;
         let t = Instant::now();
-        let mut out = TempList::new(input.arity());
+        let mut out = TempList::with_capacity(input.arity(), self.est_rows.min(input.len()));
         for i in 0..input.len() {
             let row = input.row(i);
             let v = self.rel.field(row[self.src_col], self.attr)?;
@@ -234,6 +236,8 @@ pub struct JoinOp<'a> {
     pub src_col: usize,
     /// The bound join kernel.
     pub kernel: Box<dyn JoinKernel + 'a>,
+    /// Planner row estimate for this node, used to pre-size the output.
+    pub est_rows: usize,
 }
 
 impl Operator for JoinOp<'_> {
@@ -252,11 +256,16 @@ impl Operator for JoinOp<'_> {
         let jout = self
             .kernel
             .run(&outer_tids, inner_tids.as_deref(), ctx.cfg)?;
-        let mut matches: HashMap<TupleId, Vec<TupleId>> = HashMap::new();
+        let mut matches: HashMap<TupleId, Vec<TupleId>> = HashMap::with_capacity(outer_tids.len());
         for pair in jout.pairs.iter() {
             matches.entry(pair[0]).or_default().push(pair[1]);
         }
-        let mut out = TempList::new(input.arity() + 1);
+        // Pair count bounds the output when outer rows are distinct; the
+        // planner estimate covers the duplicated-outer expansion.
+        let mut out = TempList::with_capacity(
+            input.arity() + 1,
+            jout.pairs.len().max(self.est_rows).min(65_536),
+        );
         let mut widened = Vec::with_capacity(input.arity() + 1);
         for i in 0..input.len() {
             let row = input.row(i);
@@ -339,6 +348,7 @@ mod tests {
             attr: 1,
             pred: Predicate::between(KeyValue::Int(2), KeyValue::Int(5)),
             src_col: 0,
+            est_rows: 3,
         });
         let inner_scan: BoxedOperator<'_> = Box::new(FullScanOp { id: 5, rel: &irel });
         let join: BoxedOperator<'_> = Box::new(JoinOp {
@@ -353,6 +363,7 @@ mod tests {
                 inner_attr: 1,
                 method: JoinMethod::HashJoin,
             }),
+            est_rows: 6,
         });
         let project: BoxedOperator<'_> = Box::new(ProjectOp { id: 1, child: join });
         let desc = ResultDescriptor::new(vec![OutputField::new(0, 1, "jcol")]);

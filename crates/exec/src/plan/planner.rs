@@ -196,6 +196,26 @@ pub enum PlanNodeKind {
     /// Hash-based duplicate elimination over the projected columns
     /// (§3.4's winner).
     Distinct,
+    /// A subtree replaced by a reuse-cache hit (see `crate::cache`). The
+    /// node is a leaf: it reads the memoised temp list instead of
+    /// recomputing. It carries the logical work it absorbed so plan
+    /// invariants (every written filter/join appears exactly once) remain
+    /// checkable on the substituted tree.
+    Cached {
+        /// Stable fingerprint of the absorbed subtree's canonical form.
+        fingerprint: u64,
+        /// The canonical form itself (the fingerprint's preimage).
+        canonical: String,
+        /// Tables the absorbed subtree had bound, in temp-list column
+        /// order (the cached rows' arity equals this length).
+        tables: Vec<String>,
+        /// Filters absorbed from the replaced subtree, as
+        /// `(table, attr, pred)`.
+        filters: Vec<(String, String, Predicate)>,
+        /// Joins absorbed from the replaced subtree, as
+        /// `(source_table, outer_attr, inner_table, inner_attr)`.
+        joins: Vec<(String, String, String, String)>,
+    },
 }
 
 /// A planned query: the annotated operator tree plus binding metadata.
@@ -212,6 +232,16 @@ pub struct PlannedQuery {
     pub columns: Vec<(String, String)>,
     /// Whether duplicate elimination runs.
     pub distinct: bool,
+}
+
+impl PlannedQuery {
+    /// Re-assign pre-order ids (root = 0) and refresh `node_count` after
+    /// a structural rewrite (e.g. reuse-cache subtree substitution).
+    pub fn renumber(&mut self) {
+        let mut next = 0;
+        assign_ids(&mut self.root, &mut next);
+        self.node_count = next;
+    }
 }
 
 /// Equality predicates keep 1/10 of their input (System R default).

@@ -47,6 +47,10 @@ pub struct OpProfile {
 pub struct PlanProfile {
     /// Operators in pre-order (parents before children).
     pub ops: Vec<OpProfile>,
+    /// Reuse-cache counters at the time the profile was assembled
+    /// (all-zero when the cache is off). Deliberately absent from
+    /// [`PlanProfile::render`] so explain snapshots stay stable.
+    pub cache: crate::cache::CacheReport,
 }
 
 impl PlanProfile {
@@ -55,7 +59,10 @@ impl PlanProfile {
     pub fn assemble(planned: &PlannedQuery, ctx: &ExecContext) -> PlanProfile {
         let mut ops = Vec::with_capacity(planned.node_count);
         walk(&planned.root, 0, &ctx.actuals, &mut ops);
-        PlanProfile { ops }
+        PlanProfile {
+            ops,
+            cache: crate::cache::CacheReport::default(),
+        }
     }
 
     /// Profile of an unexecuted plan (estimates only).
@@ -63,7 +70,10 @@ impl PlanProfile {
     pub fn estimates(planned: &PlannedQuery) -> PlanProfile {
         let mut ops = Vec::with_capacity(planned.node_count);
         walk(&planned.root, 0, &[], &mut ops);
-        PlanProfile { ops }
+        PlanProfile {
+            ops,
+            cache: crate::cache::CacheReport::default(),
+        }
     }
 
     /// Stable indented rendering: one line per operator with estimated
@@ -148,6 +158,7 @@ pub fn node_label(kind: &PlanNodeKind) -> String {
             format!("project [{}]", names.join(", "))
         }
         PlanNodeKind::Distinct => "distinct[Hash]".to_string(),
+        PlanNodeKind::Cached { canonical, .. } => format!("[cached] {canonical}"),
     }
 }
 

@@ -38,6 +38,19 @@ pub(crate) fn row_values<'a>(
     Ok(list.materialize_row(i, desc, sources)?)
 }
 
+/// [`row_values`] into a reused scratch buffer (cleared first) — the
+/// dedup loops call this once per row and once per chain visit, so the
+/// buffer turns two allocations per visited row into zero.
+pub(crate) fn row_values_into<'a>(
+    list: &TempList,
+    i: usize,
+    desc: &ResultDescriptor,
+    sources: &[&'a Relation],
+    out: &mut Vec<Value<'a>>,
+) -> Result<(), ExecError> {
+    Ok(list.materialize_row_into(i, desc, sources, out)?)
+}
+
 pub(crate) fn rows_equal(a: &[Value<'_>], b: &[Value<'_>], counters: &Counters) -> bool {
     for (x, y) in a.iter().zip(b) {
         counters.comparisons(1);
@@ -97,18 +110,20 @@ pub fn project_hash_sized(
     let mask = (table_size - 1) as u64;
     // Chains of row indices into `list`.
     let mut heads = vec![u32::MAX; table_size];
-    let mut next: Vec<u32> = Vec::new();
-    let mut kept: Vec<u32> = Vec::new();
+    let mut next: Vec<u32> = Vec::with_capacity(n.min(1024));
+    let mut kept: Vec<u32> = Vec::with_capacity(n.min(1024));
     let mut out = TempList::with_capacity(list.arity(), n.min(1024));
+    let mut vals: Vec<Value<'_>> = Vec::with_capacity(desc.width());
+    let mut other: Vec<Value<'_>> = Vec::with_capacity(desc.width());
     'rows: for i in 0..n {
-        let vals = row_values(list, i, desc, sources)?;
+        row_values_into(list, i, desc, sources, &mut vals)?;
         let h = hash_row(&vals, &counters);
         let bucket = (h & mask) as usize;
         let mut cur = heads[bucket];
         while cur != u32::MAX {
             counters.node_visits(1);
             let j = kept[cur as usize] as usize;
-            let other = row_values(list, j, desc, sources)?;
+            row_values_into(list, j, desc, sources, &mut other)?;
             if rows_equal(&vals, &other, &counters) {
                 continue 'rows; // duplicate: discard as encountered
             }

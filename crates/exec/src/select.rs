@@ -165,7 +165,7 @@ pub fn select_scan(
     tids: &[TupleId],
     pred: &Predicate,
 ) -> Result<TempList, ExecError> {
-    let mut out = Vec::new();
+    let mut out = Vec::with_capacity(tids.len().min(1024));
     for &tid in tids {
         let v = rel.field(tid, attr)?;
         if pred.matches(&v) {

@@ -31,6 +31,28 @@ pub trait Adapter {
 
     /// Compare a stored entry's key against a probe key.
     fn cmp_entry_key(&self, e: &Self::Entry, key: &Self::Key) -> Ordering;
+
+    /// A monotone 64-bit summary of an entry's key: whenever
+    /// `cmp_entries(a, b)` is `Less`, `entry_tag(a) <= entry_tag(b)`, and
+    /// equal keys always produce equal tags. Unequal tags therefore
+    /// decide an order *without* dereferencing the entry — the T-Tree
+    /// caches the tags of each node's bounding keys so descent skips the
+    /// tuple-pointer dereference on most nodes (§2.2's pointer-chase is
+    /// the dominant search cost for stored-attribute adapters). Equal
+    /// tags decide nothing and fall back to the full comparison, so the
+    /// conservative default of `0` is always correct.
+    #[inline]
+    fn entry_tag(&self, _e: &Self::Entry) -> u64 {
+        0
+    }
+
+    /// The probe-key counterpart of [`Adapter::entry_tag`]: must agree
+    /// with it under [`Adapter::cmp_entry_key`] (same monotonicity, and
+    /// a key equal to an entry's key gets the entry's tag).
+    #[inline]
+    fn key_tag(&self, _key: &Self::Key) -> u64 {
+        0
+    }
 }
 
 /// Additional semantics required by hash-based indices.

@@ -88,6 +88,12 @@ struct Node<E> {
     /// Sorted elements; `items[0]` is the node minimum, the last element
     /// the node maximum.
     items: Vec<E>,
+    /// Descent key cache: [`Adapter::entry_tag`] of `items[0]` and of the
+    /// last item. Unequal tags decide the bounding test during descent
+    /// without dereferencing the entry; equal tags (always, for adapters
+    /// keeping the default tag of 0) fall back to the full comparison.
+    min_tag: u64,
+    max_tag: u64,
     left: u32,
     right: u32,
     parent: u32,
@@ -150,9 +156,12 @@ impl<A: Adapter> TTree<A> {
 
     fn alloc(&mut self, first: A::Entry, parent: u32) -> u32 {
         let mut items = Vec::with_capacity(self.config.max_count);
+        let tag = self.adapter.entry_tag(&first);
         items.push(first);
         let n = Node {
             items,
+            min_tag: tag,
+            max_tag: tag,
             left: NIL,
             right: NIL,
             parent,
@@ -165,6 +174,22 @@ impl<A: Adapter> TTree<A> {
             self.nodes.push(n);
             (self.nodes.len() - 1) as u32
         }
+    }
+
+    /// Recompute node `id`'s cached bounding-key tags from its items.
+    /// Called after every item mutation; an emptied node gets `(0, 0)`
+    /// (it is either about to be unlinked or refilled).
+    fn refresh_tags(&mut self, id: u32) {
+        let (min_tag, max_tag) = {
+            let items = &self.node(id).items;
+            match (items.first(), items.last()) {
+                (Some(a), Some(b)) => (self.adapter.entry_tag(a), self.adapter.entry_tag(b)),
+                _ => (0, 0),
+            }
+        };
+        let n = self.node_mut(id);
+        n.min_tag = min_tag;
+        n.max_tag = max_tag;
     }
 
     fn height(&self, id: u32) -> i32 {
@@ -270,6 +295,8 @@ impl<A: Adapter> TTree<A> {
         for (i, e) in moved.into_iter().enumerate() {
             n.items.insert(i, e);
         }
+        self.refresh_tags(g);
+        self.refresh_tags(id);
     }
 
     fn rebalance_node(&mut self, id: u32) -> u32 {
@@ -334,18 +361,37 @@ impl<A: Adapter> TTree<A> {
         p
     }
 
+    /// Decide an ordering from two key tags alone: unequal tags are
+    /// conclusive (monotonicity), equal tags decide nothing.
+    #[inline]
+    fn tag_cmp(probe: u64, bound: u64) -> Option<Ordering> {
+        match probe.cmp(&bound) {
+            Ordering::Equal => None,
+            o => Some(o),
+        }
+    }
+
     /// The paper's descent: compare against node min and max, then binary
-    /// search the bounding node.
+    /// search the bounding node. The min/max comparisons consult the
+    /// node's cached key tags first and dereference the bounding entry
+    /// only when the tags tie; either way each decision is counted as one
+    /// comparison, so the §3.3.4 cost model and the comparison-count
+    /// experiments are unaffected by the cache.
     fn probe_entry(&self, entry: &A::Entry) -> Probe {
         if self.root == NIL {
             return Probe::Empty;
         }
+        let tag = self.adapter.entry_tag(entry);
         let mut cur = self.root;
         loop {
             self.stats.node_visits(1);
             let n = self.node(cur);
             self.stats.comparisons(1);
-            if self.adapter.cmp_entries(entry, &n.items[0]) == Ordering::Less {
+            let below = match Self::tag_cmp(tag, n.min_tag) {
+                Some(o) => o == Ordering::Less,
+                None => self.adapter.cmp_entries(entry, &n.items[0]) == Ordering::Less,
+            };
+            if below {
                 if n.left == NIL {
                     return Probe::Off(cur, true);
                 }
@@ -353,7 +399,14 @@ impl<A: Adapter> TTree<A> {
                 continue;
             }
             self.stats.comparisons(1);
-            if self.adapter.cmp_entries(entry, &n.items[n.items.len() - 1]) == Ordering::Greater {
+            let above = match Self::tag_cmp(tag, n.max_tag) {
+                Some(o) => o == Ordering::Greater,
+                None => {
+                    self.adapter.cmp_entries(entry, &n.items[n.items.len() - 1])
+                        == Ordering::Greater
+                }
+            };
+            if above {
                 if n.right == NIL {
                     return Probe::Off(cur, false);
                 }
@@ -441,6 +494,7 @@ impl<A: Adapter> TTree<A> {
         let moves = (self.node(id).items.len() - pos) as u64 + 1;
         self.stats.data_moves(moves);
         self.node_mut(id).items.insert(pos, entry);
+        self.refresh_tags(id);
     }
 
     /// Grow a new one-element leaf under `parent` on the given side.
@@ -472,6 +526,7 @@ impl<A: Adapter> TTree<A> {
         let g = self.rightmost(left);
         if self.node(g).items.len() < self.config.max_count {
             self.node_mut(g).items.push(min_elem);
+            self.refresh_tags(g);
             self.stats.data_moves(1);
         } else {
             // GLB node full: grow a new leaf as its right child (it is the
@@ -503,6 +558,7 @@ impl<A: Adapter> TTree<A> {
                         self.stats.data_moves(1);
                         self.node_mut(id).items.push(entry);
                     }
+                    self.refresh_tags(id);
                 } else {
                     self.grow_leaf(id, left_side, entry);
                 }
@@ -536,6 +592,7 @@ impl<A: Adapter> TTree<A> {
         let e = self.node_mut(id).items.remove(pos);
         self.stats
             .data_moves((self.node(id).items.len() - pos) as u64);
+        self.refresh_tags(id);
         self.len -= 1;
 
         if self.is_internal(id) {
@@ -546,6 +603,8 @@ impl<A: Adapter> TTree<A> {
                     crate::pop_invariant(&mut self.node_mut(g).items, "GLB node is non-empty");
                 self.stats.data_moves(2);
                 self.node_mut(id).items.insert(0, borrowed);
+                self.refresh_tags(g);
+                self.refresh_tags(id);
                 if self.node(g).items.is_empty() {
                     self.remove_structural(g);
                 }
@@ -655,6 +714,15 @@ impl<A: Adapter> TTree<A> {
             if self.adapter.cmp_entries(&w[0], &w[1]) == Ordering::Greater {
                 return Err(format!("node {id}: items out of order"));
             }
+        }
+        // The descent key cache must re-derive from the bounding items.
+        let want_min = self.adapter.entry_tag(&n.items[0]);
+        let want_max = self.adapter.entry_tag(&n.items[n.items.len() - 1]);
+        if n.min_tag != want_min || n.max_tag != want_max {
+            return Err(format!(
+                "node {id}: stale key tags ({:#x},{:#x}) != ({want_min:#x},{want_max:#x})",
+                n.min_tag, n.max_tag
+            ));
         }
         for c in [n.left, n.right] {
             if c != NIL && self.node(c).parent != id {
@@ -790,19 +858,30 @@ impl<A: Adapter> OrderedIndex<A> for TTree<A> {
     }
 
     fn search(&self, key: &A::Key) -> Option<A::Entry> {
-        // The paper's search: descend on min/max, binary search the
-        // bounding node.
+        // The paper's search: descend on min/max (via the cached key
+        // tags when they decide), binary search the bounding node.
+        let tag = self.adapter.key_tag(key);
         let mut cur = self.root;
         while cur != NIL {
             self.stats.node_visits(1);
             let n = self.node(cur);
             self.stats.comparisons(1);
-            if self.adapter.cmp_entry_key(&n.items[0], key) == Ordering::Greater {
+            let min_above = match Self::tag_cmp(n.min_tag, tag) {
+                Some(o) => o == Ordering::Greater,
+                None => self.adapter.cmp_entry_key(&n.items[0], key) == Ordering::Greater,
+            };
+            if min_above {
                 cur = n.left;
                 continue;
             }
             self.stats.comparisons(1);
-            if self.adapter.cmp_entry_key(&n.items[n.items.len() - 1], key) == Ordering::Less {
+            let max_below = match Self::tag_cmp(n.max_tag, tag) {
+                Some(o) => o == Ordering::Less,
+                None => {
+                    self.adapter.cmp_entry_key(&n.items[n.items.len() - 1], key) == Ordering::Less
+                }
+            };
+            if max_below {
                 cur = n.right;
                 continue;
             }

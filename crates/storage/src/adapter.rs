@@ -44,6 +44,18 @@ impl KeyValue {
             KeyValue::Ptr(t) => hash_tid(*t),
         }
     }
+
+    /// Order tag consistent with [`value_order_tag`] (a schema keeps each
+    /// attribute homogeneous, so the per-variant embeddings never mix
+    /// within one index).
+    #[must_use]
+    pub fn order_tag(&self) -> u64 {
+        match self {
+            KeyValue::Int(i) => int_order_tag(*i),
+            KeyValue::Str(s) => str_order_tag(s),
+            KeyValue::Ptr(t) => tid_order_tag(*t),
+        }
+    }
 }
 
 impl From<i64> for KeyValue {
@@ -93,6 +105,42 @@ fn hash_str(s: &str) -> u64 {
 
 fn hash_tid(t: TupleId) -> u64 {
     mix64((u64::from(t.partition) << 32) | u64::from(t.slot))
+}
+
+/// Order-preserving embedding of an `i64` into `u64` (flip the sign bit).
+fn int_order_tag(i: i64) -> u64 {
+    (i as u64) ^ (1 << 63)
+}
+
+/// First eight bytes of a string, big-endian, zero-padded: numeric order
+/// on the tag is lexicographic order on the (padded) prefix, so unequal
+/// tags order exactly like the strings and shared-prefix ties come back
+/// equal (undecided).
+fn str_order_tag(s: &str) -> u64 {
+    let mut buf = [0u8; 8];
+    let b = s.as_bytes();
+    let n = b.len().min(8);
+    buf[..n].copy_from_slice(&b[..n]);
+    u64::from_be_bytes(buf)
+}
+
+/// Order-preserving embedding of a tuple id (partition-major, matching
+/// its derived `Ord`).
+fn tid_order_tag(t: TupleId) -> u64 {
+    (u64::from(t.partition) << 32) | u64::from(t.slot)
+}
+
+/// [`mmdb_index::adapter::Adapter::entry_tag`] for a field value: a
+/// monotone summary comparable without re-dereferencing the tuple. A
+/// pointer list has no single key; it tags as 0 (always undecided).
+#[must_use]
+pub fn value_order_tag(v: &Value<'_>) -> u64 {
+    match v {
+        Value::Int(i) => int_order_tag(*i),
+        Value::Str(s) => str_order_tag(s),
+        Value::Ptr(p) => tid_order_tag(p.unwrap_or_else(TupleId::null)),
+        Value::PtrList(_) => 0,
+    }
 }
 
 /// Hash a field value, consistently with [`KeyValue::hash`]. Public so
@@ -177,6 +225,14 @@ impl Adapter for AttrAdapter<'_> {
     fn cmp_entry_key(&self, e: &TupleId, key: &KeyValue) -> Ordering {
         key.cmp_value(&self.value_of(*e))
     }
+
+    fn entry_tag(&self, e: &TupleId) -> u64 {
+        value_order_tag(&self.value_of(*e))
+    }
+
+    fn key_tag(&self, key: &KeyValue) -> u64 {
+        key.order_tag()
+    }
 }
 
 impl HashAdapter for AttrAdapter<'_> {
@@ -245,6 +301,14 @@ impl Adapter for TempListAdapter<'_> {
 
     fn cmp_entry_key(&self, e: &u32, key: &KeyValue) -> Ordering {
         key.cmp_value(&self.value_of(*e))
+    }
+
+    fn entry_tag(&self, e: &u32) -> u64 {
+        value_order_tag(&self.value_of(*e))
+    }
+
+    fn key_tag(&self, key: &KeyValue) -> u64 {
+        key.order_tag()
     }
 }
 
@@ -380,6 +444,111 @@ mod tests {
             );
         });
         assert_eq!(ages, vec![22, 24, 27, 47, 54]);
+    }
+
+    #[test]
+    fn order_tags_are_monotone_with_comparisons() {
+        // Unequal tags must order exactly like the values; equal tags
+        // are allowed only for genuinely tied prefixes.
+        let ints = [i64::MIN, -7, -1, 0, 1, 42, i64::MAX];
+        for w in ints.windows(2) {
+            assert!(
+                KeyValue::Int(w[0]).order_tag() < KeyValue::Int(w[1]).order_tag(),
+                "{} vs {}",
+                w[0],
+                w[1]
+            );
+        }
+        let strs = ["", "a", "ab", "abcdefgh", "abcdefghZZZ", "b"];
+        for (i, a) in strs.iter().enumerate() {
+            for b in &strs[i + 1..] {
+                assert!(
+                    KeyValue::from(*a).order_tag() <= KeyValue::from(*b).order_tag(),
+                    "{a:?} vs {b:?}"
+                );
+            }
+        }
+        // Shared 8-byte prefix: the tag ties (undecided), never inverts.
+        assert_eq!(
+            KeyValue::from("abcdefghAAA").order_tag(),
+            KeyValue::from("abcdefghZZZ").order_tag()
+        );
+        assert!(
+            KeyValue::Ptr(TupleId::new(0, 9)).order_tag()
+                < KeyValue::Ptr(TupleId::new(1, 0)).order_tag()
+        );
+    }
+
+    #[test]
+    fn tagged_descent_matches_untagged() {
+        // Differential: a T-Tree probed through the tag-caching adapter
+        // must behave identically to one whose adapter keeps the default
+        // (always-undecided) tags.
+        struct Untagged<'a>(AttrAdapter<'a>);
+        impl Adapter for Untagged<'_> {
+            type Entry = TupleId;
+            type Key = KeyValue;
+            fn cmp_entries(&self, a: &TupleId, b: &TupleId) -> Ordering {
+                self.0.cmp_entries(a, b)
+            }
+            fn cmp_entry_key(&self, e: &TupleId, key: &KeyValue) -> Ordering {
+                self.0.cmp_entry_key(e, key)
+            }
+            // entry_tag/key_tag deliberately left at the default 0.
+        }
+
+        let mut r = Relation::new(
+            "t",
+            Schema::of(&[("name", AttrType::Str), ("v", AttrType::Int)]),
+            PartitionConfig::default(),
+        );
+        let tids: Vec<TupleId> = (0..500i64)
+            .map(|i| {
+                r.insert(&[
+                    OwnedValue::Str(format!("name-{:03}", (i * 131) % 500)),
+                    OwnedValue::Int((i * 37) % 200),
+                ])
+                .unwrap()
+            })
+            .collect();
+        for attr in ["name", "v"] {
+            let mut tagged = TTree::new(
+                AttrAdapter::by_name(&r, attr).unwrap(),
+                TTreeConfig::with_node_size(6),
+            );
+            let mut plain = TTree::new(
+                Untagged(AttrAdapter::by_name(&r, attr).unwrap()),
+                TTreeConfig::with_node_size(6),
+            );
+            for t in &tids {
+                tagged.insert(*t);
+                plain.insert(*t);
+            }
+            tagged.validate().unwrap();
+            plain.validate().unwrap();
+            for i in 0..200i64 {
+                let key = if attr == "v" {
+                    KeyValue::Int(i)
+                } else {
+                    KeyValue::Str(format!("name-{:03}", i))
+                };
+                let mut a = Vec::new();
+                let mut b = Vec::new();
+                tagged.search_all(&key, &mut a);
+                plain.search_all(&key, &mut b);
+                assert_eq!(a, b, "{attr} key {key:?}");
+            }
+            for t in tids.iter().step_by(3) {
+                assert!(tagged.delete_entry(t));
+                assert!(plain.delete_entry(t));
+            }
+            tagged.validate().unwrap();
+            plain.validate().unwrap();
+            assert_eq!(
+                tagged.iter().collect::<Vec<_>>(),
+                plain.iter().collect::<Vec<_>>()
+            );
+        }
     }
 
     #[test]

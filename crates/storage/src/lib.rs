@@ -37,7 +37,7 @@ pub mod schema;
 pub mod templist;
 pub mod value;
 
-pub use adapter::{value_hash, AttrAdapter, KeyValue, TempListAdapter};
+pub use adapter::{value_hash, value_order_tag, AttrAdapter, KeyValue, TempListAdapter};
 pub use error::StorageError;
 pub use partition::{Partition, PartitionConfig, SlotState};
 pub use relation::{PartitionView, Relation};

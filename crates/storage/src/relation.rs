@@ -28,6 +28,11 @@ pub struct Relation {
     /// hook; cleared one partition at a time as a fuzzy checkpoint makes
     /// progress).
     ckpt_dirty: Vec<bool>,
+    /// Monotone per-partition version counters, bumped on every mutation
+    /// (insert/update/delete) alongside the dirty bits. Never reset —
+    /// readers snapshot them to detect later writes (reuse-cache
+    /// invalidation stamps).
+    versions: Vec<u64>,
 }
 
 impl Relation {
@@ -42,6 +47,7 @@ impl Relation {
             len: 0,
             dirty: Vec::new(),
             ckpt_dirty: Vec::new(),
+            versions: Vec::new(),
         }
     }
 
@@ -96,6 +102,7 @@ impl Relation {
     fn mark_dirty(&mut self, p: u32) {
         self.dirty[p as usize] = true;
         self.ckpt_dirty[p as usize] = true;
+        self.versions[p as usize] += 1;
     }
 
     /// Find (or create) a partition that can host `values`.
@@ -116,6 +123,7 @@ impl Relation {
             .push(Partition::new(self.schema.arity(), self.config));
         self.dirty.push(true);
         self.ckpt_dirty.push(true);
+        self.versions.push(1);
         (self.partitions.len() - 1) as u32
     }
 
@@ -298,14 +306,17 @@ impl Relation {
                     .push(Partition::new(self.schema.arity(), self.config));
                 self.dirty.push(false);
                 self.ckpt_dirty.push(false);
+                self.versions.push(1);
             }
             self.partitions.push(part);
             self.dirty.push(false);
             self.ckpt_dirty.push(false);
+            self.versions.push(1);
         } else {
             self.partitions[p as usize] = part;
             self.dirty[p as usize] = false;
             self.ckpt_dirty[p as usize] = false;
+            self.versions[p as usize] += 1;
         }
         self.len = self.partitions.iter().map(Partition::live).sum();
         Ok(())
@@ -340,6 +351,16 @@ impl Relation {
             .filter(|(_, d)| **d)
             .map(|(i, _)| i as u32)
             .collect()
+    }
+
+    /// Per-partition version counters. A partition's counter strictly
+    /// increases with every mutation that touches it, so equality of a
+    /// stored snapshot with the live slice proves the partition's bytes
+    /// are unchanged since the snapshot was taken. New partitions extend
+    /// the slice, so a length change is itself a version change.
+    #[must_use]
+    pub fn partition_versions(&self) -> &[u64] {
+        &self.versions
     }
 
     /// Mark one partition checkpointed. Cleared per partition (not
@@ -531,6 +552,34 @@ mod tests {
         assert!(r.dirty_partitions().is_empty());
         r.update_field(t, 2, &OwnedValue::Int(5)).unwrap();
         assert_eq!(r.dirty_partitions(), vec![0]);
+    }
+
+    #[test]
+    fn partition_versions_bump_on_every_write() {
+        let mut r = Relation::with_default_config("emp", emp_schema());
+        assert!(r.partition_versions().is_empty());
+        let t = r.insert(&emp_row("A", 1, 10)).unwrap();
+        let v0 = r.partition_versions().to_vec();
+        assert_eq!(v0.len(), 1);
+        r.update_field(t, 2, &OwnedValue::Int(11)).unwrap();
+        let v1 = r.partition_versions().to_vec();
+        assert!(v1[0] > v0[0], "update must bump the version");
+        r.delete(t).unwrap();
+        let v2 = r.partition_versions().to_vec();
+        assert!(v2[0] > v1[0], "delete must bump the version");
+        // clear_dirty never resets versions.
+        r.clear_dirty();
+        assert_eq!(r.partition_versions(), &v2[..]);
+    }
+
+    #[test]
+    fn load_partition_image_bumps_version() {
+        let mut r = Relation::with_default_config("emp", emp_schema());
+        r.insert(&emp_row("A", 1, 10)).unwrap();
+        let img = r.partition_image(0).unwrap();
+        let before = r.partition_versions()[0];
+        r.load_partition_image(0, &img).unwrap();
+        assert!(r.partition_versions()[0] > before);
     }
 
     #[test]

@@ -199,12 +199,28 @@ impl TempList {
         descriptor: &ResultDescriptor,
         sources: &[&'a Relation],
     ) -> Result<Vec<Value<'a>>, StorageError> {
+        let mut out = Vec::with_capacity(descriptor.width());
+        self.materialize_row_into(i, descriptor, sources, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`TempList::materialize_row`] into a caller-owned scratch buffer
+    /// (cleared first). Duplicate elimination materializes once per row
+    /// *plus* once per hash-chain visit; reusing one buffer across those
+    /// calls removes the per-visit heap allocation.
+    pub fn materialize_row_into<'a>(
+        &self,
+        i: usize,
+        descriptor: &ResultDescriptor,
+        sources: &[&'a Relation],
+        out: &mut Vec<Value<'a>>,
+    ) -> Result<(), StorageError> {
+        out.clear();
         let row = self.row(i);
-        descriptor
-            .fields()
-            .iter()
-            .map(|f| sources[f.source].field(row[f.source], f.attr))
-            .collect()
+        for f in descriptor.fields() {
+            out.push(sources[f.source].field(row[f.source], f.attr)?);
+        }
+        Ok(())
     }
 
     /// Materialize every row (convenience for small results / tests).

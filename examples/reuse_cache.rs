@@ -1,0 +1,189 @@
+//! Reuse-cache demo: the acceptance run for the plan-keyed
+//! intermediate-result cache.
+//!
+//! A repeated filter+join sub-plan runs over an unmodified relation three
+//! ways — cache off, cache cold (first populating run), cache warm — and
+//! the warm runs must be **bit-identical** to the cache-off runs while
+//! beating them by at least [`REQUIRED_SPEEDUP`] on the wall clock. Then a
+//! committed insert into the filtered relation must force the next run to
+//! recompute (the new row appears; no stale entry serves). Results land in
+//! `results/reuse_cache.csv`.
+//!
+//! ```sh
+//! cargo run --release --example reuse_cache
+//! ```
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use mmdb_core::{Database, IndexKind, QueryBuilder};
+use mmdb_recovery::MemDisk;
+use mmdb_storage::{AttrType, OwnedValue, Schema};
+use std::time::Instant;
+
+/// The acceptance floor: warm cache must beat cache-off by this factor.
+const REQUIRED_SPEEDUP: f64 = 5.0;
+const RUNS: usize = 5;
+const EMP_N: i64 = 30_000;
+const DEPT_N: i64 = 64;
+
+fn build_db() -> Database {
+    let mut db = Database::in_memory();
+    db.create_table(
+        "emp",
+        Schema::of(&[
+            ("name", AttrType::Str),
+            ("age", AttrType::Int),
+            ("dept_id", AttrType::Int),
+        ]),
+    )
+    .unwrap();
+    db.create_table(
+        "dept",
+        Schema::of(&[("id", AttrType::Int), ("dname", AttrType::Str)]),
+    )
+    .unwrap();
+    // Primary keys only: the filtered attribute (age) is deliberately
+    // unindexed so the cold sub-plan pays a full sequential scan — the
+    // recomputation the cache is there to avoid.
+    db.create_index("emp_name", "emp", "name", IndexKind::TTree)
+        .unwrap();
+    db.create_index("dept_id", "dept", "id", IndexKind::TTree)
+        .unwrap();
+    let mut txn = db.begin();
+    for i in 0..DEPT_N {
+        db.insert(
+            &mut txn,
+            "dept",
+            vec![OwnedValue::Int(i), OwnedValue::Str(format!("dept-{i:02}"))],
+        )
+        .unwrap();
+    }
+    for i in 0..EMP_N {
+        db.insert(
+            &mut txn,
+            "emp",
+            vec![
+                OwnedValue::Str(format!("emp-{i:05}")),
+                OwnedValue::Int((i * 37) % 100),
+                OwnedValue::Int(i % DEPT_N),
+            ],
+        )
+        .unwrap();
+    }
+    db.commit(txn).unwrap();
+    db
+}
+
+/// The repeated sub-plan: unindexed selection joined to dept.
+fn query(db: &Database, cache: bool) -> QueryBuilder<'_, MemDisk> {
+    db.query("emp")
+        .filter(
+            "age",
+            mmdb_exec::Predicate::greater(mmdb_storage::KeyValue::Int(98)),
+        )
+        .join("dept_id", "dept", "id")
+        .project(&[("emp", "name"), ("dept", "dname")])
+        .cache(cache)
+}
+
+/// Best-of-RUNS wall clock plus the final run's output.
+fn time_query(db: &Database, cache: bool) -> (f64, mmdb_core::QueryOutput) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..RUNS {
+        let t0 = Instant::now();
+        let o = query(db, cache).run().unwrap();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        out = Some(o);
+    }
+    (best, out.unwrap())
+}
+
+fn main() {
+    let mut db = build_db();
+
+    // Cache off: every run recomputes the scan + join.
+    let (cold_ms, cold_out) = time_query(&db, false);
+
+    // Populate, then measure warm (the populating run is excluded by
+    // best-of taking over the later, cache-served runs).
+    let (_, first) = (0, query(&db, true).run().unwrap());
+    let (warm_ms, warm_out) = time_query(&db, true);
+    let hits = db.cache_report().hits;
+
+    assert_eq!(
+        cold_out.rows, warm_out.rows,
+        "warm cache changed the answer"
+    );
+    assert_eq!(cold_out.columns, warm_out.columns);
+    assert!(hits >= 1, "warm runs never hit the cache");
+    assert!(
+        warm_out.profile.render().contains("[cached]"),
+        "warm profile should show the [cached] subtree"
+    );
+    let speedup = cold_ms / warm_ms;
+
+    // Write invalidation: a committed insert into emp must force the next
+    // cached run to recompute and include the new row.
+    let before_rows = warm_out.rows.len();
+    let mut txn = db.begin();
+    db.insert(
+        &mut txn,
+        "emp",
+        vec![
+            OwnedValue::Str("newcomer".into()),
+            OwnedValue::Int(99),
+            OwnedValue::Int(0),
+        ],
+    )
+    .unwrap();
+    db.commit(txn).unwrap();
+    let t0 = Instant::now();
+    let after = query(&db, true).run().unwrap();
+    let recompute_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        after.rows.len(),
+        before_rows + 1,
+        "write must invalidate the cached sub-plan"
+    );
+    let oracle = query(&db, false).run().unwrap();
+    assert_eq!(after.rows, oracle.rows, "post-write run must match cold");
+
+    let mut csv = String::from("phase,config,best_ms,rows,cache_hits,speedup_vs_cache_off\n");
+    csv.push_str(&format!(
+        "repeat,cache_off,{cold_ms:.3},{},0,1.00\n",
+        cold_out.rows.len()
+    ));
+    csv.push_str(&format!(
+        "repeat,cache_warm,{warm_ms:.3},{},{hits},{speedup:.2}\n",
+        warm_out.rows.len()
+    ));
+    csv.push_str(&format!(
+        "write_invalidation,recompute_after_insert,{recompute_ms:.3},{},{},\n",
+        after.rows.len(),
+        db.cache_report().hits
+    ));
+    std::fs::create_dir_all("results").unwrap();
+    std::fs::write("results/reuse_cache.csv", &csv).unwrap();
+
+    println!(
+        "cache off  : {cold_ms:8.3} ms  ({} rows)",
+        cold_out.rows.len()
+    );
+    println!(
+        "cache warm : {warm_ms:8.3} ms  ({} rows, {hits} hits)",
+        warm_out.rows.len()
+    );
+    println!("speedup    : {speedup:7.2}x  (required ≥ {REQUIRED_SPEEDUP}x)");
+    println!(
+        "post-write : {recompute_ms:8.3} ms  ({} rows — recomputed)",
+        after.rows.len()
+    );
+    println!("wrote results/reuse_cache.csv");
+    let _ = first;
+
+    if speedup < REQUIRED_SPEEDUP {
+        eprintln!("FAIL: warm speedup {speedup:.2}x below the {REQUIRED_SPEEDUP}x floor");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Regenerate the quick-mode perf baseline (BENCH_baseline.json).
+#
+# Runs the bench_baseline binary: the criterion suites' workloads
+# (index_ops, join_kernels, dedup, scaling) at reduced cardinalities with
+# fixed seeds, best-of-3 timing, sorted JSON keys. Two runs produce files
+# that align line-by-line — only the measured ns values move — so a
+# regression shows up as a clean numeric diff against the checked-in
+# baseline.
+#
+# usage: scripts/bench.sh [OUT_FILE]   (default BENCH_baseline.json)
+set -eu
+
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_baseline.json}"
+
+cargo build --release -p mmdb-bench --bin bench_baseline
+./target/release/bench_baseline --out "$OUT"

@@ -56,6 +56,11 @@ gate "explorer-smoke"    cargo test -p mmdb-check explore -q
 gate "plan-golden"       cargo test --test plan_explain -q
 gate "planner-accuracy"  cargo run --release --example planner_accuracy
 
+# Reuse-cache acceptance: repeated sub-plan must hit the cache with
+# bit-identical rows at >= 5x warm speedup, and a committed write must
+# force a recompute (writes results/reuse_cache.csv).
+gate "reuse-cache-accept" cargo run --release --example reuse_cache
+
 # Crash-recovery torture: scripted workloads over the fault-injecting
 # disk, crashed at seeded power-cut points across a bounded seed sweep
 # (64 seeds — the CI budget; any failure prints its seed for replay),
@@ -71,8 +76,24 @@ gate "inject-smoke"      cargo test -p mmdb-recovery --test stable_store_conform
 # must restart to exactly the latest-LSN committed images.
 gate "prop-recovery"     cargo test --test prop_recovery -q
 
+# Reuse-cache properties: random query/write interleavings must produce
+# cached results bit-identical to cold runs, with no stale entry served
+# after a write (seeded sweep; any failure prints its seed for replay).
+gate "cache-prop"        cargo test --test prop_cache -q
+
 # Parallel-scaling bench, criterion --test smoke mode (each case once).
 gate "bench-smoke"       cargo bench -p mmdb-bench --bench scaling -- --test
+
+# Perf-baseline smoke: the quick-mode baseline generator must run and
+# emit a file whose keys align with the checked-in BENCH_baseline.json
+# (values are wall-clock and expected to move; only structure is gated).
+bench_baseline_diff() {
+    sh scripts/bench.sh /tmp/mmdb_bench_smoke.json || return 1
+    a=$(sed 's/: [0-9]*,*$//' BENCH_baseline.json)
+    b=$(sed 's/: [0-9]*,*$//' /tmp/mmdb_bench_smoke.json)
+    [ "$a" = "$b" ]
+}
+gate "bench-baseline"    bench_baseline_diff
 
 echo ""
 echo "==== verification summary ===="

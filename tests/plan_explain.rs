@@ -320,6 +320,41 @@ project [orders.oid, emp.ename, dept.dname]  [est_rows=60 act_rows=100 est_cmp=0
 }
 
 #[test]
+fn golden_cached_subtree() {
+    let db = fixture();
+    let q = || {
+        db.query("emp")
+            .filter("age", Predicate::greater(KeyValue::Int(60)))
+            .join("dept_id", "dept", "id")
+            .project(&[("emp", "ename"), ("dept", "dname")])
+            .parallelism(1)
+            .cache(true)
+    };
+    let cold = q().run().unwrap();
+    assert_eq!(cold.profile.render(), {
+        "\
+project [emp.ename, dept.dname]  [est_rows=2 act_rows=2 est_cmp=0 act_cmp=0]
+  join[TreeJoin] emp.dept_id = dept.id  [est_rows=2 act_rows=2 est_cmp=5 act_cmp=8]
+      rejected: HashJoin est_cmp=11, SortMerge est_cmp=12, NestedLoops est_cmp=6
+    select emp.age > 60 via TreeLookup  [est_rows=2 act_rows=2 est_cmp=2 act_cmp=4]
+"
+    });
+    // The warm run substitutes the whole join subtree: the canonical
+    // form is method-independent, so the snapshot stays stable even if
+    // cost tweaks change which join kernel the cold run picked.
+    let warm = q().run().unwrap();
+    assert_eq!(sorted_rows(&warm), sorted_rows(&cold));
+    assert_eq!(
+        warm.profile.render(),
+        "\
+project [emp.ename, dept.dname]  [est_rows=2 act_rows=2 est_cmp=0 act_cmp=0]
+  [cached] join(sel(emp.age > 60), emp.dept_id=dept.id, scan(dept))  [est_rows=2 act_rows=2 est_cmp=0 act_cmp=0]
+"
+    );
+    assert!(warm.profile.cache.hits >= 1);
+}
+
+#[test]
 fn explain_round_trips_estimates_and_actuals() {
     let db = fixture();
     let q = || {

@@ -1,0 +1,235 @@
+//! Property suite for the intermediate-result reuse cache: random
+//! query/write interleavings over a live [`Database`], asserting that
+//! cached execution is *bit-identical* to cold execution at every step.
+//!
+//! Each seeded script mixes queries from a small family (so repeats —
+//! and therefore cache hits — are common) with committed inserts,
+//! updates, and deletes. After every query three runs must agree
+//! exactly: `.cache(true)` (may hit), `.cache(true)` again (warm), and
+//! `.cache(false)` (the cold oracle that never consults the cache). A
+//! stale serve — any divergence after a write moved an input table's
+//! partition versions — fails with the seed and step that produced it.
+//!
+//! To replay a single seed bit-for-bit:
+//!
+//! ```text
+//! MMDB_CACHE_SEED=<seed> cargo test --test prop_cache cache_across_seeds -- --nocapture
+//! ```
+//!
+//! `MMDB_CACHE_SEEDS=<n>` widens or narrows the sweep (default 24).
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use mmdb_core::{Database, IndexKind, QueryOutput};
+use mmdb_exec::Predicate;
+use mmdb_recovery::SplitMix64;
+use mmdb_storage::{AttrType, KeyValue, Schema, TupleId};
+
+/// Steps per scripted run (each step is one query or one commit).
+const SCRIPT_LEN: u64 = 40;
+
+/// Age thresholds are drawn from a small set so the query family
+/// repeats often enough to exercise warm hits.
+const THRESHOLDS: [i64; 4] = [20, 40, 60, 80];
+
+fn fixture() -> (Database, Vec<TupleId>, Vec<TupleId>) {
+    let mut db = Database::in_memory();
+    db.create_table(
+        "dept",
+        Schema::of(&[("dname", AttrType::Str), ("id", AttrType::Int)]),
+    )
+    .unwrap();
+    db.create_index("dept_id", "dept", "id", IndexKind::TTree)
+        .unwrap();
+    db.create_table(
+        "emp",
+        Schema::of(&[
+            ("ename", AttrType::Str),
+            ("age", AttrType::Int),
+            ("dept_id", AttrType::Int),
+        ]),
+    )
+    .unwrap();
+    db.create_index("emp_age", "emp", "age", IndexKind::TTree)
+        .unwrap();
+    db.create_index("emp_dept", "emp", "dept_id", IndexKind::TTree)
+        .unwrap();
+
+    let mut txn = db.begin();
+    for d in 1..=5i64 {
+        db.insert(&mut txn, "dept", vec![format!("dept-{d}").into(), d.into()])
+            .unwrap();
+    }
+    let dept_tids = db.commit(txn).unwrap();
+    let mut txn = db.begin();
+    for i in 0..30i64 {
+        db.insert(
+            &mut txn,
+            "emp",
+            vec![
+                format!("emp-{i}").into(),
+                ((i * 37) % 100).into(),
+                (i % 5 + 1).into(),
+            ],
+        )
+        .unwrap();
+    }
+    let emp_tids = db.commit(txn).unwrap();
+    (db, dept_tids, emp_tids)
+}
+
+/// One query from the family, parameterized by the script RNG. Returns
+/// a builder-producing closure so the same query can run under both
+/// cache settings.
+fn run_query(db: &Database, shape: u64, threshold: i64, cached: bool) -> QueryOutput {
+    let q = match shape % 4 {
+        0 => db
+            .query("emp")
+            .filter("age", Predicate::greater(KeyValue::Int(threshold)))
+            .project(&[("emp", "ename"), ("emp", "age")]),
+        1 => db
+            .query("emp")
+            .filter("age", Predicate::greater(KeyValue::Int(threshold)))
+            .join("dept_id", "dept", "id")
+            .project(&[("emp", "ename"), ("dept", "dname")]),
+        2 => db
+            .query("emp")
+            .join("dept_id", "dept", "id")
+            .project(&[("dept", "dname")])
+            .distinct(),
+        _ => db
+            .query("emp")
+            .join("dept_id", "dept", "id")
+            .filter_on("dept", "dname", Predicate::Eq(KeyValue::from("dept-2")))
+            .project(&[("emp", "ename"), ("emp", "age"), ("dept", "dname")]),
+    };
+    q.parallelism(1).cache(cached).run().unwrap()
+}
+
+/// Drive one seeded script; panics with seed + step context on any
+/// divergence. Returns the cache hits observed.
+fn run_script(seed: u64) -> u64 {
+    let (mut db, mut dept_tids, mut emp_tids) = fixture();
+    let mut rng = SplitMix64::new(seed);
+    let mut next_emp = 1000i64;
+    for step in 0..SCRIPT_LEN {
+        let ctx = |what: &str| {
+            format!(
+                "seed {seed} step {step}: {what}\n  replay: MMDB_CACHE_SEED={seed} \
+                 cargo test --test prop_cache cache_across_seeds -- --nocapture"
+            )
+        };
+        if rng.next_u64() % 10 < 6 {
+            // Query step: cached, warm, and cold runs must agree bit
+            // for bit (rows AND row order — TempLists are positional).
+            let shape = rng.next_u64();
+            let threshold = THRESHOLDS[(rng.next_u64() % 4) as usize];
+            let first = run_query(&db, shape, threshold, true);
+            let warm = run_query(&db, shape, threshold, true);
+            let cold = run_query(&db, shape, threshold, false);
+            assert_eq!(first.rows, cold.rows, "{}", ctx("cached vs cold"));
+            assert_eq!(warm.rows, cold.rows, "{}", ctx("warm vs cold"));
+            assert_eq!(first.columns, cold.columns, "{}", ctx("columns"));
+        } else {
+            // Write step: a committed insert/update/delete must move the
+            // touched partition's version and unserve dependent entries.
+            let mut txn = db.begin();
+            match rng.next_u64() % 4 {
+                0 => {
+                    let age = (rng.next_u64() % 100) as i64;
+                    let dept = (rng.next_u64() % 5 + 1) as i64;
+                    db.insert(
+                        &mut txn,
+                        "emp",
+                        vec![format!("emp-{next_emp}").into(), age.into(), dept.into()],
+                    )
+                    .unwrap();
+                    next_emp += 1;
+                }
+                1 if !emp_tids.is_empty() => {
+                    let tid = emp_tids[(rng.next_u64() as usize) % emp_tids.len()];
+                    let age = (rng.next_u64() % 100) as i64;
+                    db.update(&mut txn, "emp", tid, "age", age.into()).unwrap();
+                }
+                2 if emp_tids.len() > 5 => {
+                    let i = (rng.next_u64() as usize) % emp_tids.len();
+                    db.delete(&mut txn, "emp", emp_tids.swap_remove(i)).unwrap();
+                }
+                _ if dept_tids.len() > 2 => {
+                    let i = (rng.next_u64() as usize) % dept_tids.len();
+                    db.delete(&mut txn, "dept", dept_tids.swap_remove(i))
+                        .unwrap();
+                }
+                _ => {}
+            }
+            let inserted = db
+                .commit(txn)
+                .unwrap_or_else(|e| panic!("{}: {e}", ctx("commit")));
+            emp_tids.extend(inserted);
+        }
+        #[cfg(feature = "check")]
+        if let Err(msg) = db.deep_check().into_result() {
+            panic!("{}", ctx(&format!("deep_check: {msg}")));
+        }
+    }
+    db.cache_report().hits
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+#[test]
+fn cache_across_seeds() {
+    let n = env_u64("MMDB_CACHE_SEEDS").unwrap_or(24);
+    let seeds: Vec<u64> = match env_u64("MMDB_CACHE_SEED") {
+        Some(s) => vec![s],
+        None => (0..n).collect(),
+    };
+    let mut total_hits = 0;
+    for seed in seeds {
+        total_hits += run_script(seed);
+    }
+    assert!(
+        total_hits > 0,
+        "no warm hit across the whole sweep: the suite is not exercising reuse"
+    );
+}
+
+/// Regression shape: a write *between* a cold run and a would-be warm
+/// run must force recomputation (the exact stale-serve bug class).
+#[test]
+fn write_between_runs_recomputes() {
+    let (mut db, _, _) = fixture();
+    let q = |db: &Database| {
+        db.query("emp")
+            .filter("age", Predicate::greater(KeyValue::Int(60)))
+            .join("dept_id", "dept", "id")
+            .project(&[("emp", "ename"), ("dept", "dname")])
+            .parallelism(1)
+            .cache(true)
+            .run()
+            .unwrap()
+    };
+    let cold = q(&db);
+    let mut txn = db.begin();
+    db.insert(
+        &mut txn,
+        "emp",
+        vec!["newcomer".into(), 99i64.into(), 1i64.into()],
+    )
+    .unwrap();
+    db.commit(txn).unwrap();
+    let after = q(&db);
+    assert_eq!(after.rows.len(), cold.rows.len() + 1);
+    let fresh = db
+        .query("emp")
+        .filter("age", Predicate::greater(KeyValue::Int(60)))
+        .join("dept_id", "dept", "id")
+        .project(&[("emp", "ename"), ("dept", "dname")])
+        .parallelism(1)
+        .cache(false)
+        .run()
+        .unwrap();
+    assert_eq!(after.rows, fresh.rows);
+}
