@@ -8,12 +8,20 @@
 //!
 //! Cost model (§3.3.4 Test 1): ≈ |R1| + |R1|·k probes with k a fixed
 //! lookup cost — "much smaller than log₂(|R2|) but larger than 2".
+//!
+//! The probe loop is **batched**: a morsel of outer keys is materialized
+//! (tuple dereference + hash) before any bucket is walked, then the
+//! morsel probes the table in a tight loop. The table stores each entry's
+//! 64-bit hash next to its chain link, so a chain walk compares integers
+//! and dereferences an inner tuple only when the full hashes already
+//! agree — bucket lines stay hot across the morsel and almost every
+//! non-match is decided without touching tuple memory.
 
 use super::{JoinOutput, JoinSide};
 use crate::error::ExecError;
-use mmdb_index::traits::UnorderedIndex;
-use mmdb_index::ChainedBucketHash;
-use mmdb_storage::{AttrAdapter, KeyValue, TempList, Value};
+use mmdb_index::stats::Counters;
+use mmdb_storage::{value_hash, KeyValue, TempList, TupleId, Value};
+use std::cmp::Ordering;
 
 /// Convert an extracted join value into a probe key. Returns `None` for
 /// values that cannot match anything (NULL pointers, pointer lists).
@@ -26,29 +34,122 @@ pub(crate) fn probe_key(v: &Value<'_>) -> Option<KeyValue> {
     }
 }
 
-/// Join by building a chained-bucket hash table on the inner side and
-/// probing it once per outer tuple. The returned stats include the build.
-pub fn hash_join(outer: JoinSide<'_>, inner: JoinSide<'_>) -> Result<JoinOutput, ExecError> {
-    let adapter = AttrAdapter::new(inner.rel, inner.attr);
-    let mut table = ChainedBucketHash::with_capacity(adapter, inner.len().max(8));
-    for &it in inner.tids {
-        table.insert(it);
-    }
-    let mut out = TempList::new(2);
-    let mut matches = Vec::new();
-    for &ot in outer.tids {
-        let ov = outer.value(ot)?;
-        if let Some(key) = probe_key(&ov) {
-            matches.clear();
-            table.search_all(&key, &mut matches);
-            for &it in &matches {
-                out.push_pair(ot, it)?;
-            }
+/// True when the value can match something (same filter as [`probe_key`],
+/// without building an owned key).
+fn probe_eligible(v: &Value<'_>) -> bool {
+    !matches!(v, Value::Ptr(None) | Value::PtrList(_))
+}
+
+/// Outer tuples hashed per probe morsel before the tight probe loop.
+const PROBE_BATCH: usize = 1024;
+
+/// Chain terminator in [`BatchProbeTable`]'s link arrays.
+const NIL: u32 = u32::MAX;
+
+/// Read-only chained-bucket probe table over the inner join side,
+/// shareable across worker threads (plain owned arrays — unlike
+/// [`mmdb_index::ChainedBucketHash`], whose `Cell` counters are not
+/// `Sync`). Replicates the chained-bucket *observable* semantics:
+/// prepend-on-insert chains walked head-first, so per-key matches come
+/// back in reverse insertion order.
+pub(crate) struct BatchProbeTable<'a> {
+    inner: JoinSide<'a>,
+    heads: Vec<u32>,
+    next: Vec<u32>,
+    /// Full 64-bit hash of each entry's join value: chain walks filter on
+    /// this before dereferencing the inner tuple.
+    hashes: Vec<u64>,
+    mask: u64,
+    /// Counters accumulated while building (one hash call per entry).
+    pub(crate) build_stats: mmdb_index::stats::Snapshot,
+}
+
+impl<'a> BatchProbeTable<'a> {
+    /// Build on the inner side, inserting `inner.tids` in order exactly
+    /// like the serial chained-bucket build loop.
+    pub(crate) fn build(inner: JoinSide<'a>) -> Result<Self, ExecError> {
+        let table_size = inner.len().max(8).next_power_of_two();
+        let mask = (table_size - 1) as u64;
+        let mut heads = vec![NIL; table_size];
+        let mut next = vec![NIL; inner.len()];
+        let mut hashes = vec![0u64; inner.len()];
+        let counters = Counters::default();
+        for (node, &it) in inner.tids.iter().enumerate() {
+            let v = inner.value(it)?;
+            counters.hash_calls(1);
+            let h = value_hash(&v);
+            hashes[node] = h;
+            let bucket = (h & mask) as usize;
+            next[node] = heads[bucket];
+            heads[bucket] = node as u32;
         }
+        Ok(BatchProbeTable {
+            inner,
+            heads,
+            next,
+            hashes,
+            mask,
+            build_stats: counters.snapshot(),
+        })
     }
+
+    /// Probe a contiguous range of the outer side, appending `(outer,
+    /// inner)` pairs to `out` in outer order with per-key matches in
+    /// reverse insertion order. Outer tuples are dereferenced and hashed
+    /// a [`PROBE_BATCH`]-sized morsel at a time; the subsequent probe
+    /// loop touches only the batch, the bucket arrays, and (on full-hash
+    /// agreement) the candidate inner tuple.
+    pub(crate) fn probe_range(
+        &self,
+        outer: JoinSide<'_>,
+        range: std::ops::Range<usize>,
+        out: &mut TempList,
+        counters: &Counters,
+    ) -> Result<(), ExecError> {
+        let mut batch: Vec<(TupleId, u64, Value<'_>)> = Vec::with_capacity(PROBE_BATCH);
+        let mut start = range.start;
+        while start < range.end {
+            let end = (start + PROBE_BATCH).min(range.end);
+            batch.clear();
+            for &ot in &outer.tids[start..end] {
+                let ov = outer.value(ot)?;
+                if probe_eligible(&ov) {
+                    counters.hash_calls(1);
+                    batch.push((ot, value_hash(&ov), ov));
+                }
+            }
+            for (ot, h, ov) in &batch {
+                let mut node = self.heads[(h & self.mask) as usize];
+                while node != NIL {
+                    counters.node_visits(1);
+                    counters.comparisons(1);
+                    if self.hashes[node as usize] == *h {
+                        let it = self.inner.tids[node as usize];
+                        let iv = self.inner.value(it)?;
+                        if ov.total_cmp(&iv) == Ordering::Equal {
+                            out.push_pair(*ot, it)?;
+                        }
+                    }
+                    node = self.next[node as usize];
+                }
+            }
+            start = end;
+        }
+        Ok(())
+    }
+}
+
+/// Join by building a chained-bucket hash table on the inner side and
+/// probing it with batched morsels of outer keys. The returned stats
+/// include the build.
+pub fn hash_join(outer: JoinSide<'_>, inner: JoinSide<'_>) -> Result<JoinOutput, ExecError> {
+    let table = BatchProbeTable::build(inner)?;
+    let counters = Counters::default();
+    let mut out = TempList::new(2);
+    table.probe_range(outer, 0..outer.len(), &mut out, &counters)?;
     Ok(JoinOutput {
         pairs: out,
-        stats: table.stats(),
+        stats: table.build_stats.plus(&counters.snapshot()),
     })
 }
 

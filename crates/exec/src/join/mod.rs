@@ -22,9 +22,10 @@ mod tree;
 mod tree_merge;
 
 pub use hash::hash_join;
-pub(crate) use hash::probe_key;
+pub(crate) use hash::BatchProbeTable;
 pub use nested::{nested_loops_join, theta_nested_loops_join, ThetaOp};
 pub use precomputed::precomputed_join;
+pub(crate) use sort_merge::run_entries;
 pub use sort_merge::sort_merge_join;
 pub use tree::tree_join;
 pub use tree_merge::{tree_ineq_join, tree_merge_join, IneqOp};
@@ -69,13 +70,6 @@ impl<'a> JoinSide<'a> {
     /// Extract this side's join value for a tuple.
     pub fn value(&self, tid: TupleId) -> Result<Value<'a>, StorageError> {
         self.rel.field(tid, self.attr)
-    }
-
-    pub(crate) fn access(&self) -> Access<'a> {
-        Access {
-            rel: self.rel,
-            attr: self.attr,
-        }
     }
 }
 
@@ -139,18 +133,24 @@ pub(crate) trait MergeCursor {
     fn rewind(&mut self, mark: Self::Mark);
 }
 
-/// Cursor over a sorted slice (the array index scan).
+/// Cursor over a sorted slice (the array index scan). Production Sort
+/// Merge now sorts tag pairs and merges them directly (see
+/// [`sort_merge`]); this cursor remains as the simplest [`MergeCursor`]
+/// for exercising the shared kernel in tests.
+#[cfg(test)]
 pub(crate) struct SliceCursor<'a> {
     slice: &'a [TupleId],
     pos: usize,
 }
 
+#[cfg(test)]
 impl<'a> SliceCursor<'a> {
     pub(crate) fn new(slice: &'a [TupleId]) -> Self {
         SliceCursor { slice, pos: 0 }
     }
 }
 
+#[cfg(test)]
 impl MergeCursor for SliceCursor<'_> {
     type Mark = usize;
 

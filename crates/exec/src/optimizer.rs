@@ -146,6 +146,23 @@ impl JoinPlanner {
 /// log₂(|R2|) but larger than 2"), in comparison units.
 pub const HASH_PROBE_COST: f64 = 3.0;
 
+/// Weight of one Sort Merge *sort* comparison relative to the generic
+/// comparison unit the other formulas count in.
+///
+/// The paper's §3.3.4 formula charges the sort's `n·log₂ n` at full
+/// price because its Sort Merge sorts tuple pointers and dereferences a
+/// tuple per comparison. The cache-conscious kernel sorts compact
+/// `(u64 tag, row)` pairs in L2-sized runs instead, so a sort comparison
+/// is an L1-resident integer compare while Tree Join and Hash Join
+/// comparisons still chase tuple pointers. Re-fit against the measured
+/// quick-mode kernels at 4k×4k (`BENCH_baseline.json`):
+/// sort_merge/hash_join ≈ 2.3×, and sort_merge now runs *faster* than
+/// tree_join. With this weight the model gives SortMerge ≈ 11.6 units/row
+/// vs HashJoin 5 and TreeJoin 13 at 4k — both ratios in line with the
+/// measurements (the paper's full-price model had SortMerge at 2×
+/// TreeJoin, inverting the real ordering).
+pub const SORT_CMP_WEIGHT: f64 = 0.4;
+
 impl JoinPlanner {
     /// §3.3.4's comparison-count estimate for a method (build costs
     /// included where the paper charges them).
@@ -164,7 +181,12 @@ impl JoinPlanner {
                 let build = if self.inner.hash { 0.0 } else { r2 };
                 r1 + r1 * HASH_PROBE_COST + build
             }
-            JoinMethod::SortMerge => r1 * lg(r1) + r2 * lg(r2) + r1 + r2,
+            JoinMethod::SortMerge => {
+                // Tag-pair run sort: the n·log n comparisons are cheap
+                // integer compares (see [`SORT_CMP_WEIGHT`]); the final
+                // merge still walks both inputs at full price.
+                SORT_CMP_WEIGHT * (r1 * lg(r1) + r2 * lg(r2)) + r1 + r2
+            }
             JoinMethod::NestedLoops => r1 * r2,
         }
     }
@@ -313,8 +335,12 @@ mod tests {
 
     #[test]
     fn cost_formulas_reproduce_test1_ordering() {
-        // Graph 4 at |R1| = |R2| = 30k: TreeMerge < HashJoin < TreeJoin <
-        // SortMerge ≪ NestedLoops.
+        // Graph 4's ordering at |R1| = |R2| = 30k, with one deliberate
+        // departure: the cache-conscious tag sort moves Sort Merge below
+        // Tree Join (the paper's pointer-sorting Sort Merge was the
+        // slowest fair method; ours measures faster than Tree Join, and
+        // the re-fit [`SORT_CMP_WEIGHT`] model agrees):
+        // TreeMerge < HashJoin < SortMerge < TreeJoin ≪ NestedLoops.
         let p = planner(30_000, 30_000);
         let tm = p.estimated_comparisons(JoinMethod::TreeMerge);
         let hj = p.estimated_comparisons(JoinMethod::HashJoin);
@@ -322,9 +348,24 @@ mod tests {
         let sm = p.estimated_comparisons(JoinMethod::SortMerge);
         let nl = p.estimated_comparisons(JoinMethod::NestedLoops);
         assert!(tm < hj, "{tm} < {hj}");
-        assert!(hj < tj, "{hj} < {tj}");
-        assert!(tj < sm, "{tj} < {sm}");
-        assert!(sm < nl / 100.0, "{sm} ≪ {nl}");
+        assert!(hj < sm, "{hj} < {sm}");
+        assert!(sm < tj, "{sm} < {tj}");
+        assert!(tj < nl / 100.0, "{tj} ≪ {nl}");
+    }
+
+    #[test]
+    fn refit_sort_merge_tracks_measured_kernel_ratios() {
+        // The quick-mode bench at 4k×4k measures sort_merge ≈ 1.9–2.7×
+        // hash_join; the re-fit model must land in that band (the paper's
+        // full-price sort term put it at 5.2×).
+        let p = planner(4_096, 4_096);
+        let hj = p.estimated_comparisons(JoinMethod::HashJoin);
+        let sm = p.estimated_comparisons(JoinMethod::SortMerge);
+        let ratio = sm / hj;
+        assert!(
+            (1.5..=3.0).contains(&ratio),
+            "sort_merge/hash_join model ratio {ratio}"
+        );
     }
 
     #[test]

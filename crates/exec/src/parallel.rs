@@ -9,25 +9,60 @@
 //!
 //! **Determinism rule:** every parallel operator must return *bit-identical
 //! output* to its serial counterpart. Work is split into ordered units
-//! (relation partitions for scans, contiguous input chunks for probes and
-//! dedup), each unit's result is produced independently, and the units are
-//! merged back **in unit order** on the coordinating thread. Where a
-//! shared read-only structure is needed (the hash-join build table), it is
-//! built serially in the exact insertion order of the serial operator, so
-//! per-key match order (reverse insertion, the chained-bucket contract) is
-//! preserved.
+//! (byte-sized morsels of partitions for scans, contiguous input chunks
+//! for probes and dedup), each unit's result is produced independently,
+//! and the units are merged back **in unit order** on the coordinating
+//! thread. Where a shared read-only structure is needed (the hash-join
+//! build table), it is built serially in the exact insertion order of the
+//! serial operator, so per-key match order (reverse insertion, the
+//! chained-bucket contract) is preserved.
+//!
+//! **Paying for itself:** fanning out only wins when the work outweighs
+//! thread spawn + merge overhead, so dispatch is gated and sized in
+//! *bytes* of estimated working set, not tuple or partition counts:
+//!
+//! * inputs under [`ExecConfig::parallel_threshold`] bytes run inline on
+//!   the calling thread (dop is ignored — the work fits one core);
+//! * above it, work splits into ~[`MORSEL_BYTES`] units pulled from a
+//!   shared counter, so uneven units balance automatically;
+//! * the calling thread is itself worker zero — only `workers - 1`
+//!   threads are spawned, capped at the machine's available parallelism
+//!   (extra workers on a saturated host are pure context-switch overhead).
 //!
 //! `dop = 1` never spawns a thread: callers (and [`run_chunks`] itself)
 //! fall straight through to the serial code path.
 
 use crate::error::ExecError;
-use crate::join::{hash_join, theta_nested_loops_join, JoinOutput, JoinSide, ThetaOp};
+use crate::join::{
+    hash_join, theta_nested_loops_join, BatchProbeTable, JoinOutput, JoinSide, ThetaOp,
+};
 use crate::project::{hash_row, project_hash, row_values_into, rows_equal, ProjectOutput};
-use crate::select::{select_scan, Predicate};
+use crate::select::{select_scan_iter, Predicate};
 use mmdb_index::stats::{Counters, Snapshot};
-use mmdb_storage::{value_hash, KeyValue, Relation, ResultDescriptor, TempList, TupleId};
+use mmdb_storage::{Relation, ResultDescriptor, TempList, TupleId};
 use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::Mutex;
+
+/// Target working-set bytes of one parallel work unit (morsel): sized to
+/// sit comfortably in a core's L2 slice, so a worker streams through its
+/// morsel without round-trips to shared cache between units.
+pub const MORSEL_BYTES: usize = 256 * 1024;
+
+/// Default [`ExecConfig::parallel_threshold`]: inputs whose estimated
+/// working set fits a single core's private cache hierarchy run inline —
+/// at this size thread spawn + merge overhead reliably exceeds any
+/// speedup, on any host.
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 1024 * 1024;
+
+/// Rough bytes one tuple contributes to an operator's working set: the
+/// tuple-pointer bookkeeping plus the slice of tuple storage a
+/// dereference actually touches (about a cache line).
+pub(crate) const APPROX_TUPLE_BYTES: usize = 64;
+
+/// Estimated working-set bytes of scanning/probing `n` tuples.
+pub(crate) fn approx_scan_bytes(n: usize) -> usize {
+    n.saturating_mul(APPROX_TUPLE_BYTES)
+}
 
 /// Degree-of-parallelism knob threaded through `Database::select`,
 /// `Database::join`, and `QueryBuilder::run`.
@@ -36,9 +71,9 @@ pub struct ExecConfig {
     /// Number of worker threads operators may use. `1` means strictly
     /// serial execution on the calling thread (the paper's code path).
     pub dop: usize,
-    /// Inputs smaller than this many tuples run serially even when
-    /// `dop > 1` (thread spawn + merge overhead dwarfs small inputs).
-    /// `0` disables the floor.
+    /// Inputs whose estimated working set is smaller than this many
+    /// **bytes** run serially even when `dop > 1` (thread spawn + merge
+    /// overhead dwarfs cache-resident inputs). `0` disables the floor.
     pub parallel_threshold: usize,
     /// Consult the plan-keyed intermediate-result reuse cache. Off by
     /// default: cached reads substitute whole plan subtrees, which
@@ -48,11 +83,12 @@ pub struct ExecConfig {
 }
 
 impl Default for ExecConfig {
-    /// Default to the machine's available parallelism.
+    /// Default to the machine's available parallelism, with the
+    /// [`DEFAULT_PARALLEL_THRESHOLD`] bytes floor.
     fn default() -> Self {
         ExecConfig {
-            dop: std::thread::available_parallelism().map_or(1, usize::from),
-            parallel_threshold: 0,
+            dop: available_workers(),
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
             cache: false,
         }
     }
@@ -69,7 +105,9 @@ impl ExecConfig {
         }
     }
 
-    /// Explicit degree of parallelism (clamped to at least 1).
+    /// Explicit degree of parallelism (clamped to at least 1) with no
+    /// byte floor — fan-out happens on any non-empty input, which is what
+    /// the determinism tests want.
     #[must_use]
     pub fn with_dop(dop: usize) -> Self {
         ExecConfig {
@@ -95,21 +133,31 @@ impl ExecConfig {
         self.dop > 1
     }
 
-    /// True when an operator over `input_len` tuples should fan out:
-    /// `dop > 1` and the input is at least [`parallel_threshold`] tuples.
+    /// True when an operator with an `approx_bytes` working-set estimate
+    /// should fan out: `dop > 1` and the estimate is at least
+    /// [`parallel_threshold`] bytes.
     ///
     /// [`parallel_threshold`]: ExecConfig::parallel_threshold
     #[must_use]
-    pub fn parallel_for(&self, input_len: usize) -> bool {
-        self.is_parallel() && input_len >= self.parallel_threshold
+    pub fn parallel_for(&self, approx_bytes: usize) -> bool {
+        self.is_parallel() && approx_bytes >= self.parallel_threshold
     }
 }
 
-/// Run `tasks` independent work units on up to `dop` scoped workers and
-/// return their results **in task order**. Workers pull task indices from
-/// a shared atomic counter (morsel dispatch), so uneven units balance
-/// automatically. With `dop <= 1` or a single task, everything runs
-/// inline on the calling thread.
+/// The machine's available parallelism (cached: the pool consults it on
+/// every dispatch to avoid spawning workers that can never run).
+fn available_workers() -> usize {
+    static HW: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *HW.get_or_init(|| std::thread::available_parallelism().map_or(1, usize::from))
+}
+
+/// Run `tasks` independent work units on up to `dop` workers and return
+/// their results **in task order**. Workers pull task indices from a
+/// shared atomic counter (morsel dispatch), so uneven units balance
+/// automatically. The calling thread participates as worker zero and only
+/// `workers - 1` threads are spawned, with `workers` capped at the
+/// machine's available parallelism; with one effective worker (or a
+/// single task) everything runs inline with no spawn at all.
 fn run_tasks<T, F>(tasks: usize, dop: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -128,30 +176,33 @@ where
     S: Default,
     F: Fn(&mut S, usize) -> T + Sync,
 {
-    let workers = dop.min(tasks);
+    let workers = dop.min(tasks).min(available_workers());
     if workers <= 1 {
         let mut scratch = S::default();
         return (0..tasks).map(|i| f(&mut scratch, i)).collect();
     }
     let next = AtomicUsize::new(0);
     let slots: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(tasks));
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                let mut scratch = S::default();
-                loop {
-                    let i = next.fetch_add(1, AtomicOrdering::Relaxed);
-                    if i >= tasks {
-                        break;
-                    }
-                    let result = f(&mut scratch, i);
-                    slots
-                        .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner)
-                        .push((i, result));
-                }
-            });
+    let work = |_w: usize| {
+        let mut scratch = S::default();
+        loop {
+            let i = next.fetch_add(1, AtomicOrdering::Relaxed);
+            if i >= tasks {
+                break;
+            }
+            let result = f(&mut scratch, i);
+            slots
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push((i, result));
         }
+    };
+    std::thread::scope(|scope| {
+        // The caller is worker 0; helpers spin up only for the rest.
+        for w in 1..workers {
+            scope.spawn(move || work(w));
+        }
+        work(0);
     });
     let collected = slots
         .into_inner()
@@ -172,13 +223,13 @@ pub fn merge_indexed<T>(mut tagged: Vec<(usize, T)>) -> Vec<T> {
     tagged.into_iter().map(|(_, r)| r).collect()
 }
 
-/// Split `len` items into at most `dop` contiguous ranges of near-equal
-/// size, in order. Returns an empty list for an empty input.
-fn chunk_ranges(len: usize, dop: usize) -> Vec<std::ops::Range<usize>> {
+/// Split `len` items into exactly `min(chunks, len)` contiguous ranges of
+/// near-equal size, in order. Returns an empty list for an empty input.
+fn chunk_ranges(len: usize, chunks: usize) -> Vec<std::ops::Range<usize>> {
     if len == 0 {
         return Vec::new();
     }
-    let chunks = dop.max(1).min(len);
+    let chunks = chunks.max(1).min(len);
     let base = len / chunks;
     let extra = len % chunks;
     let mut out = Vec::with_capacity(chunks);
@@ -191,8 +242,28 @@ fn chunk_ranges(len: usize, dop: usize) -> Vec<std::ops::Range<usize>> {
     out
 }
 
-/// Fan chunked work over the pool and merge per-chunk `TempList`s (plus
-/// per-chunk stats) in chunk order.
+/// How many morsels to cut `len` items of `item_bytes` each into:
+/// one per [`MORSEL_BYTES`] of estimated working set, but at least one
+/// per worker (so everyone has work) and at most 8 per worker (so the
+/// ordered merge stays cheap while the shared counter still balances
+/// uneven units).
+fn morsel_count(len: usize, item_bytes: usize, dop: usize) -> usize {
+    if len == 0 {
+        return 0;
+    }
+    let dop = dop.max(1);
+    let by_bytes = len.saturating_mul(item_bytes).div_ceil(MORSEL_BYTES);
+    by_bytes.clamp(dop, dop.saturating_mul(8)).min(len)
+}
+
+/// Byte-sized morsels over `len` items: [`chunk_ranges`] with the chunk
+/// count chosen by [`morsel_count`].
+fn morsel_ranges(len: usize, item_bytes: usize, dop: usize) -> Vec<std::ops::Range<usize>> {
+    chunk_ranges(len, morsel_count(len, item_bytes, dop))
+}
+
+/// Fan byte-sized morsels of work over the pool and merge per-morsel
+/// `TempList`s (plus per-morsel stats) in morsel order.
 fn run_chunks<F>(
     arity: usize,
     len: usize,
@@ -202,7 +273,7 @@ fn run_chunks<F>(
 where
     F: Fn(std::ops::Range<usize>) -> Result<(TempList, Snapshot), ExecError> + Sync,
 {
-    let ranges = chunk_ranges(len, dop);
+    let ranges = morsel_ranges(len, APPROX_TUPLE_BYTES, dop);
     let results = run_tasks(ranges.len(), dop, |c| f(ranges[c].clone()));
     let mut lists = Vec::with_capacity(results.len());
     let mut stats = Snapshot::default();
@@ -214,134 +285,66 @@ where
     Ok((TempList::merged(arity, lists)?, stats))
 }
 
-/// Parallel selection scan: one work unit per partition of `rel`, each
-/// unit walking its partition's live slots in slot order; per-partition
+/// Parallel selection scan: contiguous groups of partitions are bundled
+/// into byte-sized morsels (a partition is often far smaller than a
+/// morsel), each unit walking its partitions' live slots in slot order;
 /// results merge in partition order. Output is identical to
-/// [`select_scan`] over [`Relation::tids`].
+/// [`select_scan`](crate::select::select_scan) over [`Relation::tids`].
 pub fn parallel_select_scan(
     rel: &Relation,
     attr: usize,
     pred: &Predicate,
     cfg: ExecConfig,
 ) -> Result<TempList, ExecError> {
-    if !cfg.parallel_for(rel.len()) {
-        let mut tids: Vec<TupleId> = Vec::with_capacity(rel.len());
-        tids.extend(rel.iter_tids());
-        return select_scan(rel, attr, &tids, pred);
+    if !cfg.parallel_for(approx_scan_bytes(rel.len())) {
+        return select_scan_iter(rel, attr, rel.iter_tids(), pred);
     }
     let parts = rel.partition_count();
+    // Bundle partitions so one task's working set is ~MORSEL_BYTES
+    // (estimated from the average partition population).
+    let part_bytes = approx_scan_bytes(rel.len()).div_ceil(parts.max(1));
+    let groups = morsel_ranges(parts, part_bytes.max(1), cfg.dop);
     // Each worker reuses one hit buffer across the partitions it scans
-    // (cleared per partition, capacity kept); the result is copied out at
-    // the exact final size, so partitions never pay geometric growth.
-    let scan_one = |hits: &mut Vec<TupleId>, p: usize| -> Result<TempList, ExecError> {
+    // (cleared per group, capacity kept); the result is copied out at
+    // the exact final size, so groups never pay geometric growth.
+    let scan_group = |hits: &mut Vec<TupleId>, g: usize| -> Result<TempList, ExecError> {
         hits.clear();
-        for tid in rel.tids_in_partition(p as u32)? {
-            let v = rel.field(tid, attr)?;
-            if pred.matches(&v) {
-                hits.push(tid);
+        for p in groups[g].clone() {
+            for tid in rel.tids_in_partition(p as u32)? {
+                let v = rel.field(tid, attr)?;
+                if pred.matches(&v) {
+                    hits.push(tid);
+                }
             }
         }
         Ok(TempList::from_tids(hits.as_slice().to_vec()))
     };
-    let results = run_tasks_scratch(parts, cfg.dop, scan_one);
-    let mut lists = Vec::with_capacity(parts);
+    let results = run_tasks_scratch(groups.len(), cfg.dop, scan_group);
+    let mut lists = Vec::with_capacity(results.len());
     for r in results {
         lists.push(r?);
     }
     Ok(TempList::merged(1, lists)?)
 }
 
-/// Read-only chained-bucket probe table, shareable across worker threads.
-///
-/// [`mmdb_index::ChainedBucketHash`] keeps interior-mutable counters
-/// (`Cell`), so it is not `Sync`; this table replicates its *observable*
-/// semantics for probing — prepend-on-insert chains walked head-first, so
-/// per-key matches come back in reverse insertion order — with plain
-/// owned arrays.
-struct ProbeTable<'a> {
-    inner: JoinSide<'a>,
-    heads: Vec<u32>,
-    next: Vec<u32>,
-    mask: u64,
-    build_stats: Snapshot,
-}
-
-const NIL: u32 = u32::MAX;
-
-impl<'a> ProbeTable<'a> {
-    /// Build on the inner side, inserting `inner.tids` in order exactly
-    /// like the serial [`hash_join`] build loop.
-    fn build(inner: JoinSide<'a>) -> Result<Self, ExecError> {
-        let table_size = inner.len().max(8).next_power_of_two();
-        let mask = (table_size - 1) as u64;
-        let mut heads = vec![NIL; table_size];
-        let mut next = vec![NIL; inner.len()];
-        let counters = Counters::default();
-        for (node, &it) in inner.tids.iter().enumerate() {
-            let v = inner.value(it)?;
-            counters.hash_calls(1);
-            let bucket = (value_hash(&v) & mask) as usize;
-            next[node] = heads[bucket];
-            heads[bucket] = node as u32;
-        }
-        Ok(ProbeTable {
-            inner,
-            heads,
-            next,
-            mask,
-            build_stats: counters.snapshot(),
-        })
-    }
-
-    /// Append all inner matches for `key` to `out` (reverse insertion
-    /// order, matching `ChainedBucketHash::search_all`).
-    fn probe_into(
-        &self,
-        ot: TupleId,
-        key: &KeyValue,
-        out: &mut TempList,
-        counters: &Counters,
-    ) -> Result<(), ExecError> {
-        counters.hash_calls(1);
-        let bucket = (key.hash() & self.mask) as usize;
-        let mut node = self.heads[bucket];
-        while node != NIL {
-            counters.node_visits(1);
-            let it = self.inner.tids[node as usize];
-            let iv = self.inner.value(it)?;
-            counters.comparisons(1);
-            if key.cmp_value(&iv) == std::cmp::Ordering::Equal {
-                out.push_pair(ot, it)?;
-            }
-            node = self.next[node as usize];
-        }
-        Ok(())
-    }
-}
-
 /// Parallel hash join: build the chained-bucket table on the inner side
-/// once (serially, in serial insertion order), then probe contiguous
-/// chunks of the outer side concurrently. Pair output is identical to
-/// [`hash_join`]: outer order, with per-key matches in reverse insertion
-/// order.
+/// once (serially, in serial insertion order), then probe byte-sized
+/// morsels of the outer side concurrently with the batched probe kernel.
+/// Pair output is identical to [`hash_join`]: outer order, with per-key
+/// matches in reverse insertion order.
 pub fn parallel_hash_join(
     outer: JoinSide<'_>,
     inner: JoinSide<'_>,
     cfg: ExecConfig,
 ) -> Result<JoinOutput, ExecError> {
-    if !cfg.parallel_for(outer.len()) {
+    if !cfg.parallel_for(approx_scan_bytes(outer.len())) {
         return hash_join(outer, inner);
     }
-    let table = ProbeTable::build(inner)?;
+    let table = BatchProbeTable::build(inner)?;
     let (pairs, probe_stats) = run_chunks(2, outer.len(), cfg.dop, |range| {
         let counters = Counters::default();
         let mut out = TempList::with_capacity(2, range.len().min(1024));
-        for &ot in &outer.tids[range] {
-            let ov = outer.value(ot)?;
-            if let Some(key) = crate::join::probe_key(&ov) {
-                table.probe_into(ot, &key, &mut out, &counters)?;
-            }
-        }
+        table.probe_range(outer, range, &mut out, &counters)?;
         Ok((out, counters.snapshot()))
     })?;
     Ok(JoinOutput {
@@ -353,14 +356,20 @@ pub fn parallel_hash_join(
 /// Parallel theta (nested-loops) join: the fallback for non-equi
 /// predicates. Contiguous chunks of the outer side each scan the full
 /// inner side; chunk results merge in order, so output is identical to
-/// [`theta_nested_loops_join`].
+/// [`theta_nested_loops_join`]. The working-set estimate multiplies the
+/// sides (each outer tuple rescans the inner relation), so even a small
+/// outer side fans out when the cross product is heavy.
 pub fn parallel_theta_join(
     outer: JoinSide<'_>,
     inner: JoinSide<'_>,
     op: ThetaOp,
     cfg: ExecConfig,
 ) -> Result<JoinOutput, ExecError> {
-    if !cfg.parallel_for(outer.len()) {
+    let work_bytes = outer
+        .len()
+        .saturating_mul(inner.len())
+        .saturating_mul(std::mem::size_of::<TupleId>());
+    if !cfg.parallel_for(work_bytes) {
         return theta_nested_loops_join(outer, inner, op);
     }
     let (pairs, stats) = run_chunks(2, outer.len(), cfg.dop, |range| {
@@ -390,14 +399,17 @@ pub fn parallel_nested_loops_join(
     parallel_theta_join(outer, inner, ThetaOp::Eq, cfg)
 }
 
+/// Chain terminator in the dedup hash tables below.
+const NIL: u32 = u32::MAX;
+
 /// Survivors of one chunk's local dedup: global row indices, in order.
 struct ChunkSurvivors {
     rows: Vec<u32>,
     stats: Snapshot,
 }
 
-/// Parallel duplicate elimination: each worker hash-dedups one contiguous
-/// chunk of rows locally (first occurrence kept, like the serial \[DKO84\]
+/// Parallel duplicate elimination: each worker hash-dedups one byte-sized
+/// morsel of rows locally (first occurrence kept, like the serial \[DKO84\]
 /// table), then a single-threaded merge re-dedups the survivors in chunk
 /// order. First-occurrence-in-input-order semantics — and therefore the
 /// exact output rows and order of [`project_hash`] — are preserved.
@@ -407,11 +419,11 @@ pub fn parallel_project_hash(
     sources: &[&Relation],
     cfg: ExecConfig,
 ) -> Result<ProjectOutput, ExecError> {
-    if !cfg.parallel_for(list.len()) {
+    if !cfg.parallel_for(approx_scan_bytes(list.len())) {
         return project_hash(list, desc, sources);
     }
     let n = list.len();
-    let ranges = chunk_ranges(n, cfg.dop);
+    let ranges = morsel_ranges(n, APPROX_TUPLE_BYTES, cfg.dop);
     let dedup_chunk = |c: usize| -> Result<ChunkSurvivors, ExecError> {
         let range = ranges[c].clone();
         let counters = Counters::default();
@@ -495,7 +507,10 @@ mod tests {
     use super::*;
     use crate::join::fixtures::{expected_pairs, normalize, random_values, rel_with_values};
     use crate::project::project_hash;
-    use mmdb_storage::{AttrType, OutputField, OwnedValue, PartitionConfig, Schema, StorageError};
+    use crate::select::select_scan;
+    use mmdb_storage::{
+        AttrType, KeyValue, OutputField, OwnedValue, PartitionConfig, Schema, StorageError,
+    };
 
     fn many_partition_rel(values: &[i64]) -> (Relation, Vec<TupleId>) {
         let schema = Schema::of(&[("pk", AttrType::Int), ("jcol", AttrType::Int)]);
@@ -514,10 +529,41 @@ mod tests {
     #[test]
     fn chunk_ranges_cover_and_order() {
         assert!(chunk_ranges(0, 4).is_empty());
-        for (len, dop) in [(1, 4), (7, 3), (100, 8), (5, 1), (8, 8), (3, 16)] {
-            let ranges = chunk_ranges(len, dop);
-            assert!(ranges.len() <= dop.max(1));
+        for (len, chunks) in [(1, 4), (7, 3), (100, 8), (5, 1), (8, 8), (3, 16)] {
+            let ranges = chunk_ranges(len, chunks);
+            assert!(ranges.len() <= chunks.max(1));
             let flat: Vec<usize> = ranges.iter().cloned().flatten().collect();
+            assert_eq!(
+                flat,
+                (0..len).collect::<Vec<_>>(),
+                "len={len} chunks={chunks}"
+            );
+        }
+    }
+
+    #[test]
+    fn morsel_count_tracks_bytes_and_workers() {
+        assert_eq!(morsel_count(0, 64, 4), 0);
+        // Tiny input: still one morsel per worker at most, never > len.
+        assert_eq!(morsel_count(3, 64, 8), 3);
+        // Input far larger than a morsel: byte-driven count.
+        let n = 100_000;
+        let c = morsel_count(n, 64, 4);
+        assert!(c >= 4, "at least one per worker");
+        assert!(c <= 32, "at most 8 per worker, got {c}");
+        // Morsel size larger than the whole input: one unit per worker.
+        assert_eq!(morsel_count(100, 64, 2), 2);
+        // Ranges always cover the input exactly.
+        for (len, bytes, dop) in [
+            (1, 1, 8),
+            (17, 64, 3),
+            (100_000, 64, 4),
+            (5, 1024 * 1024, 2),
+        ] {
+            let flat: Vec<usize> = morsel_ranges(len, bytes, dop)
+                .into_iter()
+                .flatten()
+                .collect();
             assert_eq!(flat, (0..len).collect::<Vec<_>>(), "len={len} dop={dop}");
         }
     }
@@ -531,6 +577,10 @@ mod tests {
     #[test]
     fn default_config_uses_available_parallelism() {
         assert!(ExecConfig::default().dop >= 1);
+        assert_eq!(
+            ExecConfig::default().parallel_threshold,
+            DEFAULT_PARALLEL_THRESHOLD
+        );
         assert!(!ExecConfig::serial().is_parallel());
         assert_eq!(ExecConfig::with_dop(0).dop, 1);
     }
@@ -550,16 +600,22 @@ mod tests {
     }
 
     #[test]
-    fn parallel_threshold_gates_fan_out() {
+    fn parallel_threshold_gates_fan_out_by_bytes() {
         let cfg = ExecConfig {
             dop: 8,
-            parallel_threshold: 100,
+            parallel_threshold: 4096,
             cache: false,
         };
-        assert!(!cfg.parallel_for(99));
-        assert!(cfg.parallel_for(100));
+        assert!(!cfg.parallel_for(4095));
+        assert!(cfg.parallel_for(4096));
+        // The default floor keeps cache-resident inputs serial: 10k tuples
+        // estimate under 1 MiB, so a 10k-row scan never fans out …
+        let auto = ExecConfig::default().override_dop(8);
+        assert!(!auto.parallel_for(approx_scan_bytes(10_000)));
+        // … while a 100k-row scan does.
+        assert!(auto.parallel_for(approx_scan_bytes(100_000)));
         assert!(ExecConfig::with_dop(8).parallel_for(0), "0 = no floor");
-        assert!(!ExecConfig::serial().parallel_for(1_000_000));
+        assert!(!ExecConfig::serial().parallel_for(usize::MAX));
     }
 
     #[test]

@@ -4,7 +4,11 @@
 //! [`PlannedQuery`]: an annotated physical-plan tree with a chosen access
 //! path per selection (§4), a chosen method per join, filter placement,
 //! and join order. Estimates are §3.3.4 *comparison counts* via
-//! [`JoinPlanner::estimated_comparisons`].
+//! [`JoinPlanner::estimated_comparisons`], with the Sort Merge sort term
+//! re-fit to the cache-conscious tag-sort kernel (see
+//! [`crate::optimizer::SORT_CMP_WEIGHT`]): its `n·log n` comparisons are
+//! L1-resident integer compares, cheaper than the tuple-dereferencing
+//! comparisons the other methods count.
 //!
 //! Method choice is **cost-minimal over feasible methods**, with the §4
 //! preference order (Precomputed < TreeMerge < TreeJoin < HashJoin <

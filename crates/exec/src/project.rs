@@ -9,8 +9,9 @@
 //! * **Hashing** \[DKO84\] — the winner: a chained table of size |R|/2,
 //!   duplicates "discarded as they are encountered", so heavy duplication
 //!   *speeds it up* (Graph 12);
-//! * **Sort Scan** \[BBD83\] — sort the rows (quicksort + insertion sort),
-//!   scan, drop adjacent equals; O(|R| log |R|) regardless of duplicates.
+//! * **Sort Scan** \[BBD83\] — sort compact `(order-tag, row)` pairs with
+//!   the cache-conscious run sort, scan, drop adjacent equals;
+//!   O(|R| log |R|) regardless of duplicates.
 
 use crate::error::ExecError;
 use mmdb_index::sort;
@@ -28,17 +29,8 @@ pub struct ProjectOutput {
     pub stats: Snapshot,
 }
 
-/// Materialize the projected field values of row `i` (borrowed).
-pub(crate) fn row_values<'a>(
-    list: &TempList,
-    i: usize,
-    desc: &ResultDescriptor,
-    sources: &[&'a Relation],
-) -> Result<Vec<Value<'a>>, ExecError> {
-    Ok(list.materialize_row(i, desc, sources)?)
-}
-
-/// [`row_values`] into a reused scratch buffer (cleared first) — the
+/// Materialize the projected field values of row `i` (borrowed) into a
+/// reused scratch buffer (cleared first) — the
 /// dedup loops call this once per row and once per chain visit, so the
 /// buffer turns two allocations per visited row into zero.
 pub(crate) fn row_values_into<'a>(
@@ -142,9 +134,16 @@ pub fn project_hash_sized(
     })
 }
 
-/// Duplicate elimination by Sort Scan \[BBD83\]: sort row indices by the
-/// projected values with the paper's quicksort, then scan dropping
-/// adjacent duplicates.
+/// Duplicate elimination by Sort Scan \[BBD83\]: sort `(tag, row)` pairs
+/// with the cache-conscious run sort, then scan dropping adjacent
+/// duplicates.
+///
+/// The projected values are materialized once into a single flat
+/// row-major buffer (one allocation, not one per row) and summarized by
+/// the first column's monotone order tag; the sort works over compact
+/// 16-byte pairs and touches the value buffer only on tag ties. Equal
+/// rows order by row index, so the surviving (first) row of each
+/// duplicate group is deterministic.
 pub fn project_sort(
     list: &TempList,
     desc: &ResultDescriptor,
@@ -152,34 +151,65 @@ pub fn project_sort(
 ) -> Result<ProjectOutput, ExecError> {
     let counters = Counters::default();
     let n = list.len();
-    // Materialize the projected values once; the sort then compares
-    // borrowed values (the paper sorted an array index over the relation).
-    let mut materialized = Vec::with_capacity(n);
+    let w = desc.width();
+    // Flat row-major value buffer: row i is flat[i*w .. (i+1)*w].
+    let mut flat: Vec<Value<'_>> = Vec::with_capacity(n * w);
+    let mut scratch: Vec<Value<'_>> = Vec::with_capacity(w);
+    // The order tag is *exact* (injective and order-identical to the
+    // value) for a single integer or pointer column — the common dedup
+    // shape — letting the sort and the adjacent-equality scan run
+    // entirely over the compact pairs, never touching the value buffer.
+    let mut all_int = w == 1;
+    let mut all_ptr = w == 1;
     for i in 0..n {
-        materialized.push(row_values(list, i, desc, sources)?);
+        row_values_into(list, i, desc, sources, &mut scratch)?;
+        match scratch.first() {
+            Some(Value::Int(_)) => all_ptr = false,
+            Some(Value::Ptr(_)) => all_int = false,
+            _ => {
+                all_int = false;
+                all_ptr = false;
+            }
+        }
+        flat.append(&mut scratch);
     }
-    let mut order: Vec<u32> = (0..n as u32).collect();
-    sort::quicksort(&mut order, &counters, |a, b| {
-        rows_cmp(
-            &materialized[*a as usize],
-            &materialized[*b as usize],
-            &counters,
-        )
-    });
+    let exact_tags = all_int || all_ptr;
+    let row = |i: u32| &flat[i as usize * w..(i as usize + 1) * w];
+    let mut entries: Vec<(u64, u32)> = (0..n as u32)
+        .map(|i| {
+            let tag = row(i).first().map_or(0, mmdb_storage::value_order_tag);
+            (tag, i)
+        })
+        .collect();
+    let run_len = crate::join::run_entries::<(u64, u32)>();
+    if exact_tags {
+        sort::run_sort(&mut entries, run_len, &counters, &mut |a, b| {
+            a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1))
+        });
+    } else {
+        sort::run_sort(&mut entries, run_len, &counters, &mut |a, b| {
+            a.0.cmp(&b.0)
+                .then_with(|| rows_cmp(row(a.1), row(b.1), &counters))
+                .then_with(|| a.1.cmp(&b.1))
+        });
+    }
     let mut out = TempList::with_capacity(list.arity(), n.min(1024));
-    let mut prev: Option<u32> = None;
-    for &i in &order {
+    let mut prev: Option<(u64, u32)> = None;
+    for &(tag, i) in &entries {
         let dup = match prev {
-            Some(p) => rows_equal(
-                &materialized[p as usize],
-                &materialized[i as usize],
-                &counters,
-            ),
+            Some((ptag, p)) => {
+                if exact_tags {
+                    counters.comparisons(1);
+                    ptag == tag
+                } else {
+                    ptag == tag && rows_equal(row(p), row(i), &counters)
+                }
+            }
             None => false,
         };
         if !dup {
             out.push(list.row(i as usize))?;
-            prev = Some(i);
+            prev = Some((tag, i));
         }
     }
     Ok(ProjectOutput {

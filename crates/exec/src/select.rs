@@ -165,8 +165,20 @@ pub fn select_scan(
     tids: &[TupleId],
     pred: &Predicate,
 ) -> Result<TempList, ExecError> {
-    let mut out = Vec::with_capacity(tids.len().min(1024));
-    for &tid in tids {
+    select_scan_iter(rel, attr, tids.iter().copied(), pred)
+}
+
+/// [`select_scan`] over any tuple-id iterator — lets callers scan a
+/// relation's live tuples (`Relation::iter_tids`) without first
+/// materializing the id list.
+pub fn select_scan_iter(
+    rel: &Relation,
+    attr: usize,
+    tids: impl IntoIterator<Item = TupleId>,
+    pred: &Predicate,
+) -> Result<TempList, ExecError> {
+    let mut out = Vec::with_capacity(1024);
+    for tid in tids {
         let v = rel.field(tid, attr)?;
         if pred.matches(&v) {
             out.push(tid);

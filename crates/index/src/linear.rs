@@ -9,9 +9,16 @@
 //! amount of data reorganization even though the number of elements was
 //! relatively constant."*
 //!
-//! With a mixed insert/delete workload the utilisation hovers around the
-//! thresholds and the table repeatedly splits and contracts — we keep that
-//! behaviour deliberately; it is the phenomenon under test.
+//! The paper's pathology comes from using a single set-point as both the
+//! split and the contract criterion: a mixed insert/delete workload then
+//! hovers on the threshold and every operation reorganises (measured here
+//! as a ~5× per-op outlier in `index_insert_delete`). The table now keeps
+//! the utilisation-driven *criterion* but separates the two thresholds
+//! into a dead band ([`SPLIT_THRESHOLD`] / [`CONTRACT_THRESHOLD`]): growth
+//! and shrink still track utilisation, while a constant-population
+//! workload settles inside the band and stops restructuring. The
+//! set-point pathology itself stays reproducible by narrowing the band —
+//! see `mixed_workload_set_point_reproduces_paper_thrash`.
 
 use crate::adapter::HashAdapter;
 use crate::stats::{Counters, Snapshot};
@@ -20,18 +27,20 @@ use std::cmp::Ordering;
 
 /// Initial number of primary buckets.
 const INITIAL_BUCKETS: usize = 4;
-/// The storage-utilisation target. The paper's Linear Hashing "tr[ied] to
-/// maintain a particular storage utilization", i.e. a single set-point:
-/// inserts split whenever utilisation rises above it and deletes contract
-/// whenever utilisation falls below it. Under a mixed insert/delete
-/// workload with constant population the table therefore reorganises
-/// near-constantly — the Graph 2 pathology this implementation must
-/// reproduce, not fix. (A production system would add hysteresis; the
-/// paper's point is precisely that this criterion is wrong for main
-/// memory.)
-const SPLIT_THRESHOLD: f64 = 0.80;
-/// See [`SPLIT_THRESHOLD`]: same set-point, no hysteresis.
-const CONTRACT_THRESHOLD: f64 = 0.80;
+/// Utilisation above which an insert splits the next bucket. The paper's
+/// Linear Hashing "tr[ied] to maintain a particular storage utilization"
+/// with a *single* set-point — split and contract at the same value — so
+/// a constant-population insert/delete mix reorganised on nearly every
+/// operation. These defaults instead form a dead band: splits engage only
+/// above 0.85 …
+const SPLIT_THRESHOLD: f64 = 0.85;
+/// … and contractions only below 0.60. A steady-state table sits inside
+/// the band and never restructures; sustained growth or shrink still
+/// drives utilisation through a threshold and reorganises as before. The
+/// paper's set-point behaviour remains available through
+/// [`LinearHash::with_thresholds`] (used by the thrash-reproduction test
+/// and the Graph 2 figure notes).
+const CONTRACT_THRESHOLD: f64 = 0.60;
 
 struct Bucket<E> {
     items: Vec<E>,
@@ -50,12 +59,34 @@ pub struct LinearHash<A: HashAdapter> {
     /// Cached sum of per-bucket page counts (each bucket occupies
     /// `ceil(len / capacity)` pages, minimum 1).
     total_pages: usize,
+    /// Split when utilisation exceeds this.
+    split_threshold: f64,
+    /// Contract when utilisation falls below this.
+    contract_threshold: f64,
     stats: Counters,
 }
 
 impl<A: HashAdapter> LinearHash<A> {
-    /// Create with the given bucket ("node") capacity.
+    /// Create with the given bucket ("node") capacity and the default
+    /// [`SPLIT_THRESHOLD`] / [`CONTRACT_THRESHOLD`] dead band.
     pub fn new(adapter: A, bucket_capacity: usize) -> Self {
+        Self::with_thresholds(
+            adapter,
+            bucket_capacity,
+            SPLIT_THRESHOLD,
+            CONTRACT_THRESHOLD,
+        )
+    }
+
+    /// Create with explicit utilisation thresholds. Passing the same
+    /// value for both reproduces the paper's single set-point — and with
+    /// it the reorganisation thrash of §3.2 / Graph 2.
+    pub fn with_thresholds(
+        adapter: A,
+        bucket_capacity: usize,
+        split_threshold: f64,
+        contract_threshold: f64,
+    ) -> Self {
         let bucket_capacity = bucket_capacity.max(1);
         LinearHash {
             adapter,
@@ -67,6 +98,8 @@ impl<A: HashAdapter> LinearHash<A> {
             bucket_capacity,
             len: 0,
             total_pages: INITIAL_BUCKETS,
+            split_threshold,
+            contract_threshold: contract_threshold.min(split_threshold),
             stats: Counters::default(),
         }
     }
@@ -171,13 +204,13 @@ impl<A: HashAdapter> LinearHash<A> {
     }
 
     fn maybe_grow(&mut self) {
-        while self.utilization() > SPLIT_THRESHOLD {
+        while self.utilization() > self.split_threshold {
             self.split_one();
         }
     }
 
     fn maybe_shrink(&mut self) {
-        while self.buckets.len() > INITIAL_BUCKETS && self.utilization() < CONTRACT_THRESHOLD {
+        while self.buckets.len() > INITIAL_BUCKETS && self.utilization() < self.contract_threshold {
             self.contract_one();
         }
     }
@@ -406,7 +439,7 @@ mod tests {
             h.insert(k);
         }
         h.validate().unwrap();
-        assert!(h.bucket_count() > 300, "buckets {}", h.bucket_count());
+        assert!(h.bucket_count() > 200, "buckets {}", h.bucket_count());
         for k in (0..5000u64).step_by(7) {
             assert_eq!(h.search(&k), Some(k));
         }
@@ -438,10 +471,56 @@ mod tests {
 
     #[cfg(feature = "stats")]
     #[test]
-    fn mixed_workload_causes_reorganisation_thrash() {
-        // The paper's complaint: constant population, lots of splits and
-        // contractions.
+    fn steady_state_mixed_workload_does_not_thrash() {
+        // With the split/contract dead band, a constant-population
+        // insert/delete mix settles inside the band: after a short
+        // warm-up, no operation restructures.
         let mut h = nat(4);
+        for k in 0..2000u64 {
+            h.insert(k);
+        }
+        // Warm-up: let any boundary-adjacent splits land.
+        let mut rng = testkit::TestRng::new(31);
+        for i in 0..500u64 {
+            let _ = h.delete(&(i % 2000));
+            h.insert(i % 2000);
+            let _ = rng.below(1 << 30);
+        }
+        h.reset_stats();
+        for i in 0..4000u64 {
+            let _ = h.delete(&(i % 2000));
+            let k = 2000 + rng.below(1 << 30);
+            h.insert(k);
+            let _ = h.delete(&k);
+            h.insert(i % 2000);
+        }
+        let r = h.stats().restructures;
+        assert_eq!(r, 0, "steady state must not reorganise, saw {r}");
+        h.validate().unwrap();
+        // Growth and shrink still restructure as before.
+        h.reset_stats();
+        for k in 10_000..14_000u64 {
+            h.insert(k);
+        }
+        assert!(h.stats().restructures > 0, "growth must split");
+        h.reset_stats();
+        for k in 10_000..14_000u64 {
+            let _ = h.delete(&k);
+        }
+        for k in 0..1500u64 {
+            let _ = h.delete(&k);
+        }
+        assert!(h.stats().restructures > 0, "shrink must contract");
+        h.validate().unwrap();
+    }
+
+    #[cfg(feature = "stats")]
+    #[test]
+    fn mixed_workload_set_point_reproduces_paper_thrash() {
+        // The paper's complaint (§3.2, Graph 2): with a single
+        // utilisation set-point, constant population still reorganises
+        // near-constantly.
+        let mut h = LinearHash::with_thresholds(NaturalAdapter::new(), 4, 0.80, 0.80);
         for k in 0..2000u64 {
             h.insert(k);
         }
@@ -449,12 +528,14 @@ mod tests {
         let mut rng = testkit::TestRng::new(31);
         for i in 0..4000u64 {
             let _ = h.delete(&(i % 2000));
-            h.insert(2000 + rng.below(1 << 30));
-            let _ = h.delete(&(2000 + rng.below(1 << 30)));
+            let k = 2000 + rng.below(1 << 30);
+            h.insert(k);
+            let _ = h.delete(&k);
             h.insert(i % 2000);
         }
         let r = h.stats().restructures;
-        assert!(r > 0, "expected ongoing reorganisation, got none");
+        assert!(r > 0, "set-point table must keep reorganising, got none");
+        h.validate().unwrap();
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! The paper's sort kernel (§3.3.2, footnote 6).
+//! The paper's sort kernel (§3.3.2, footnote 6) plus the cache-conscious
+//! run-formation variant used by the overhauled execution kernels.
 //!
 //! *"The sort was done using quicksort with an insertion sort for subarrays
 //! of ten elements or less. We ran a test to determine the optimal subarray
@@ -9,6 +10,11 @@
 //! the Sort Scan duplicate-elimination method. Instrumented with the same
 //! comparison / data-movement counters as the index structures so the
 //! experiment harness can validate operation counts.
+//!
+//! [`run_sort`] layers the DPG design on top: quicksort cache-resident
+//! runs, then merge them with a d-ary heap small enough to live in L1.
+//! Large sorts stop streaming the whole array through cache per quicksort
+//! level; every element is touched once per phase instead.
 
 use crate::stats::Counters;
 use std::cmp::Ordering;
@@ -16,6 +22,11 @@ use std::cmp::Ordering;
 /// Subarray size at or below which quicksort hands off to insertion sort —
 /// the paper's empirically tuned value.
 pub const INSERTION_CUTOFF: usize = 10;
+
+/// Fan-out of the run-merge heap in [`run_sort`]. A 4-ary heap halves the
+/// tree height of a binary heap while each node's children still share one
+/// cache line of run ids — the "d-ary heap in cache" choice from DPG.
+pub const MERGE_FANOUT: usize = 4;
 
 /// Sort `data` in place with `cmp`, using the paper's hybrid
 /// quicksort/insertion-sort with the default cutoff of
@@ -40,6 +51,110 @@ pub fn quicksort_with_cutoff<T: Copy>(
         qsort_rec(data, cutoff, stats, cmp);
         insertion_sort(data, stats, cmp);
     }
+}
+
+/// Cache-conscious sort: quicksort `data` in runs of at most `run_len`
+/// elements (pick `run_len` so one run fits L2), then merge the sorted
+/// runs with a [`MERGE_FANOUT`]-ary heap of run heads.
+///
+/// Equal elements (where `cmp` returns `Equal`) come back in ascending
+/// run order (the quicksort within a run is unstable but deterministic),
+/// so for a fixed `run_len` the output is a pure function of the input.
+/// Comparison and data-move counts accumulate into `stats` exactly like
+/// [`quicksort`].
+pub fn run_sort<T: Copy>(
+    data: &mut Vec<T>,
+    run_len: usize,
+    stats: &Counters,
+    cmp: &mut impl FnMut(&T, &T) -> Ordering,
+) {
+    let n = data.len();
+    let run_len = run_len.max(2);
+    if n <= run_len {
+        quicksort_with_cutoff(data, INSERTION_CUTOFF, stats, cmp);
+        return;
+    }
+    for run in data.chunks_mut(run_len) {
+        quicksort_with_cutoff(run, INSERTION_CUTOFF, stats, cmp);
+    }
+    let runs = n.div_ceil(run_len);
+    // Per-run cursor into `data`; run r spans r*run_len .. ends[r].
+    let mut pos: Vec<usize> = (0..runs).map(|r| r * run_len).collect();
+    let ends: Vec<usize> = (0..runs).map(|r| ((r + 1) * run_len).min(n)).collect();
+    // d-ary min-heap of run ids, keyed by each run's head element with the
+    // run id as tie-break (equal keys drain in run order). The heap holds
+    // only `runs` small integers — cache-resident however big `data` is.
+    fn run_less<T: Copy>(
+        data: &[T],
+        pos: &[usize],
+        stats: &Counters,
+        cmp: &mut impl FnMut(&T, &T) -> Ordering,
+        a: u32,
+        b: u32,
+    ) -> bool {
+        stats.comparisons(1);
+        match cmp(&data[pos[a as usize]], &data[pos[b as usize]]) {
+            Ordering::Less => true,
+            Ordering::Greater => false,
+            Ordering::Equal => a < b,
+        }
+    }
+    fn sift_down<T: Copy>(
+        heap: &mut [u32],
+        data: &[T],
+        pos: &[usize],
+        stats: &Counters,
+        cmp: &mut impl FnMut(&T, &T) -> Ordering,
+    ) {
+        let mut i = 0;
+        loop {
+            let first_child = i * MERGE_FANOUT + 1;
+            if first_child >= heap.len() {
+                break;
+            }
+            let mut best = first_child;
+            for c in first_child + 1..(first_child + MERGE_FANOUT).min(heap.len()) {
+                if run_less(data, pos, stats, cmp, heap[c], heap[best]) {
+                    best = c;
+                }
+            }
+            if run_less(data, pos, stats, cmp, heap[best], heap[i]) {
+                heap.swap(i, best);
+                i = best;
+            } else {
+                break;
+            }
+        }
+    }
+    let mut heap: Vec<u32> = Vec::with_capacity(runs);
+    for r in 0..runs as u32 {
+        heap.push(r);
+        // Sift up: walk ancestors while the new run's head is smaller.
+        let mut i = heap.len() - 1;
+        while i > 0 {
+            let parent = (i - 1) / MERGE_FANOUT;
+            if run_less(data, &pos, stats, cmp, heap[i], heap[parent]) {
+                heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+    let mut out: Vec<T> = Vec::with_capacity(n);
+    while !heap.is_empty() {
+        let r = heap[0] as usize;
+        out.push(data[pos[r]]);
+        stats.data_moves(1);
+        pos[r] += 1;
+        if pos[r] == ends[r] {
+            let last = heap.len() - 1;
+            heap.swap(0, last);
+            heap.pop();
+        }
+        sift_down(&mut heap, data, &pos, stats, cmp);
+    }
+    *data = out;
 }
 
 /// Plain insertion sort; fast on nearly-sorted and tiny inputs. The paper
@@ -271,5 +386,95 @@ mod tests {
         let mut v = vec![5u64, 4, 3, 2, 1, 10, 9, 8];
         insertion_sort(&mut v, &stats, &mut |a, b| a.cmp(b));
         assert_eq!(v, vec![1, 2, 3, 4, 5, 8, 9, 10]);
+    }
+
+    fn check_run_sorts(v: Vec<u64>, run_len: usize) {
+        let stats = Counters::default();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        let mut got = v;
+        run_sort(&mut got, run_len, &stats, &mut |a, b| a.cmp(b));
+        assert_eq!(got, expect, "run_len {run_len}");
+    }
+
+    #[test]
+    fn run_sort_edge_cases() {
+        for run_len in [0, 1, 2, 3, 7, 100] {
+            check_run_sorts(vec![], run_len);
+            check_run_sorts(vec![9], run_len);
+            check_run_sorts(vec![2, 1], run_len);
+            check_run_sorts((0..37).rev().collect(), run_len);
+        }
+    }
+
+    #[test]
+    fn run_sort_matches_quicksort_on_random() {
+        let mut x = 0xdead_beef_u64;
+        let v: Vec<u64> = (0..5000)
+            .map(|_| {
+                x = crate::adapter::mix64(x);
+                x % 700
+            })
+            .collect();
+        // run_len spanning: many tiny runs, runs around boundaries, one run.
+        for run_len in [2, 3, 64, 999, 1000, 1001, 4999, 5000, 5001, 100_000] {
+            check_run_sorts(v.clone(), run_len);
+        }
+    }
+
+    #[test]
+    fn run_sort_all_duplicates_and_few_distinct() {
+        check_run_sorts(vec![5; 2000], 100);
+        let mut x = 11u64;
+        let v: Vec<u64> = (0..3000)
+            .map(|_| {
+                x = crate::adapter::mix64(x);
+                x % 3
+            })
+            .collect();
+        check_run_sorts(v, 128);
+    }
+
+    #[test]
+    fn run_sort_equal_keys_drain_in_run_order() {
+        // Pairs (key, origin); comparator only looks at key. With every key
+        // equal, the merge must drain run 0 completely, then run 1, … —
+        // the output is exactly the per-run quicksorted chunks concatenated.
+        let n = 257usize;
+        let run_len = 16usize;
+        let v: Vec<(u64, u64)> = (0..n as u64).map(|i| (42, i)).collect();
+        let mut expect = v.clone();
+        for chunk in expect.chunks_mut(run_len) {
+            let s = Counters::default();
+            quicksort_with_cutoff(
+                chunk,
+                INSERTION_CUTOFF,
+                &s,
+                &mut |a: &(u64, u64), b: &(u64, u64)| a.0.cmp(&b.0),
+            );
+        }
+        let mut got = v;
+        let stats = Counters::default();
+        run_sort(&mut got, run_len, &stats, &mut |a, b| a.0.cmp(&b.0));
+        assert_eq!(got, expect);
+    }
+
+    #[cfg(feature = "stats")]
+    #[test]
+    fn run_sort_counts_comparisons() {
+        let n = 4096u64;
+        let mut x = 3u64;
+        let mut v: Vec<u64> = (0..n)
+            .map(|_| {
+                x = crate::adapter::mix64(x);
+                x
+            })
+            .collect();
+        let stats = Counters::default();
+        run_sort(&mut v, 256, &stats, &mut |a, b| a.cmp(b));
+        let c = stats.snapshot().comparisons as f64;
+        let nlogn = (n as f64) * (n as f64).log2();
+        assert!(c > nlogn * 0.5, "too few comparisons: {c} vs {nlogn}");
+        assert!(c < nlogn * 6.0, "too many comparisons: {c} vs {nlogn}");
     }
 }

@@ -8,11 +8,20 @@
 # regression shows up as a clean numeric diff against the checked-in
 # baseline.
 #
-# usage: scripts/bench.sh [OUT_FILE]   (default BENCH_baseline.json)
+# The emitted file records host metadata (CPU count, measured per-iter
+# noise floor from 3 repeats) alongside the entries, so a reader can
+# judge whether a numeric diff clears the machine's jitter.
+#
+# usage: scripts/bench.sh [OUT_FILE]          (default BENCH_baseline.json)
+#        scripts/bench.sh compare [BASELINE]  fresh run diffed against the
+#                                             baseline; exits non-zero if a
+#                                             tracked kernel regressed >25%
 set -eu
 
 cd "$(dirname "$0")/.."
-OUT="${1:-BENCH_baseline.json}"
 
 cargo build --release -p mmdb-bench --bin bench_baseline
-./target/release/bench_baseline --out "$OUT"
+if [ "${1:-}" = "compare" ]; then
+    exec ./target/release/bench_baseline --compare "${2:-BENCH_baseline.json}"
+fi
+./target/release/bench_baseline --out "${1:-BENCH_baseline.json}"

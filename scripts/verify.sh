@@ -95,6 +95,16 @@ bench_baseline_diff() {
 }
 gate "bench-baseline"    bench_baseline_diff
 
+# Perf-regression gate: the same fresh quick-mode run, numerically diffed
+# against the committed baseline — fails if any tracked kernel (join_4k/,
+# dedup_4k/, scaling_10k/) is more than 25% slower than its baseline cell
+# after dividing out the run-wide host-speed factor (median ratio across
+# all cells, so a uniformly slower host doesn't flag every kernel). A
+# failing pass re-measures in-process and keeps per-key minima before
+# giving a verdict.
+gate "bench-regress"     ./target/release/bench_baseline --compare BENCH_baseline.json \
+                             --fresh /tmp/mmdb_bench_smoke.json
+
 echo ""
 echo "==== verification summary ===="
 echo "$SUMMARY" | sed '/^$/d'

@@ -107,7 +107,7 @@ fn golden_tree_merge() {
         "\
 project [emp.ename, dept.dname]  [est_rows=5 act_rows=5 est_cmp=0 act_cmp=0]
   join[TreeMerge] emp.dept_id = dept.id  [est_rows=5 act_rows=5 est_cmp=11 act_cmp=16]
-      rejected: TreeJoin est_cmp=13, HashJoin est_cmp=23, SortMerge est_cmp=24, NestedLoops est_cmp=15
+      rejected: TreeJoin est_cmp=13, HashJoin est_cmp=23, SortMerge est_cmp=15, NestedLoops est_cmp=15
     scan emp  [est_rows=5 act_rows=5 est_cmp=0 act_cmp=0]
 "
     );
@@ -130,7 +130,7 @@ fn golden_tree_join() {
         "\
 project [emp.ename, dept.dname]  [est_rows=2 act_rows=2 est_cmp=0 act_cmp=0]
   join[TreeJoin] emp.dept_id = dept.id  [est_rows=2 act_rows=2 est_cmp=5 act_cmp=8]
-      rejected: HashJoin est_cmp=11, SortMerge est_cmp=12, NestedLoops est_cmp=6
+      rejected: HashJoin est_cmp=11, SortMerge est_cmp=8, NestedLoops est_cmp=6
     select emp.age > 60 via TreeLookup  [est_rows=2 act_rows=2 est_cmp=2 act_cmp=4]
 "
     );
@@ -154,7 +154,7 @@ fn golden_hash_join() {
         "\
 project [emp.ename, orders.oid]  [est_rows=5 act_rows=100 est_cmp=0 act_cmp=0]
   join[HashJoin] emp.dept_id = orders.dept_id  [est_rows=5 act_rows=100 est_cmp=80 act_cmp=100]
-      rejected: SortMerge est_cmp=431, NestedLoops est_cmp=300
+      rejected: SortMerge est_cmp=211, NestedLoops est_cmp=300
     scan emp  [est_rows=5 act_rows=5 est_cmp=0 act_cmp=0]
     scan orders  [est_rows=60 act_rows=60 est_cmp=0 act_cmp=0]
 "
@@ -177,7 +177,7 @@ fn golden_precomputed() {
         "\
 project [emp.ename, dept.dname]  [est_rows=5 act_rows=5 est_cmp=0 act_cmp=0]
   join[Precomputed] emp.dept_ptr = dept.id  [est_rows=5 act_rows=5 est_cmp=5 act_cmp=0]
-      rejected: TreeJoin est_cmp=13, HashJoin est_cmp=23, SortMerge est_cmp=24, NestedLoops est_cmp=15
+      rejected: TreeJoin est_cmp=13, HashJoin est_cmp=23, SortMerge est_cmp=15, NestedLoops est_cmp=15
     scan emp  [est_rows=5 act_rows=5 est_cmp=0 act_cmp=0]
 "
     );
@@ -199,7 +199,7 @@ fn golden_forced_sort_merge() {
         out.profile.render(),
         "\
 project [emp.ename, dept.dname]  [est_rows=5 act_rows=5 est_cmp=0 act_cmp=0]
-  join[SortMerge] emp.dept_id = dept.id  [est_rows=5 act_rows=5 est_cmp=24 act_cmp=22]
+  join[SortMerge] emp.dept_id = dept.id  [est_rows=5 act_rows=5 est_cmp=15 act_cmp=15]
       rejected: TreeMerge est_cmp=11, TreeJoin est_cmp=13, HashJoin est_cmp=23, NestedLoops est_cmp=15
     scan emp  [est_rows=5 act_rows=5 est_cmp=0 act_cmp=0]
     scan dept  [est_rows=3 act_rows=3 est_cmp=0 act_cmp=0]
@@ -224,7 +224,7 @@ fn golden_forced_nested_loops() {
         "\
 project [emp.ename, dept.dname]  [est_rows=5 act_rows=5 est_cmp=0 act_cmp=0]
   join[NestedLoops] emp.dept_id = dept.id  [est_rows=5 act_rows=5 est_cmp=15 act_cmp=15]
-      rejected: TreeMerge est_cmp=11, TreeJoin est_cmp=13, HashJoin est_cmp=23, SortMerge est_cmp=24
+      rejected: TreeMerge est_cmp=11, TreeJoin est_cmp=13, HashJoin est_cmp=23, SortMerge est_cmp=15
     scan emp  [est_rows=5 act_rows=5 est_cmp=0 act_cmp=0]
     scan dept  [est_rows=3 act_rows=3 est_cmp=0 act_cmp=0]
 "
@@ -252,7 +252,7 @@ fn golden_pushdown_changes_the_plan_not_the_answer() {
         "\
 project [emp.ename]  [est_rows=1 act_rows=2 est_cmp=0 act_cmp=0]
   join[NestedLoops] emp.dept_id = dept.id  [est_rows=1 act_rows=2 est_cmp=0 act_cmp=5]
-      rejected: HashJoin est_cmp=20, SortMerge est_cmp=17
+      rejected: HashJoin est_cmp=20, SortMerge est_cmp=10
     scan emp  [est_rows=5 act_rows=5 est_cmp=0 act_cmp=0]
     select dept.dname = \"Shoe\" via SequentialScan  [est_rows=0 act_rows=1 est_cmp=3 act_cmp=3]
 "
@@ -263,7 +263,7 @@ project [emp.ename]  [est_rows=1 act_rows=2 est_cmp=0 act_cmp=0]
 project [emp.ename]  [est_rows=1 act_rows=2 est_cmp=0 act_cmp=0]
   filter dept.dname = \"Shoe\"  [est_rows=1 act_rows=2 est_cmp=5 act_cmp=5]
     join[TreeMerge] emp.dept_id = dept.id  [est_rows=5 act_rows=5 est_cmp=11 act_cmp=16]
-        rejected: TreeJoin est_cmp=13, HashJoin est_cmp=23, SortMerge est_cmp=24, NestedLoops est_cmp=15
+        rejected: TreeJoin est_cmp=13, HashJoin est_cmp=23, SortMerge est_cmp=15, NestedLoops est_cmp=15
       scan emp  [est_rows=5 act_rows=5 est_cmp=0 act_cmp=0]
 "
     );
@@ -297,9 +297,9 @@ fn golden_reorder_changes_the_plan_not_the_answer() {
         "\
 project [orders.oid, emp.ename, dept.dname]  [est_rows=60 act_rows=100 est_cmp=0 act_cmp=0]
   join[TreeJoin] orders.dept_id = emp.dept_id  [est_rows=60 act_rows=100 est_cmp=199 act_cmp=300]
-      rejected: HashJoin est_cmp=245, SortMerge est_cmp=431, NestedLoops est_cmp=300
+      rejected: HashJoin est_cmp=245, SortMerge est_cmp=211, NestedLoops est_cmp=300
     join[TreeJoin] orders.dept_id = dept.id  [est_rows=60 act_rows=60 est_cmp=155 act_cmp=220]
-        rejected: HashJoin est_cmp=243, SortMerge est_cmp=422, NestedLoops est_cmp=180
+        rejected: HashJoin est_cmp=243, SortMerge est_cmp=207, NestedLoops est_cmp=180
       scan orders  [est_rows=60 act_rows=60 est_cmp=0 act_cmp=0]
 "
     );
@@ -308,9 +308,9 @@ project [orders.oid, emp.ename, dept.dname]  [est_rows=60 act_rows=100 est_cmp=0
         "\
 project [orders.oid, emp.ename, dept.dname]  [est_rows=60 act_rows=100 est_cmp=0 act_cmp=0]
   join[TreeJoin] orders.dept_id = dept.id  [est_rows=60 act_rows=100 est_cmp=155 act_cmp=220]
-      rejected: HashJoin est_cmp=243, SortMerge est_cmp=422, NestedLoops est_cmp=180
+      rejected: HashJoin est_cmp=243, SortMerge est_cmp=207, NestedLoops est_cmp=180
     join[TreeJoin] orders.dept_id = emp.dept_id  [est_rows=60 act_rows=100 est_cmp=199 act_cmp=300]
-        rejected: HashJoin est_cmp=245, SortMerge est_cmp=431, NestedLoops est_cmp=300
+        rejected: HashJoin est_cmp=245, SortMerge est_cmp=211, NestedLoops est_cmp=300
       scan orders  [est_rows=60 act_rows=60 est_cmp=0 act_cmp=0]
 "
     );
@@ -335,7 +335,7 @@ fn golden_cached_subtree() {
         "\
 project [emp.ename, dept.dname]  [est_rows=2 act_rows=2 est_cmp=0 act_cmp=0]
   join[TreeJoin] emp.dept_id = dept.id  [est_rows=2 act_rows=2 est_cmp=5 act_cmp=8]
-      rejected: HashJoin est_cmp=11, SortMerge est_cmp=12, NestedLoops est_cmp=6
+      rejected: HashJoin est_cmp=11, SortMerge est_cmp=8, NestedLoops est_cmp=6
     select emp.age > 60 via TreeLookup  [est_rows=2 act_rows=2 est_cmp=2 act_cmp=4]
 "
     });

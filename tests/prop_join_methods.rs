@@ -71,6 +71,39 @@ fn values_strategy(max_len: usize) -> impl Strategy<Value = Vec<i64>> {
     prop::collection::vec(-8i64..8, 0..max_len)
 }
 
+/// Suffixes appended to a shared 8-byte prefix: the sort kernels' order
+/// tags (first 8 bytes, big-endian) collide on every pair of these keys.
+const SUFFIXES: [&str; 6] = ["", "a", "b", "ab", "z", "zz"];
+
+fn rel_with_strings(name: &str, values: &[String]) -> (Relation, Vec<TupleId>) {
+    let schema = Schema::of(&[("pk", AttrType::Int), ("jcol", AttrType::Str)]);
+    let mut rel = Relation::new(name, schema, PartitionConfig::default());
+    let tids = values
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            rel.insert(&[OwnedValue::Int(i as i64), OwnedValue::Str(v.clone())])
+                .unwrap()
+        })
+        .collect();
+    (rel, tids)
+}
+
+fn reference_str(outer: &[String], inner: &[String]) -> Vec<(usize, usize)> {
+    let mut by_val: std::collections::HashMap<&str, Vec<usize>> = std::collections::HashMap::new();
+    for (j, v) in inner.iter().enumerate() {
+        by_val.entry(v).or_default().push(j);
+    }
+    let mut out = Vec::new();
+    for (i, v) in outer.iter().enumerate() {
+        if let Some(js) = by_val.get(v.as_str()) {
+            out.extend(js.iter().map(|j| (i, *j)));
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -147,6 +180,42 @@ proptest! {
     }
 
     #[test]
+    fn string_keys_with_colliding_tags_agree_with_reference(
+        osuf in prop::collection::vec(0usize..SUFFIXES.len(), 0..40),
+        isuf in prop::collection::vec(0usize..SUFFIXES.len(), 0..40),
+    ) {
+        // Every key shares an 8-byte prefix, so every sort tag collides
+        // and the tag-sorting kernels must fall back to full string
+        // comparison for order, equality, and dedup.
+        let ov: Vec<String> = osuf.iter().map(|i| format!("prefix00{}", SUFFIXES[*i])).collect();
+        let iv: Vec<String> = isuf.iter().map(|i| format!("prefix00{}", SUFFIXES[*i])).collect();
+        let (orel, otids) = rel_with_strings("o", &ov);
+        let (irel, itids) = rel_with_strings("i", &iv);
+        let outer = JoinSide::new(&orel, 1, &otids);
+        let inner = JoinSide::new(&irel, 1, &itids);
+        let expect = reference_str(&ov, &iv);
+        let sm = sort_merge_join(outer, inner).unwrap();
+        prop_assert_eq!(normalize(&sm.pairs, &orel, &irel), expect.clone());
+        let hj = hash_join(outer, inner).unwrap();
+        prop_assert_eq!(normalize(&hj.pairs, &orel, &irel), expect.clone());
+        let nl = nested_loops_join(outer, inner).unwrap();
+        prop_assert_eq!(normalize(&nl.pairs, &orel, &irel), expect);
+
+        // Dedup over the same colliding tags: sort path == hash path.
+        use mmdb_exec::{project_hash, project_sort};
+        use mmdb_storage::{OutputField, ResultDescriptor, TempList};
+        let list = TempList::from_tids(otids.clone());
+        let desc = ResultDescriptor::new(vec![OutputField::new(0, 1, "jcol")]);
+        let h = project_hash(&list, &desc, &[&orel]).unwrap();
+        let s = project_sort(&list, &desc, &[&orel]).unwrap();
+        let mut distinct = ov.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert_eq!(h.rows.len(), distinct.len());
+        prop_assert_eq!(s.rows.len(), distinct.len());
+    }
+
+    #[test]
     fn projection_methods_agree(vals in values_strategy(120)) {
         use mmdb_exec::{project_hash, project_sort};
         use mmdb_storage::{OutputField, ResultDescriptor, TempList};
@@ -170,4 +239,38 @@ proptest! {
         got.sort_unstable();
         prop_assert_eq!(got, distinct);
     }
+}
+
+/// The run-formation sort quicksorts 16,384-entry (256 KiB of 16-byte
+/// pairs) runs and d-ary-merges them; inputs below that size exercise
+/// only the single-run path. This input spans three runs (including a
+/// short final run), so the heap merge, run exhaustion, and cross-run
+/// group detection all engage.
+#[test]
+fn sort_merge_and_dedup_across_multiple_sort_runs() {
+    const N: usize = 36_000;
+    // A fixed permutation of 0..N (7919 is coprime to 36_000), so the
+    // runs' value ranges interleave heavily and no run drains in one go.
+    let ov: Vec<i64> = (0..N).map(|i| ((i * 7919) % N) as i64).collect();
+    // Inner hits every 50th key exactly once.
+    let iv: Vec<i64> = (0..N as i64 / 50).map(|i| i * 50).collect();
+    let (orel, otids) = rel_with_values("o", &ov);
+    let (irel, itids) = rel_with_values("i", &iv);
+    let outer = JoinSide::new(&orel, 1, &otids);
+    let inner = JoinSide::new(&irel, 1, &itids);
+    let sm = sort_merge_join(outer, inner).unwrap();
+    assert_eq!(normalize(&sm.pairs, &orel, &irel), reference(&ov, &iv));
+
+    // Dedup across the same run boundaries: every value appears 4× in a
+    // permuted order, so equal keys land in different sort runs.
+    use mmdb_exec::{project_hash, project_sort};
+    use mmdb_storage::{OutputField, ResultDescriptor, TempList};
+    let dv: Vec<i64> = (0..N).map(|i| ((i * 7919) % N) as i64 / 4).collect();
+    let (drel, dtids) = rel_with_values("d", &dv);
+    let list = TempList::from_tids(dtids);
+    let desc = ResultDescriptor::new(vec![OutputField::new(0, 1, "jcol")]);
+    let h = project_hash(&list, &desc, &[&drel]).unwrap();
+    let s = project_sort(&list, &desc, &[&drel]).unwrap();
+    assert_eq!(h.rows.len(), N / 4);
+    assert_eq!(s.rows.len(), N / 4);
 }

@@ -155,4 +155,74 @@ proptest! {
                 .map_err(TestCaseError::fail)?;
         }
     }
+
+    #[test]
+    fn byte_threshold_never_changes_results(
+        ov in values_strategy(80),
+        iv in values_strategy(80),
+        variant in 0u8..4,
+        a in -8i64..8,
+        b in -8i64..8,
+    ) {
+        // The bytes-based parallel_threshold only picks the *path*
+        // (inline serial vs morsel fan-out); results must be identical at
+        // threshold 0 (always fan out), a threshold these tiny inputs sit
+        // below (always inline), and everything between.
+        let (orel, otids) = rel_with_values("o", &ov);
+        let (irel, itids) = rel_with_values("i", &iv);
+        let outer = JoinSide::new(&orel, 1, &otids);
+        let inner = JoinSide::new(&irel, 1, &itids);
+        let pred = predicate(variant, a, b);
+        let list = TempList::from_tids(otids.clone());
+        let desc = ResultDescriptor::new(vec![OutputField::new(0, 1, "jcol")]);
+        let scan0 = parallel_select_scan(&orel, 1, &pred, ExecConfig::with_dop(4)).unwrap();
+        let join0 = parallel_hash_join(outer, inner, ExecConfig::with_dop(4)).unwrap();
+        let dist0 = parallel_project_hash(&list, &desc, &[&orel], ExecConfig::with_dop(4)).unwrap();
+        for threshold in [1usize, 4096, 1 << 30] {
+            let cfg = ExecConfig { parallel_threshold: threshold, ..ExecConfig::with_dop(4) };
+            let scan = parallel_select_scan(&orel, 1, &pred, cfg).unwrap();
+            prop_assert_eq!(&scan, &scan0, "scan threshold={}", threshold);
+            let join = parallel_hash_join(outer, inner, cfg).unwrap();
+            prop_assert_eq!(&join.pairs, &join0.pairs, "join threshold={}", threshold);
+            let dist = parallel_project_hash(&list, &desc, &[&orel], cfg).unwrap();
+            prop_assert_eq!(&dist.rows, &dist0.rows, "distinct threshold={}", threshold);
+        }
+    }
+}
+
+/// Morsel-size edge cases: empty input, a single row, and inputs far
+/// smaller than one morsel (256 KiB covers ~4k tuples, so every input
+/// here fits in one morsel at dop 1 and forces degenerate splits at
+/// dop 8) — every dop must agree with the serial operator exactly.
+#[test]
+fn morsel_larger_than_input_and_degenerate_sizes() {
+    for n in [0usize, 1, 2, 7] {
+        let values: Vec<i64> = (0..n as i64).collect();
+        let (rel, tids) = rel_with_values("r", &values);
+        let (irel, itids) = rel_with_values("i", &values);
+        let pred = Predicate::greater(KeyValue::Int(-1));
+        let serial_scan = select_scan(&rel, 1, &tids, &pred).unwrap();
+        let serial_join = hash_join(
+            JoinSide::new(&rel, 1, &tids),
+            JoinSide::new(&irel, 1, &itids),
+        )
+        .unwrap();
+        let list = TempList::from_tids(tids.clone());
+        let desc = ResultDescriptor::new(vec![OutputField::new(0, 1, "jcol")]);
+        let serial_dist = project_hash(&list, &desc, &[&rel]).unwrap();
+        for dop in DOPS {
+            let cfg = ExecConfig::with_dop(dop);
+            let scan = parallel_select_scan(&rel, 1, &pred, cfg).unwrap();
+            assert_eq!(scan, serial_scan, "scan n={n} dop={dop}");
+            let join = parallel_hash_join(
+                JoinSide::new(&rel, 1, &tids),
+                JoinSide::new(&irel, 1, &itids),
+                cfg,
+            )
+            .unwrap();
+            assert_eq!(join.pairs, serial_join.pairs, "join n={n} dop={dop}");
+            let dist = parallel_project_hash(&list, &desc, &[&rel], cfg).unwrap();
+            assert_eq!(dist.rows, serial_dist.rows, "distinct n={n} dop={dop}");
+        }
+    }
 }
