@@ -29,6 +29,9 @@
 //! of a fixed sort workload), so a future reader can judge whether a
 //! numeric diff is signal or scheduler jitter.
 
+// The report itself goes to stdout.
+#![allow(clippy::print_stdout)]
+
 use mmdb_bench::indexes::{shuffled_keys, IndexKindB};
 use mmdb_bench::time_best;
 use mmdb_exec::{

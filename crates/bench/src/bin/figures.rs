@@ -10,6 +10,9 @@
 //! (default `results/`). `--scale 1.0` (default) runs the paper's
 //! cardinalities; use e.g. `--scale 0.1` for a quick pass.
 
+// The tables themselves go to stdout.
+#![allow(clippy::print_stdout)]
+
 use mmdb_bench::{
     aspects, figure::Scale, graph1, graph10, graph2, graph3, joins, locking, precomputed,
     projection, scaling, storage_costs, Figure,

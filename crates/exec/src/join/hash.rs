@@ -67,6 +67,7 @@ pub(crate) struct BatchProbeTable<'a> {
 impl<'a> BatchProbeTable<'a> {
     /// Build on the inner side, inserting `inner.tids` in order exactly
     /// like the serial chained-bucket build loop.
+    // mmdb-lint: allow(panic-path) — `next`/`hashes` are sized to inner.len() and indexed by the enumerate index `node < inner.len()`; `heads` has table_size entries and every bucket index is masked with `table_size - 1`
     pub(crate) fn build(inner: JoinSide<'a>) -> Result<Self, ExecError> {
         let table_size = inner.len().max(8).next_power_of_two();
         let mask = (table_size - 1) as u64;
@@ -99,6 +100,7 @@ impl<'a> BatchProbeTable<'a> {
     /// a [`PROBE_BATCH`]-sized morsel at a time; the subsequent probe
     /// loop touches only the batch, the bucket arrays, and (on full-hash
     /// agreement) the candidate inner tuple.
+    // mmdb-lint: allow(panic-path) — `outer.tids[start..end]` has end clamped by .min(range.end) and callers pass subranges of 0..outer.len(); bucket indices are masked; `node` values come from heads/next, which hold only NIL or indices < inner.len()
     pub(crate) fn probe_range(
         &self,
         outer: JoinSide<'_>,

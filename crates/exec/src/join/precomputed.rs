@@ -45,7 +45,15 @@ pub fn precomputed_join(outer: JoinSide<'_>) -> Result<JoinOutput, ExecError> {
                     out.push_pair(ot, it)?;
                 }
             }
-            _ => unreachable!("schema check above"),
+            // The schema check above makes this unreachable for
+            // well-formed relations; storage corruption degrades to an
+            // error instead of a panic.
+            other => {
+                return Err(ExecError::BadPlan(format!(
+                    "precomputed join read a non-pointer value ({})",
+                    other.type_name()
+                )));
+            }
         }
     }
     Ok(JoinOutput {

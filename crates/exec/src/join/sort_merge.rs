@@ -30,6 +30,7 @@ use std::cmp::Ordering;
 pub(crate) const SORT_RUN_BYTES: usize = 256 * 1024;
 
 /// Entries of type `T` per L2-resident run.
+// mmdb-lint: allow(panic-path) — the divisor is size_of::<T>().max(1), never zero
 pub(crate) fn run_entries<T>() -> usize {
     (SORT_RUN_BYTES / std::mem::size_of::<T>().max(1)).max(2)
 }
@@ -53,6 +54,7 @@ pub(crate) struct TaggedSide<'a> {
 /// itself runs over the compact pair array. Ties on the (monotone but
 /// lossy) tag fall back to the real value, and equal values order by row
 /// index, so the result is fully deterministic.
+// mmdb-lint: allow(panic-path) — `vals[e.1]` indexes are the enumerate positions 0..n stored in `entries`, and `values` holds exactly n elements built in the same loop
 pub(crate) fn sort_side<'a>(
     side: JoinSide<'a>,
     counters: &Counters,
@@ -100,6 +102,7 @@ pub(crate) fn sort_side<'a>(
 /// Merge two tagged sides: linear two-pointer scan, equal-value groups
 /// cross-producted directly from the sorted entry arrays (no cursor
 /// rewinding — the group bounds are found once and iterated in place).
+// mmdb-lint: allow(panic-path) — `le[i]`/`re[j]` are guarded by the loop condition i < le.len() && j < re.len(); group ends gi/gj are bounds-checked before each extension; entry row indices were built as 0..len over the same tids/values arrays
 pub(crate) fn merge_join_tagged(
     left: &TaggedSide<'_>,
     right: &TaggedSide<'_>,

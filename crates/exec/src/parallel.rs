@@ -225,6 +225,7 @@ pub fn merge_indexed<T>(mut tagged: Vec<(usize, T)>) -> Vec<T> {
 
 /// Split `len` items into exactly `min(chunks, len)` contiguous ranges of
 /// near-equal size, in order. Returns an empty list for an empty input.
+// mmdb-lint: allow(panic-path) — the divisors are `chunks.max(1).min(len)` after a len == 0 early return, so they are always >= 1
 fn chunk_ranges(len: usize, chunks: usize) -> Vec<std::ops::Range<usize>> {
     if len == 0 {
         return Vec::new();
@@ -264,6 +265,7 @@ fn morsel_ranges(len: usize, item_bytes: usize, dop: usize) -> Vec<std::ops::Ran
 
 /// Fan byte-sized morsels of work over the pool and merge per-morsel
 /// `TempList`s (plus per-morsel stats) in morsel order.
+// mmdb-lint: allow(panic-path) — `ranges[c]` task indices come from run_tasks(ranges.len(), ..), which only yields c < ranges.len()
 fn run_chunks<F>(
     arity: usize,
     len: usize,
@@ -290,6 +292,7 @@ where
 /// morsel), each unit walking its partitions' live slots in slot order;
 /// results merge in partition order. Output is identical to
 /// [`select_scan`](crate::select::select_scan) over [`Relation::tids`].
+// mmdb-lint: allow(panic-path) — `groups[g]` indices come from run_tasks_scratch(groups.len(), ..); the part_bytes divisor is `parts.max(1)`
 pub fn parallel_select_scan(
     rel: &Relation,
     attr: usize,
@@ -359,6 +362,7 @@ pub fn parallel_hash_join(
 /// [`theta_nested_loops_join`]. The working-set estimate multiplies the
 /// sides (each outer tuple rescans the inner relation), so even a small
 /// outer side fans out when the cross product is heavy.
+// mmdb-lint: allow(panic-path) — `outer.tids[range]` ranges come from morsel_ranges(outer.len(), ..), which produces only subranges of 0..outer.len()
 pub fn parallel_theta_join(
     outer: JoinSide<'_>,
     inner: JoinSide<'_>,
@@ -413,6 +417,7 @@ struct ChunkSurvivors {
 /// table), then a single-threaded merge re-dedups the survivors in chunk
 /// order. First-occurrence-in-input-order semantics — and therefore the
 /// exact output rows and order of [`project_hash`] — are preserved.
+// mmdb-lint: allow(panic-path) — `heads[bucket]` is masked with table_size - 1 (a power of two); `kept[cur]`/`next[cur]` chain ids are only ever pushed as kept.len() so cur != NIL implies cur < kept.len() == next.len(); `ranges[c]` comes from run_tasks(ranges.len(), ..)
 pub fn parallel_project_hash(
     list: &TempList,
     desc: &ResultDescriptor,

@@ -90,6 +90,7 @@ pub fn project_hash(
 
 /// [`project_hash`] with an explicit table size (the |R|/2 choice is
 /// ablated in the benchmarks).
+// mmdb-lint: allow(panic-path) — `heads[bucket]` is masked with table_size - 1 (a power of two >= 8); `kept[cur]`/`next[cur]` chain ids are only ever pushed as kept.len(), so cur != u32::MAX implies cur < kept.len() == next.len()
 pub fn project_hash_sized(
     list: &TempList,
     desc: &ResultDescriptor,
@@ -144,6 +145,7 @@ pub fn project_hash_sized(
 /// 16-byte pairs and touches the value buffer only on tag ties. Equal
 /// rows order by row index, so the surviving (first) row of each
 /// duplicate group is deterministic.
+// mmdb-lint: allow(panic-path) — `flat[i*w..(i+1)*w]` row slices are in bounds because flat holds exactly n*w values (w per row, appended once per row) and every row index i < n comes from `entries`, built as 0..n
 pub fn project_sort(
     list: &TempList,
     desc: &ResultDescriptor,

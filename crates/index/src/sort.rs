@@ -62,6 +62,7 @@ pub fn quicksort_with_cutoff<T: Copy>(
 /// so for a fixed `run_len` the output is a pure function of the input.
 /// Comparison and data-move counts accumulate into `stats` exactly like
 /// [`quicksort`].
+// mmdb-lint: allow(panic-path) — heap entries are run ids < runs, `pos`/`ends` hold one cursor per run, and every cursor satisfies r*run_len <= pos[r] <= ends[r] <= n (a run id is popped exactly when its cursor reaches ends[r]); heap child indices are checked against heap.len() before use
 pub fn run_sort<T: Copy>(
     data: &mut Vec<T>,
     run_len: usize,
@@ -161,6 +162,7 @@ pub fn run_sort<T: Copy>(
 /// notes it also benefits from heavy duplication ("with many equal values,
 /// the subarray in quicksort is often already sorted by the time it is
 /// passed to the insertion sort").
+// mmdb-lint: allow(panic-path) — i ranges over 1..len and j only moves down from i while j > 0, so data[i], data[j], and data[j - 1] stay within 0..len
 pub fn insertion_sort<T: Copy>(
     data: &mut [T],
     stats: &Counters,
@@ -186,6 +188,7 @@ pub fn insertion_sort<T: Copy>(
     }
 }
 
+// mmdb-lint: allow(panic-path) — the loop guard hi - lo > cutoff.max(2) keeps lo < hi <= len, and partition returns a position inside the lo..hi slice it was given
 fn qsort_rec<T: Copy>(
     data: &mut [T],
     cutoff: usize,
@@ -209,6 +212,7 @@ fn qsort_rec<T: Copy>(
     }
 }
 
+// mmdb-lint: allow(panic-path) — callers pass lo/hi derived from a partition point inside data, so data[lo..hi] is in bounds
 fn qsort_rec_range<T: Copy>(
     data: &mut [T],
     lo: usize,
@@ -224,6 +228,7 @@ fn qsort_rec_range<T: Copy>(
 
 /// Hoare-style partition with median-of-three pivot selection; returns the
 /// final pivot position.
+// mmdb-lint: allow(panic-path) — only called on slices of length > cutoff.max(2) >= 3, so indices 0, mid = n/2, n - 1, and n - 2 all exist, and the Hoare cursors are bounds-checked before every dereference
 fn partition<T: Copy>(
     data: &mut [T],
     stats: &Counters,

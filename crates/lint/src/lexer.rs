@@ -1,0 +1,421 @@
+//! A minimal Rust lexer: just enough token structure for the lint rules.
+//!
+//! Comments and literal *contents* never reach the rules (so code quoted
+//! inside a comment or a string can't trip a lint), but string literal
+//! text is preserved on the token because `cfg(feature = "...")` parsing
+//! needs it. Waiver comments (the marker followed by `allow(<rules>)`
+//! and a dash-separated justification; see [`WAIVER_MARKER`]) are
+//! recognized here and surfaced separately from the token stream.
+
+/// Token classification. Keywords are ordinary [`Kind::Ident`]s; the
+/// scanner gives them meaning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (raw identifiers are stripped of `r#`).
+    Ident,
+    /// A lifetime (`'a`), without the quote.
+    Lifetime,
+    /// Numeric literal, verbatim.
+    Num,
+    /// String, byte-string, or char literal. `text` holds the contents
+    /// (escapes unprocessed) so `cfg(feature = "x")` can be read back.
+    Str,
+    /// Single punctuation character.
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// What kind of token.
+    pub kind: Kind,
+    /// The token text (see [`Kind`] for per-kind conventions).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True if this is the identifier `s`.
+    #[must_use]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == Kind::Ident && self.text == s
+    }
+
+    /// True if this is the punctuation character `c`.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == Kind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// An inline lint waiver parsed from a comment.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Line the waiver comment is on.
+    pub line: u32,
+    /// Rule ids being waived.
+    pub rules: Vec<String>,
+    /// The mandatory human justification.
+    pub justification: String,
+    /// True when the comment is alone on its line (scope: the next item);
+    /// false for a trailing comment (scope: that line only).
+    pub own_line: bool,
+}
+
+/// Everything the lexer extracts from one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream, comments stripped.
+    pub toks: Vec<Tok>,
+    /// Well-formed waiver comments.
+    pub waivers: Vec<Waiver>,
+    /// Malformed waiver comments: `(line, what is wrong)`.
+    pub issues: Vec<(u32, String)>,
+}
+
+/// Marker that introduces a waiver comment.
+pub const WAIVER_MARKER: &str = "mmdb-lint:";
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_cont(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex one file. Never fails: unrecognized bytes become punctuation.
+#[must_use]
+pub fn lex(text: &str) -> Lexed {
+    let b: Vec<char> = text.chars().collect();
+    let n = b.len();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut line_has_code = false;
+
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            line_has_code = false;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (incl. doc comments): scan for a waiver marker.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i;
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            let body: String = b[start..i].iter().collect();
+            scan_waiver(&body, line, !line_has_code, &mut out);
+            continue;
+        }
+        // Block comment, nesting tracked.
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        line_has_code = true;
+        // Raw strings / raw identifiers / byte strings, before plain idents.
+        if c == 'r' || c == 'b' {
+            if let Some((tok, ni, nl)) = lex_prefixed_literal(&b, i, line) {
+                out.toks.push(tok);
+                i = ni;
+                line = nl;
+                continue;
+            }
+        }
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_cont(b[i]) {
+                i += 1;
+            }
+            out.toks.push(Tok {
+                kind: Kind::Ident,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n {
+                let d = b[i];
+                if is_ident_cont(d) {
+                    i += 1;
+                } else if d == '.' && i + 1 < n && b[i + 1].is_ascii_digit() {
+                    // `1.5` but not the range `1..5` or the call `1.max(2)`.
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            out.toks.push(Tok {
+                kind: Kind::Num,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        if c == '"' {
+            let (content, ni, nl) = lex_cooked_string(&b, i + 1, line);
+            out.toks.push(Tok {
+                kind: Kind::Str,
+                text: content,
+                line,
+            });
+            i = ni;
+            line = nl;
+            continue;
+        }
+        if c == '\'' {
+            let (tok, ni) = lex_quote(&b, i, line);
+            out.toks.push(tok);
+            i = ni;
+            continue;
+        }
+        out.toks.push(Tok {
+            kind: Kind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+/// Parse a possible waiver out of one line-comment body.
+fn scan_waiver(comment: &str, line: u32, own_line: bool, out: &mut Lexed) {
+    let Some(pos) = comment.find(WAIVER_MARKER) else {
+        return;
+    };
+    let rest = comment[pos + WAIVER_MARKER.len()..].trim_start();
+    let Some(inner) = rest.strip_prefix("allow(") else {
+        out.issues.push((
+            line,
+            format!("malformed waiver: expected `allow(<rules>)` after `{WAIVER_MARKER}`"),
+        ));
+        return;
+    };
+    let Some(close) = inner.find(')') else {
+        out.issues
+            .push((line, "malformed waiver: unclosed `allow(`".to_string()));
+        return;
+    };
+    let rules: Vec<String> = inner[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        out.issues
+            .push((line, "malformed waiver: empty rule list".to_string()));
+        return;
+    }
+    let mut just = inner[close + 1..].trim();
+    for dash in ["—", "--", "-"] {
+        if let Some(j) = just.strip_prefix(dash) {
+            just = j.trim();
+            break;
+        }
+    }
+    if just.is_empty() {
+        out.issues.push((
+            line,
+            "waiver missing justification: write `— <why this is safe>`".to_string(),
+        ));
+        return;
+    }
+    out.waivers.push(Waiver {
+        line,
+        rules,
+        justification: just.to_string(),
+        own_line,
+    });
+}
+
+/// `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, and raw identifiers `r#ident`.
+/// Returns `None` when `i` is just an ordinary ident starting with r/b.
+fn lex_prefixed_literal(b: &[char], i: usize, line: u32) -> Option<(Tok, usize, u32)> {
+    let n = b.len();
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+        if j < n && b[j] == '"' {
+            let (content, ni, nl) = lex_cooked_string(b, j + 1, line);
+            return Some((
+                Tok {
+                    kind: Kind::Str,
+                    text: content,
+                    line,
+                },
+                ni,
+                nl,
+            ));
+        }
+    }
+    if j < n && b[j] == 'r' {
+        j += 1;
+        let mut hashes = 0usize;
+        while j < n && b[j] == '#' {
+            hashes += 1;
+            j += 1;
+        }
+        if j < n && b[j] == '"' {
+            // Raw string: scan for `"` followed by `hashes` hashes.
+            j += 1;
+            let start = j;
+            let mut nl = line;
+            while j < n {
+                if b[j] == '\n' {
+                    nl += 1;
+                    j += 1;
+                    continue;
+                }
+                if b[j] == '"'
+                    && b[j + 1..]
+                        .iter()
+                        .take(hashes)
+                        .filter(|c| **c == '#')
+                        .count()
+                        == hashes
+                {
+                    let content: String = b[start..j].iter().collect();
+                    return Some((
+                        Tok {
+                            kind: Kind::Str,
+                            text: content,
+                            line,
+                        },
+                        j + 1 + hashes,
+                        nl,
+                    ));
+                }
+                j += 1;
+            }
+            // Unterminated: treat the rest of the file as the literal.
+            return Some((
+                Tok {
+                    kind: Kind::Str,
+                    text: String::new(),
+                    line,
+                },
+                n,
+                nl,
+            ));
+        }
+        if hashes == 1 && b[i] == 'r' && j < n && is_ident_start(b[j]) {
+            // Raw identifier `r#ident`.
+            let start = j;
+            let mut k = j;
+            while k < n && is_ident_cont(b[k]) {
+                k += 1;
+            }
+            return Some((
+                Tok {
+                    kind: Kind::Ident,
+                    text: b[start..k].iter().collect(),
+                    line,
+                },
+                k,
+                line,
+            ));
+        }
+    }
+    None
+}
+
+/// Cooked string body starting *after* the opening quote. Returns
+/// `(content, index after closing quote, line after)`.
+fn lex_cooked_string(b: &[char], mut i: usize, mut line: u32) -> (String, usize, u32) {
+    let n = b.len();
+    let start = i;
+    while i < n {
+        match b[i] {
+            '\\' => {
+                if i + 1 < n && b[i + 1] == '\n' {
+                    line += 1;
+                }
+                i += 2;
+            }
+            '"' => {
+                let content: String = b[start..i].iter().collect();
+                return (content, i + 1, line);
+            }
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (b[start..].iter().collect(), n, line)
+}
+
+/// A `'`: either a lifetime or a char literal.
+fn lex_quote(b: &[char], i: usize, line: u32) -> (Tok, usize) {
+    let n = b.len();
+    // Lifetime: 'ident NOT followed by a closing quote.
+    if i + 1 < n && is_ident_start(b[i + 1]) && (i + 2 >= n || b[i + 2] != '\'') {
+        let start = i + 1;
+        let mut j = start;
+        while j < n && is_ident_cont(b[j]) {
+            j += 1;
+        }
+        return (
+            Tok {
+                kind: Kind::Lifetime,
+                text: b[start..j].iter().collect(),
+                line,
+            },
+            j,
+        );
+    }
+    // Char literal. Escapes: skip the backslash and whatever follows
+    // (including `\u{…}`), then expect the closing quote.
+    let mut j = i + 1;
+    if j < n && b[j] == '\\' {
+        j += 1;
+        if j < n && b[j] == 'u' {
+            while j < n && b[j] != '}' {
+                j += 1;
+            }
+        }
+        j += 1;
+    } else if j < n {
+        j += 1;
+    }
+    if j < n && b[j] == '\'' {
+        j += 1;
+    }
+    (
+        Tok {
+            kind: Kind::Str,
+            text: String::new(),
+            line,
+        },
+        j,
+    )
+}

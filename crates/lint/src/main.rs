@@ -1,0 +1,69 @@
+//! CLI for `mmdb-lint`: lint the workspace against the checked-in
+//! policy and exit non-zero on any unwaived finding.
+//!
+//! ```text
+//! cargo run -p mmdb-lint -- [--root DIR] [--policy FILE] [--quiet]
+//! ```
+
+// This is the report-emitting binary: stdout is its output channel.
+#![allow(clippy::print_stdout)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut policy: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a value"),
+            },
+            "--policy" => match args.next() {
+                Some(v) => policy = Some(PathBuf::from(v)),
+                None => return usage("--policy needs a value"),
+            },
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let policy_path = policy.unwrap_or_else(|| root.join("mmdb-lint.policy"));
+    let policy_text = match std::fs::read_to_string(&policy_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "mmdb-lint: cannot read policy {}: {e}",
+                policy_path.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match mmdb_lint::lint_root(&root, &policy_text) {
+        Ok(report) => {
+            if !quiet || !report.is_clean() {
+                print!("{}", report.render());
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("mmdb-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("mmdb-lint: {err}");
+    }
+    eprintln!("usage: mmdb-lint [--root DIR] [--policy FILE] [--quiet]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,73 @@
+//! Rule `feature-gate`: the `raw_*` snapshot APIs and `mmdb-check`
+//! hooks exist to let the checker see inside structures; referencing
+//! them from code that is compiled into production builds defeats the
+//! encapsulation they deliberately break. Every reference must sit in a
+//! `cfg(feature = "check")` (or test) context, or in an exempt path
+//! (the check layer itself).
+
+use crate::diag::Diagnostic;
+use crate::lexer::Kind;
+use crate::policy::{path_covered, Policy};
+use crate::Workspace;
+use std::collections::BTreeMap;
+
+/// Rule id.
+pub const RULE: &str = "feature-gate";
+
+/// Run the rule.
+pub fn run(ws: &Workspace, policy: &Policy, out: &mut Vec<Diagnostic>) {
+    let p = &policy.gate;
+    if p.prefixes.is_empty() && p.idents.is_empty() {
+        return;
+    }
+    for file in &ws.files {
+        if path_covered(&file.path, &p.exempt) {
+            continue;
+        }
+        for f in &file.fns {
+            if f.in_test || f.features.iter().any(|ft| ft == &p.feature) {
+                continue;
+            }
+            let Some((open, close)) = f.body else {
+                continue;
+            };
+            let mut hits: BTreeMap<(u32, String), u32> = BTreeMap::new();
+            for i in open..=close {
+                let t = &file.toks[i];
+                if t.kind != Kind::Ident {
+                    continue;
+                }
+                let gated = p
+                    .prefixes
+                    .iter()
+                    .any(|pre| t.text.starts_with(pre.as_str()))
+                    || p.idents.contains(&t.text);
+                if !gated {
+                    continue;
+                }
+                // A nested definition is not a reference.
+                if i > 0 && file.toks[i - 1].is_ident("fn") {
+                    continue;
+                }
+                *hits.entry((t.line, t.text.clone())).or_insert(0) += 1;
+            }
+            for ((line, ident), _) in hits {
+                out.push(Diagnostic {
+                    file: file.path.clone(),
+                    line,
+                    rule: RULE.to_string(),
+                    message: format!(
+                        "`{ident}` referenced outside cfg(feature = \"{}\") in `{}`",
+                        p.feature, f.qual_name
+                    ),
+                    hint: format!(
+                        "gate the item with #[cfg(feature = \"{0}\")] or \
+                         #[cfg(any(test, feature = \"{0}\"))], or move the logic into \
+                         the check layer",
+                        p.feature
+                    ),
+                });
+            }
+        }
+    }
+}

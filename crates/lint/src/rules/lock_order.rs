@@ -1,0 +1,220 @@
+//! Rule `lock-order`: acquisitions must follow the canonical order
+//! declared in the policy (catalog → relation → partition, matching the
+//! paper's §2.5 partition-granularity locking), and no `parking_lot`
+//! guard may be held across a call that can re-enter `mmdb-lock` —
+//! the latent latch-vs-lock deadlock shape.
+//!
+//! Both checks are intra-function over the token stream: acquisition
+//! calls are mapped to levels by name; guards are recognized from
+//! `let g = expr.lock()`-shaped bindings of zero-argument guard methods
+//! and die at `drop(g)` or the end of their block.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{Kind, Tok};
+use crate::policy::{path_covered, Policy};
+use crate::Workspace;
+
+/// Rule id.
+pub const RULE: &str = "lock-order";
+
+struct Guard {
+    name: String,
+    depth: i32,
+    line: u32,
+    /// Token index after the binding's `;` — live from there on.
+    active_from: usize,
+}
+
+/// Run the rule.
+pub fn run(ws: &Workspace, policy: &Policy, out: &mut Vec<Diagnostic>) {
+    let p = &policy.lock;
+    if p.paths.is_empty() || p.order.is_empty() {
+        return;
+    }
+    for file in &ws.files {
+        if !path_covered(&file.path, &p.paths) {
+            continue;
+        }
+        for f in &file.fns {
+            if f.in_test {
+                continue;
+            }
+            if p.allow
+                .iter()
+                .any(|a| a.target == f.qual_name || a.target == f.name)
+            {
+                continue;
+            }
+            let Some((open, close)) = f.body else {
+                continue;
+            };
+            check_body(&file.path, &file.toks, open, close, policy, out);
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn check_body(
+    path: &str,
+    toks: &[Tok],
+    open: usize,
+    close: usize,
+    policy: &Policy,
+    out: &mut Vec<Diagnostic>,
+) {
+    let p = &policy.lock;
+    let mut depth = 0i32;
+    let mut max_level: Option<(usize, String, u32)> = None;
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut i = open;
+    while i <= close {
+        let t = &toks[i];
+        if t.is_punct('{') {
+            depth += 1;
+            i += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            depth -= 1;
+            guards.retain(|g| g.depth <= depth);
+            i += 1;
+            continue;
+        }
+        // Guard binding: `let [mut] name = … .guard_method() … ;`
+        if t.is_ident("let") {
+            if let Some(g) = parse_guard_let(toks, i, close, depth, &p.guards) {
+                guards.push(g);
+            }
+            i += 1;
+            continue;
+        }
+        // `drop(name)` releases a guard early.
+        if t.is_ident("drop")
+            && i + 2 <= close
+            && toks[i + 1].is_punct('(')
+            && toks[i + 2].kind == Kind::Ident
+        {
+            let victim = toks[i + 2].text.clone();
+            guards.retain(|g| g.name != victim);
+            i += 3;
+            continue;
+        }
+        // Calls: level ordering + reentrancy under a live guard.
+        if t.kind == Kind::Ident
+            && i < close
+            && toks[i + 1].is_punct('(')
+            && !(i > 0 && (toks[i - 1].is_ident("fn") || toks[i - 1].is_punct('!')))
+        {
+            if p.reentrant.iter().any(|r| r == &t.text) {
+                if let Some(g) = guards.iter().find(|g| g.active_from <= i) {
+                    out.push(Diagnostic {
+                        file: path.to_string(),
+                        line: t.line,
+                        rule: RULE.to_string(),
+                        message: format!(
+                            "calls `{}` (re-enters mmdb-lock) while `parking_lot` guard \
+                             `{}` (line {}) is held",
+                            t.text, g.name, g.line
+                        ),
+                        hint: format!(
+                            "drop `{}` before the call, or restructure so the latch is \
+                             never held across lock-manager entry",
+                            g.name
+                        ),
+                    });
+                }
+            }
+            if let Some(&(_, level)) = p
+                .level_fns
+                .iter()
+                .map(|(n, l)| (n, *l))
+                .find(|(n, _)| *n == &t.text)
+                .as_ref()
+            {
+                match &max_level {
+                    Some((maxl, maxn, maxline)) if level < *maxl => {
+                        out.push(Diagnostic {
+                            file: path.to_string(),
+                            line: t.line,
+                            rule: RULE.to_string(),
+                            message: format!(
+                                "acquires `{}` ({}) after `{}` ({}, line {}) — canonical \
+                                 order is {}",
+                                t.text,
+                                p.order[level],
+                                maxn,
+                                p.order[*maxl],
+                                maxline,
+                                p.order.join(" → ")
+                            ),
+                            hint: "re-order the acquisitions (outermost level first), or \
+                                   split the function so each path acquires in order"
+                                .to_string(),
+                        });
+                    }
+                    Some((maxl, _, _)) if level <= *maxl => {}
+                    _ => max_level = Some((level, t.text.clone(), t.line)),
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Recognize `let [mut] name [: ty] = …` whose initializer calls a
+/// zero-argument guard method. Returns the guard with its activation
+/// point (the statement's terminating `;`).
+fn parse_guard_let(
+    toks: &[Tok],
+    let_idx: usize,
+    close: usize,
+    depth: i32,
+    guard_methods: &[String],
+) -> Option<Guard> {
+    let mut j = let_idx + 1;
+    if j <= close && toks[j].is_ident("mut") {
+        j += 1;
+    }
+    if j > close || toks[j].kind != Kind::Ident {
+        return None; // destructuring pattern — not a single guard binding
+    }
+    let name = toks[j].text.clone();
+    let line = toks[let_idx].line;
+    // Scan the initializer to the statement's `;` at relative depth 0.
+    let mut rel = 0i32;
+    let mut k = j + 1;
+    let mut found = false;
+    while k <= close {
+        let t = &toks[k];
+        if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+            rel += 1;
+        } else if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') {
+            rel -= 1;
+            if rel < 0 {
+                break;
+            }
+        } else if t.is_punct(';') && rel == 0 {
+            break;
+        } else if t.kind == Kind::Ident
+            && guard_methods.iter().any(|g| g == &t.text)
+            && k > 0
+            && toks[k - 1].is_punct('.')
+            && k + 2 <= close
+            && toks[k + 1].is_punct('(')
+            && toks[k + 2].is_punct(')')
+        {
+            found = true;
+        }
+        k += 1;
+    }
+    if found {
+        Some(Guard {
+            name,
+            depth,
+            line,
+            active_from: k,
+        })
+    } else {
+        None
+    }
+}

@@ -1,0 +1,137 @@
+//! Rule `panic-path`: in designated hot-kernel modules, flag constructs
+//! that can panic at runtime and that the clippy `unwrap_used` gate does
+//! not cover — direct indexing/slicing, panic-family macros, and
+//! division/remainder by a variable (`unwrap`/`expect` are included for
+//! one uniform kernel report).
+//!
+//! Plain `+`/`-`/`*` are deliberately NOT flagged: release builds wrap
+//! instead of panicking, so overflow is a correctness concern for
+//! mmdb-check, not a panic path. Findings on the same line coalesce.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{Kind, Tok};
+use crate::policy::{path_covered, Policy};
+use crate::Workspace;
+use std::collections::BTreeMap;
+
+/// Rule id.
+pub const RULE: &str = "panic-path";
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Idents that look like a value position before `[` but are really
+/// type syntax (`&mut [T]`, `impl [Trait]`…).
+const NON_VALUE_BEFORE_BRACKET: &[&str] = &["mut", "dyn", "impl", "where"];
+
+/// Run the rule.
+pub fn run(ws: &Workspace, policy: &Policy, out: &mut Vec<Diagnostic>) {
+    let p = &policy.panic;
+    if p.paths.is_empty() {
+        return;
+    }
+    for file in &ws.files {
+        if !path_covered(&file.path, &p.paths) {
+            continue;
+        }
+        for f in &file.fns {
+            if f.in_test {
+                continue;
+            }
+            if p.allow
+                .iter()
+                .any(|a| a.target == f.qual_name || a.target == f.name)
+            {
+                continue;
+            }
+            let Some((open, close)) = f.body else {
+                continue;
+            };
+            let mut hits: BTreeMap<(u32, &'static str), u32> = BTreeMap::new();
+            scan_body(&file.toks, open, close, &mut hits);
+            for ((line, kind), count) in hits {
+                let many = if count > 1 {
+                    format!(" (x{count})")
+                } else {
+                    String::new()
+                };
+                out.push(Diagnostic {
+                    file: file.path.clone(),
+                    line,
+                    rule: RULE.to_string(),
+                    message: format!("{kind}{many} in hot kernel fn `{}`", f.qual_name),
+                    hint: hint_for(kind).to_string(),
+                });
+            }
+        }
+    }
+}
+
+fn hint_for(kind: &str) -> &'static str {
+    match kind {
+        "unwrap/expect" => "propagate the error instead; hot kernels must not panic",
+        "panic macro" => "return an error or make the state unrepresentable",
+        "div/mod by variable" => {
+            "guard the divisor against zero, or waive with a justification \
+             naming why it is structurally non-zero"
+        }
+        _ => {
+            "prefer iterators/get()/split_at, or waive with a justification \
+             naming the bound that makes the index safe"
+        }
+    }
+}
+
+fn scan_body(
+    toks: &[Tok],
+    open: usize,
+    close: usize,
+    hits: &mut BTreeMap<(u32, &'static str), u32>,
+) {
+    let mut i = open;
+    while i <= close {
+        let t = &toks[i];
+        // `.unwrap()` / `.expect(...)`.
+        if t.kind == Kind::Ident
+            && (t.text == "unwrap" || t.text == "expect")
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && i < close
+            && toks[i + 1].is_punct('(')
+        {
+            *hits.entry((t.line, "unwrap/expect")).or_insert(0) += 1;
+        }
+        // `panic!` / `unreachable!` / `todo!` / `unimplemented!`.
+        if t.kind == Kind::Ident
+            && PANIC_MACROS.contains(&t.text.as_str())
+            && i < close
+            && toks[i + 1].is_punct('!')
+        {
+            *hits.entry((t.line, "panic macro")).or_insert(0) += 1;
+        }
+        // Direct indexing/slicing: `expr[` where expr ends in an ident,
+        // `)` or `]` (excluding type positions like `&mut [T]`).
+        if t.is_punct('[') && i > open {
+            let prev = &toks[i - 1];
+            let value_pos = (prev.kind == Kind::Ident
+                && !NON_VALUE_BEFORE_BRACKET.contains(&prev.text.as_str()))
+                || prev.is_punct(')')
+                || prev.is_punct(']');
+            if value_pos {
+                *hits.entry((t.line, "direct index/slice")).or_insert(0) += 1;
+            }
+        }
+        // `/` or `%` with a variable right-hand side (div-by-zero path).
+        // ALL_CAPS idents are treated as (non-zero) constants.
+        if (t.is_punct('/') || t.is_punct('%')) && i < close {
+            let mut r = i + 1;
+            if toks[r].is_punct('=') && r < close {
+                r += 1; // `/=` and `%=` forms
+            }
+            let rhs = &toks[r];
+            if rhs.kind == Kind::Ident && rhs.text.chars().any(|c| c.is_ascii_lowercase()) {
+                *hits.entry((t.line, "div/mod by variable")).or_insert(0) += 1;
+            }
+        }
+        i += 1;
+    }
+}

@@ -1,0 +1,450 @@
+//! Brace-aware item scanner: walks a lexed token stream and extracts
+//! function items with the context the rules need — enclosing `impl`
+//! type, `cfg` gating (module-, impl-, and item-level), receiver
+//! mutability, and the token range of the body.
+//!
+//! Approximations (documented in DESIGN.md §13): `cfg` conditions are
+//! flattened (`any(test, feature = "x")` counts as both; a `not(...)`
+//! condition is ignored entirely), and functions nested inside another
+//! function's body are attributed to the outer function.
+
+use crate::lexer::{Kind, Tok};
+
+/// Flattened `cfg` context.
+#[derive(Debug, Clone, Default)]
+pub struct CfgInfo {
+    /// `cfg(test)` (or `#[test]`) anywhere in the condition or context.
+    pub test: bool,
+    /// Every `feature = "…"` name seen in the condition or context.
+    pub features: Vec<String>,
+}
+
+impl CfgInfo {
+    fn merge(&mut self, other: &CfgInfo) {
+        self.test |= other.test;
+        for f in &other.features {
+            if !self.features.contains(f) {
+                self.features.push(f.clone());
+            }
+        }
+    }
+}
+
+/// One function item.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// Bare name.
+    pub name: String,
+    /// `Type::name` when inside an inherent/trait impl, else the name.
+    pub qual_name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Line of the body's closing brace (or of `fn` for bodyless items).
+    pub end_line: u32,
+    /// Token index where the item's attributes/qualifiers begin.
+    pub header_start: usize,
+    /// Token range `(open brace, close brace)` of the body, inclusive.
+    pub body: Option<(usize, usize)>,
+    /// Takes `&mut self`.
+    pub mut_self: bool,
+    /// Type idents `T` of every `&mut T` parameter.
+    pub mut_params: Vec<String>,
+    /// In `cfg(test)` context or carrying `#[test]`.
+    pub in_test: bool,
+    /// Features the surrounding context is gated on.
+    pub features: Vec<String>,
+    /// Self type of the enclosing impl block, if any.
+    pub impl_type: Option<String>,
+}
+
+struct Ctx {
+    cfg: CfgInfo,
+    impl_type: Option<String>,
+}
+
+/// One stack frame per `{`; `ctx` is set when the brace opened a
+/// module or impl block.
+struct Frame {
+    has_ctx: bool,
+}
+
+/// Scan a token stream into function items.
+#[must_use]
+pub fn scan(toks: &[Tok]) -> Vec<FnInfo> {
+    let mut fns = Vec::new();
+    let mut ctxs: Vec<Ctx> = vec![Ctx {
+        cfg: CfgInfo::default(),
+        impl_type: None,
+    }];
+    let mut frames: Vec<Frame> = Vec::new();
+    let mut pending_cfg = CfgInfo::default();
+    let mut pending_start: Option<usize> = None;
+    let n = toks.len();
+    let mut i = 0usize;
+
+    while i < n {
+        let t = &toks[i];
+        if t.is_punct('#') {
+            let mut j = i + 1;
+            let inner = j < n && toks[j].is_punct('!');
+            if inner {
+                j += 1;
+            }
+            if j < n && toks[j].is_punct('[') {
+                let end = match_balanced(toks, j, '[', ']');
+                let cfg = cfg_of_attr(&toks[j + 1..end]);
+                if inner {
+                    if let Some(top) = ctxs.last_mut() {
+                        top.cfg.merge(&cfg);
+                    }
+                } else {
+                    pending_cfg.merge(&cfg);
+                    pending_start.get_or_insert(i);
+                }
+                i = end + 1;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        if t.is_ident("mod") {
+            // `mod name ;` or `mod name {`.
+            let mut j = i + 1;
+            while j < n && !toks[j].is_punct(';') && !toks[j].is_punct('{') {
+                j += 1;
+            }
+            if j < n && toks[j].is_punct('{') {
+                let mut cfg = top_cfg(&ctxs);
+                cfg.merge(&pending_cfg);
+                ctxs.push(Ctx {
+                    cfg,
+                    impl_type: None,
+                });
+                frames.push(Frame { has_ctx: true });
+            }
+            pending_cfg = CfgInfo::default();
+            pending_start = None;
+            i = j + 1;
+            continue;
+        }
+        if t.is_ident("impl") {
+            let (impl_type, open) = parse_impl_header(toks, i + 1);
+            if let Some(open) = open {
+                let mut cfg = top_cfg(&ctxs);
+                cfg.merge(&pending_cfg);
+                ctxs.push(Ctx { cfg, impl_type });
+                frames.push(Frame { has_ctx: true });
+                i = open + 1;
+            } else {
+                i += 1;
+            }
+            pending_cfg = CfgInfo::default();
+            pending_start = None;
+            continue;
+        }
+        if t.is_ident("fn") {
+            let header_start = pending_start.unwrap_or_else(|| qualifier_start(toks, i));
+            let info = parse_fn(toks, i, header_start, &ctxs, &pending_cfg);
+            let next = info.body.map_or_else(
+                || skip_to_body_or_semi(toks, i).1 + 1,
+                |(_, close)| close + 1,
+            );
+            fns.push(info);
+            pending_cfg = CfgInfo::default();
+            pending_start = None;
+            i = next;
+            continue;
+        }
+        if t.is_punct('{') {
+            frames.push(Frame { has_ctx: false });
+            pending_cfg = CfgInfo::default();
+            pending_start = None;
+            i += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            if let Some(f) = frames.pop() {
+                if f.has_ctx && ctxs.len() > 1 {
+                    ctxs.pop();
+                }
+            }
+            i += 1;
+            continue;
+        }
+        if t.is_punct(';') {
+            pending_cfg = CfgInfo::default();
+            pending_start = None;
+        }
+        i += 1;
+    }
+    fns
+}
+
+fn top_cfg(ctxs: &[Ctx]) -> CfgInfo {
+    ctxs.last().map(|c| c.cfg.clone()).unwrap_or_default()
+}
+
+/// Index of the matching closer for the opener at `open`.
+fn match_balanced(toks: &[Tok], open: usize, oc: char, cc: char) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < toks.len() {
+        if toks[j].is_punct(oc) {
+            depth += 1;
+        } else if toks[j].is_punct(cc) {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Flattened cfg info of one attribute's tokens (everything between the
+/// outer brackets). `cfg_attr` is deliberately ignored: it conditions an
+/// attribute, not the item. A `not(...)` makes the whole cfg moot for
+/// our permissive gating question, so the condition is dropped.
+fn cfg_of_attr(inner: &[Tok]) -> CfgInfo {
+    let mut out = CfgInfo::default();
+    let Some(first) = inner.first() else {
+        return out;
+    };
+    if first.is_ident("test") && inner.len() == 1 {
+        out.test = true;
+        return out;
+    }
+    if !first.is_ident("cfg") {
+        return out;
+    }
+    if inner.iter().any(|t| t.is_ident("not")) {
+        return out;
+    }
+    let mut j = 0usize;
+    while j < inner.len() {
+        if inner[j].is_ident("test") {
+            out.test = true;
+        }
+        if inner[j].is_ident("feature")
+            && j + 2 < inner.len()
+            && inner[j + 1].is_punct('=')
+            && inner[j + 2].kind == Kind::Str
+        {
+            let f = inner[j + 2].text.clone();
+            if !out.features.contains(&f) {
+                out.features.push(f);
+            }
+            j += 3;
+            continue;
+        }
+        j += 1;
+    }
+    out
+}
+
+/// After the `impl` keyword: skip generics, read the self type (the part
+/// after `for` when present), return `(type base ident, index of '{')`.
+fn parse_impl_header(toks: &[Tok], mut j: usize) -> (Option<String>, Option<usize>) {
+    let n = toks.len();
+    if j < n && toks[j].is_punct('<') {
+        j = skip_angles(toks, j) + 1;
+    }
+    let mut base: Option<String> = None;
+    let mut angle_depth = 0usize;
+    while j < n {
+        let t = &toks[j];
+        if t.is_punct('{') && angle_depth == 0 {
+            return (base, Some(j));
+        }
+        if t.is_punct('<') {
+            angle_depth += 1;
+        } else if t.is_punct('>') && angle_depth > 0 && !(j > 0 && toks[j - 1].is_punct('-')) {
+            angle_depth -= 1;
+        } else if angle_depth == 0 {
+            if t.is_ident("for") {
+                base = None; // what came before was the trait
+            } else if t.is_ident("where") {
+                // Type is settled; scan on for the brace.
+            } else if t.kind == Kind::Ident
+                && !matches!(
+                    t.text.as_str(),
+                    "dyn" | "mut" | "const" | "crate" | "super" | "self"
+                )
+            {
+                base = Some(t.text.clone());
+            }
+        }
+        j += 1;
+    }
+    (base, None)
+}
+
+/// Index of the `>` closing the `<` at `j`, arrow-aware (`->` inside
+/// `Fn(..) -> T` bounds does not close a bracket).
+fn skip_angles(toks: &[Tok], j: usize) -> usize {
+    let mut depth = 0usize;
+    let mut k = j;
+    while k < toks.len() {
+        if toks[k].is_punct('<') {
+            depth += 1;
+        } else if toks[k].is_punct('>') && !(k > 0 && toks[k - 1].is_punct('-')) {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+        k += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Walk back from the `fn` keyword over visibility/qualifier tokens to
+/// find where the item header starts.
+fn qualifier_start(toks: &[Tok], fn_idx: usize) -> usize {
+    let mut j = fn_idx;
+    while j > 0 {
+        let p = &toks[j - 1];
+        let is_qual = matches!(
+            p.text.as_str(),
+            "pub" | "crate" | "super" | "self" | "in" | "const" | "unsafe" | "async" | "extern"
+        ) && p.kind == Kind::Ident
+            || p.is_punct('(')
+            || p.is_punct(')')
+            || p.kind == Kind::Str; // extern "C"
+        if is_qual {
+            j -= 1;
+        } else {
+            break;
+        }
+    }
+    j
+}
+
+/// From the `fn` keyword, find either the body's opening brace or the
+/// terminating semicolon; returns `(Some(open), open)` or `(None, semi)`.
+fn skip_to_body_or_semi(toks: &[Tok], fn_idx: usize) -> (Option<usize>, usize) {
+    let n = toks.len();
+    let mut j = fn_idx + 1;
+    // Name.
+    if j < n && toks[j].kind == Kind::Ident {
+        j += 1;
+    }
+    // Generics.
+    if j < n && toks[j].is_punct('<') {
+        j = skip_angles(toks, j) + 1;
+    }
+    // Parameter list.
+    if j < n && toks[j].is_punct('(') {
+        j = match_balanced(toks, j, '(', ')') + 1;
+    }
+    // Return type / where clause. Track paren/bracket nesting so `-> [u8;
+    // 4]` doesn't stop at its inner `;`; a top-level `}` means there is no
+    // body (e.g. an `fn(..)` pointer type misread as an item).
+    let mut depth = 0i32;
+    while j < n {
+        let t = &toks[j];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if depth == 0 {
+            if t.is_punct('{') {
+                return (Some(j), j);
+            }
+            if t.is_punct(';') {
+                break;
+            }
+            if t.is_punct('}') {
+                // Not an item after all; let the caller re-see the brace.
+                return (None, j.saturating_sub(1));
+            }
+        }
+        j += 1;
+    }
+    (None, j.min(n.saturating_sub(1)))
+}
+
+fn parse_fn(
+    toks: &[Tok],
+    fn_idx: usize,
+    header_start: usize,
+    ctxs: &[Ctx],
+    pending: &CfgInfo,
+) -> FnInfo {
+    let n = toks.len();
+    let name = toks
+        .get(fn_idx + 1)
+        .filter(|t| t.kind == Kind::Ident)
+        .map_or_else(String::new, |t| t.text.clone());
+    let mut cfg = top_cfg(ctxs);
+    cfg.merge(pending);
+    let impl_type = ctxs.last().and_then(|c| c.impl_type.clone());
+    let qual_name = impl_type
+        .as_ref()
+        .map_or_else(|| name.clone(), |t| format!("{t}::{name}"));
+
+    // Locate the parameter list.
+    let mut j = fn_idx + 2;
+    if j < n && toks[j].is_punct('<') {
+        j = skip_angles(toks, j) + 1;
+    }
+    let mut mut_self = false;
+    let mut mut_params = Vec::new();
+    if j < n && toks[j].is_punct('(') {
+        let close = match_balanced(toks, j, '(', ')');
+        let params = &toks[j + 1..close];
+        // Receiver: `self` in the first comma segment at paren depth 0.
+        let mut depth = 0i32;
+        let mut first_seg_end = params.len();
+        for (k, t) in params.iter().enumerate() {
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if t.is_punct(',') && depth == 0 {
+                first_seg_end = k;
+                break;
+            }
+        }
+        let first = &params[..first_seg_end];
+        if first.iter().any(|t| t.is_ident("self")) {
+            mut_self =
+                first.iter().any(|t| t.is_ident("mut")) && first.iter().any(|t| t.is_punct('&'));
+        }
+        // `&mut T` parameters anywhere in the list.
+        let mut k = 0usize;
+        while k < params.len() {
+            if params[k].is_punct('&') {
+                let mut m = k + 1;
+                if m < params.len() && params[m].kind == Kind::Lifetime {
+                    m += 1;
+                }
+                if m + 1 < params.len()
+                    && params[m].is_ident("mut")
+                    && params[m + 1].kind == Kind::Ident
+                    && !params[m + 1].is_ident("self")
+                {
+                    mut_params.push(params[m + 1].text.clone());
+                }
+            }
+            k += 1;
+        }
+    }
+    let (body_open, _) = skip_to_body_or_semi(toks, fn_idx);
+    let body = body_open.map(|open| (open, match_balanced(toks, open, '{', '}')));
+    let end_line = body.map_or(toks[fn_idx].line, |(_, close)| toks[close].line);
+    FnInfo {
+        name,
+        qual_name,
+        line: toks[fn_idx].line,
+        end_line,
+        header_start,
+        body,
+        mut_self,
+        mut_params,
+        in_test: cfg.test,
+        features: cfg.features,
+        impl_type,
+    }
+}

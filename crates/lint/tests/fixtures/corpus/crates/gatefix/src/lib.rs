@@ -1,0 +1,45 @@
+//! Feature-gate fixtures: gated and ungated references to `raw_*` and
+//! deep-check hooks, plus one malformed waiver.
+
+/// The raw API itself — a definition, not a reference.
+pub fn raw_nodes() -> usize {
+    0
+}
+
+/// The deep-check hook itself.
+pub fn deep_check() {}
+
+/// SEEDED VIOLATION (feature-gate): ungated `raw_*` reference.
+pub fn peek() -> usize {
+    raw_nodes()
+}
+
+/// SEEDED VIOLATION (feature-gate): ungated deep-check call.
+pub fn verify_all() {
+    deep_check();
+}
+
+/// Clean: reference under the check feature.
+#[cfg(feature = "check")]
+pub fn peek_gated() -> usize {
+    raw_nodes()
+}
+
+/// Clean: reference under any(test, feature = "check").
+#[cfg(any(test, feature = "check"))]
+pub fn peek_either() -> usize {
+    raw_nodes()
+}
+
+// mmdb-lint: allow(feature-gate)
+pub fn bad_waiver_site() -> usize {
+    raw_nodes()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn raw_in_test_is_fine() {
+        assert_eq!(super::raw_nodes(), 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Panic-path fixtures: one of each flagged shape, a waived function,
+//! and checked equivalents that must stay silent.
+
+/// SEEDED VIOLATION (panic-path): direct index.
+pub fn index_bad(xs: &[u32], i: usize) -> u32 {
+    xs[i]
+}
+
+/// SEEDED VIOLATION (panic-path): unwrap.
+pub fn unwrap_bad(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+/// SEEDED VIOLATION (panic-path): expect.
+pub fn expect_bad(x: Option<u32>) -> u32 {
+    x.expect("present")
+}
+
+/// SEEDED VIOLATION (panic-path): panic-family macro.
+pub fn panic_bad(flag: bool) {
+    if flag {
+        panic!("boom");
+    }
+}
+
+/// SEEDED VIOLATION (panic-path): division by a variable.
+pub fn div_bad(a: u32, b: u32) -> u32 {
+    a / b
+}
+
+// mmdb-lint: allow(panic-path) — the caller clamps i to xs.len() - 1
+pub fn index_waived(xs: &[u32], i: usize) -> u32 {
+    xs[i]
+}
+
+/// Clean: checked access, constant divisor, guarded arithmetic.
+pub fn checked_ok(xs: &[u32], i: usize) -> u32 {
+    const SCALE: u32 = 4;
+    let v = xs.get(i).copied().unwrap_or_default();
+    v / SCALE
+}

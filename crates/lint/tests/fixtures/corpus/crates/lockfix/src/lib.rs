@@ -1,0 +1,54 @@
+//! Lock-order fixtures: ordered and out-of-order acquisition, plus a
+//! latch held across (and one dropped before) a lock-manager re-entry.
+
+pub struct LockManager;
+
+impl LockManager {
+    pub fn acquire(&self, _target: u32) {}
+    pub fn lock_catalog(&self) {}
+    pub fn lock_relation(&self) {}
+}
+
+pub struct Latch;
+
+pub struct LatchGuard;
+
+impl Latch {
+    pub fn lock(&self) -> LatchGuard {
+        LatchGuard
+    }
+}
+
+/// Clean: catalog before partition.
+pub fn ordered(m: &LockManager) {
+    m.lock_catalog();
+    m.acquire(1);
+}
+
+/// SEEDED VIOLATION (lock-order): partition before relation.
+pub fn unordered(m: &LockManager) {
+    m.acquire(1);
+    m.lock_relation();
+}
+
+/// SEEDED VIOLATION (lock-order): latch held across `acquire`.
+pub fn latch_across(l: &Latch, m: &LockManager) {
+    let g = l.lock();
+    m.acquire(2);
+    drop(g);
+}
+
+/// Clean: latch dropped before the re-entry.
+pub fn latch_dropped(l: &Latch, m: &LockManager) {
+    let g = l.lock();
+    drop(g);
+    m.acquire(3);
+}
+
+/// Clean: the latch dies with its inner block before the re-entry.
+pub fn latch_scoped(l: &Latch, m: &LockManager) {
+    {
+        let _g = l.lock();
+    }
+    m.acquire(4);
+}

@@ -1,0 +1,52 @@
+//! Version-bump fixtures: clean, violating, transitively violating,
+//! waived, and policy-allowlisted mutators.
+
+pub struct Relation {
+    dirty: bool,
+}
+
+pub struct Partition;
+
+impl Relation {
+    fn mark_dirty(&mut self) {
+        self.dirty = true;
+    }
+
+    fn write_slot(&mut self, _slot: usize) {}
+
+    /// Clean: reaches the sink and the bump.
+    pub fn insert_ok(&mut self) {
+        self.write_slot(0);
+        self.mark_dirty();
+    }
+
+    /// SEEDED VIOLATION (version-bump): writes without bumping.
+    pub fn insert_bad(&mut self) {
+        self.write_slot(1);
+    }
+
+    /// SEEDED VIOLATION (version-bump): reaches the sink only through
+    /// `touch`, which is itself also flagged.
+    pub fn update_bad(&mut self) {
+        self.touch();
+    }
+
+    /// SEEDED VIOLATION (version-bump): helper on the path of
+    /// `update_bad`; a mutating entry in its own right.
+    fn touch(&mut self) {
+        self.write_slot(2);
+    }
+
+    // mmdb-lint: allow(version-bump) — compaction bumps once in the caller after the whole batch moves
+    pub fn compact_step(&mut self) {
+        self.write_slot(3);
+    }
+}
+
+/// Allowlisted in fixture.policy (`allow = free_fixup -- …`).
+pub fn free_fixup(part: &mut Partition) {
+    write_raw(part);
+}
+
+/// The raw partition write; an entry with no calls, so never flagged.
+pub fn write_raw(_part: &mut Partition) {}

@@ -1,0 +1,15 @@
+//! Fixture for the version-bump regression test: a Relation method that
+//! reaches a tuple-storage write without ever bumping a partition
+//! version. Never compiled — linted under a virtual src path.
+
+pub struct Relation;
+
+impl Relation {
+    fn forward(&mut self, _slot: u32) {}
+
+    /// Bump-free mutation: reaches `forward` but neither `mark_dirty`
+    /// nor `versions`. The linter must flag this function.
+    pub fn relocate(&mut self, slot: u32) {
+        self.forward(slot);
+    }
+}

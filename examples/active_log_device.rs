@@ -9,7 +9,7 @@
 //! cargo run --example active_log_device
 //! ```
 
-#![allow(clippy::unwrap_used, clippy::expect_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::print_stdout)]
 
 use mmdb_recovery::{ActiveLogDevice, MemDisk, PartitionKey, RecoveryManager, RestartPhase};
 use parking_lot::Mutex;

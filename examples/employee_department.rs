@@ -12,7 +12,7 @@
 //! cargo run --example employee_department
 //! ```
 
-#![allow(clippy::unwrap_used, clippy::expect_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::print_stdout)]
 
 use mmdb_core::{Database, IndexKind};
 use mmdb_exec::{JoinMethod, Predicate};

@@ -5,7 +5,7 @@
 //! cargo run --release --example index_shootout [n]
 //! ```
 
-#![allow(clippy::unwrap_used, clippy::expect_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::print_stdout)]
 
 use mmdb_bench::indexes::{shuffled_keys, IndexKindB};
 use std::time::Instant;

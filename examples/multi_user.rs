@@ -7,7 +7,7 @@
 //! cargo run --release --example multi_user
 //! ```
 
-#![allow(clippy::unwrap_used, clippy::expect_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::print_stdout)]
 
 use mmdb_core::{DbServer, IndexKind};
 use mmdb_exec::Predicate;

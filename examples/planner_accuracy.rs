@@ -13,7 +13,7 @@
 //! cargo run --release --example planner_accuracy
 //! ```
 
-#![allow(clippy::unwrap_used, clippy::expect_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::print_stdout)]
 
 use mmdb_core::{Database, IndexKind, QueryBuilder};
 use mmdb_exec::JoinMethod;

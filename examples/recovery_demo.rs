@@ -9,7 +9,7 @@
 //! cargo run --example recovery_demo
 //! ```
 
-#![allow(clippy::unwrap_used, clippy::expect_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::print_stdout)]
 
 use mmdb_core::{Database, IndexKind};
 use mmdb_exec::Predicate;

@@ -36,6 +36,28 @@ gate "clippy-D-warnings" cargo clippy --workspace --all-targets -- -D warnings
 # Every feature combination must at least typecheck.
 gate "check-all-features" cargo check --workspace --all-features
 
+# Workspace invariant linter (DESIGN.md §13): version-stamp discipline,
+# lock order, panic-free hot kernels, check-feature gating. Fails on any
+# unwaived finding.
+gate "lint-invariants"   cargo run --release -q -p mmdb-lint -- --root . --policy mmdb-lint.policy
+
+# Smoke-test the gate itself: inject a bump-free mutation fixture into a
+# copy of the storage sources and demand the linter FAILS on it with a
+# version-bump finding — proving lint-invariants can actually fail.
+lint_seeded_smoke() {
+    tmp=$(mktemp -d) || return 1
+    mkdir -p "$tmp/crates/storage" || return 1
+    cp -r crates/storage/src "$tmp/crates/storage/src" || return 1
+    cp crates/storage/tests/fixtures/bump_free.rs \
+       "$tmp/crates/storage/src/zz_injected_fixture.rs" || return 1
+    out=$("./target/release/mmdb-lint" --root "$tmp" --policy mmdb-lint.policy 2>&1)
+    status=$?
+    rm -rf "$tmp"
+    [ "$status" -eq 1 ] || { echo "$out"; echo "expected exit 1, got $status"; return 1; }
+    echo "$out" | grep -q "version-bump" || { echo "$out"; return 1; }
+}
+gate "lint-seeded-smoke" lint_seeded_smoke
+
 # Full workspace suite (crate unit tests beyond the root package).
 gate "workspace-tests"   cargo test --workspace -q
 
