@@ -1,8 +1,9 @@
 //! Quick-mode perf baseline: re-runs the criterion suites' workloads
 //! (`index_ops`, `join_kernels`, `dedup`, `scaling`) at reduced
-//! cardinalities with fixed seeds and emits machine-readable
-//! `BENCH_baseline.json` (op → ns/iter) so future changes have a perf
-//! baseline to diff against.
+//! cardinalities with fixed seeds — plus the `txn_throughput` cells
+//! measuring multi-session commit throughput through the `TxnEngine` —
+//! and emits machine-readable `BENCH_baseline.json` (op → ns/iter) so
+//! future changes have a perf baseline to diff against.
 //!
 //! ```text
 //! bench_baseline [--out FILE]
@@ -378,6 +379,126 @@ fn scaling_suite(out: &mut BTreeMap<String, u64>) {
     }
 }
 
+/// Concurrent-transaction throughput over the [`TxnEngine`]: ns/txn at
+/// 1, 8, and 64 client sessions for read-only, mixed (read + update),
+/// and write-heavy (insert-batch) transactions. Each cell divides total
+/// wall clock by a fixed transaction budget, so the number includes
+/// lock acquisition, deadlock retries, group commit, and client
+/// coordination — the multi-session cost the single-threaded kernels
+/// above never see.
+fn txn_suite(out: &mut BTreeMap<String, u64>) {
+    use mmdb_core::{Database, IndexKind, TxnEngine};
+
+    const CLIENTS: [usize; 3] = [1, 8, 64];
+    /// Total transactions per cell, split evenly across the clients.
+    const TOTAL_TXNS: usize = 256;
+    /// Seeded rows the read/update transactions range over.
+    const HOT_KEYS: i64 = 256;
+
+    // Seeded, thread-local key stream (splitmix64) — `measure`'s fixed
+    // seeds discipline, without threading a shared RNG through clients.
+    fn next_key(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    for mode in ["read_only", "mixed", "write_heavy"] {
+        for clients in CLIENTS {
+            let mut db = Database::in_memory();
+            db.create_table(
+                "t",
+                Schema::of(&[("k", AttrType::Int), ("v", AttrType::Int)]),
+            )
+            .expect("create");
+            db.create_index("t_k", "t", "k", IndexKind::TTree)
+                .expect("index");
+            let mut seed_txn = db.begin();
+            for k in 0..HOT_KEYS {
+                db.insert(
+                    &mut seed_txn,
+                    "t",
+                    vec![OwnedValue::Int(k), OwnedValue::Int(k)],
+                )
+                .expect("seed insert");
+            }
+            db.commit(seed_txn).expect("seed commit");
+            let engine = TxnEngine::new(db);
+            let per_client = TOTAL_TXNS / clients;
+            // Disjoint key ranges keep write-heavy inserts unique across
+            // clients, reps, and compare-mode re-measure attempts.
+            let fresh_base = std::sync::atomic::AtomicI64::new(10_000);
+            let ((), secs) = time_best(reps(), || {
+                std::thread::scope(|scope| {
+                    for c in 0..clients {
+                        let e = engine.clone();
+                        let fresh = &fresh_base;
+                        scope.spawn(move || {
+                            let session = e.session();
+                            let mut rng = (c as u64 + 1) * 0x0dd0_c0ff_ee15_600d;
+                            for _ in 0..per_client {
+                                let r = session.with_retry(10_000, |s, txn| {
+                                    match mode {
+                                        "read_only" => {
+                                            for _ in 0..2 {
+                                                let k =
+                                                    (next_key(&mut rng) % HOT_KEYS as u64) as i64;
+                                                black_box(s.select_values(
+                                                    txn,
+                                                    "t",
+                                                    "k",
+                                                    &Predicate::Eq(KeyValue::Int(k)),
+                                                    &["v"],
+                                                )?);
+                                            }
+                                        }
+                                        "mixed" => {
+                                            let k = (next_key(&mut rng) % HOT_KEYS as u64) as i64;
+                                            let hits = s.select(
+                                                txn,
+                                                "t",
+                                                "k",
+                                                &Predicate::Eq(KeyValue::Int(k)),
+                                            )?;
+                                            let tid = hits.iter().next().map(|row| row[0]);
+                                            if let Some(tid) = tid {
+                                                let v = (next_key(&mut rng) % 100_000) as i64;
+                                                s.update(txn, "t", tid, "v", OwnedValue::Int(v))?;
+                                            }
+                                        }
+                                        _ => {
+                                            let base = fresh
+                                                .fetch_add(2, std::sync::atomic::Ordering::Relaxed);
+                                            for j in 0..2 {
+                                                s.insert(
+                                                    txn,
+                                                    "t",
+                                                    vec![
+                                                        OwnedValue::Int(base + j),
+                                                        OwnedValue::Int(-1),
+                                                    ],
+                                                )?;
+                                            }
+                                        }
+                                    }
+                                    Ok(())
+                                });
+                                black_box(r.expect("transaction must eventually commit"));
+                            }
+                        });
+                    }
+                });
+            });
+            let ns = (secs * 1e9 / (per_client * clients) as f64)
+                .round()
+                .max(0.0);
+            out.insert(format!("txn_throughput/{mode}/c{clients}"), ns as u64);
+        }
+    }
+}
+
 /// Host CPUs visible to the process (what `ExecConfig::default` clamps to).
 fn host_cpus() -> u64 {
     std::thread::available_parallelism()
@@ -434,6 +555,9 @@ fn write_json(path: &str, entries: &BTreeMap<String, u64>) -> std::io::Result<()
 /// Key prefixes gated by `--compare`. Only the join/dedup/scaling cells
 /// are large enough (hundreds of µs) to clear quick-mode jitter; the
 /// per-op index cells swing too much at these iteration counts to gate.
+/// The `txn_throughput/` cells are recorded (and printed by compares)
+/// but not gated: thread scheduling on a small host swings them well
+/// past [`REGRESS_LIMIT`] run-to-run.
 const TRACKED_PREFIXES: [&str; 3] = ["join_4k/", "dedup_4k/", "scaling_10k/"];
 /// A tracked kernel more than this factor slower than baseline fails —
 /// after dividing out the run-wide host-speed factor (the median ratio
@@ -486,6 +610,7 @@ fn run_all_suites() -> BTreeMap<String, u64> {
     join_suite(&mut entries);
     dedup_suite(&mut entries);
     scaling_suite(&mut entries);
+    txn_suite(&mut entries);
     entries
 }
 

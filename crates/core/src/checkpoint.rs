@@ -112,7 +112,7 @@ impl<S: StableStore> Database<S> {
     pub fn checkpoint_begin(&self) -> Checkpointer {
         let mut work = Vec::new();
         for (t, rel) in self.relations().enumerate() {
-            for p in rel.borrow().checkpoint_dirty_partitions() {
+            for p in rel.read().checkpoint_dirty_partitions() {
                 work.push((t, p));
             }
         }
@@ -137,9 +137,9 @@ impl<S: StableStore> Database<S> {
         let key = PartitionKey::new(t as u32, p);
         let rel = self.relation_by_id(t);
         let cut = self.recovery_mut().checkpoint_cut();
-        let image = rel.borrow().partition_image(p)?;
+        let image = rel.read().partition_image(p)?;
         let truncated = self.recovery_mut().checkpoint_image(key, &image, cut)?;
-        rel.borrow_mut().clear_checkpoint_dirty(p);
+        rel.write().clear_checkpoint_dirty(p);
         Ok(truncated)
     }
 }

@@ -16,15 +16,15 @@ use mmdb_exec::{
 };
 use mmdb_index::traits::{OrderedIndex, UnorderedIndex};
 use mmdb_index::{ModifiedLinearHash, TTree, TTreeConfig};
-use mmdb_lock::{LockManager, LockMode, LockTarget};
+use mmdb_lock::{LockManager, LockMode, LockTarget, TxnId};
 use mmdb_recovery::{MemDisk, PartitionKey, RecoveryManager, RestartPhase, StableStore};
 use mmdb_storage::{
     AttrType, OwnedValue, PartitionConfig, Relation, ResultDescriptor, Schema, TempList, TupleId,
 };
-use std::cell::RefCell;
+use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
 use std::marker::PhantomData;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Identifies a table (position in catalog order).
 pub type TableId = usize;
@@ -86,7 +86,7 @@ struct IndexDef {
 
 struct Table {
     name: String,
-    rel: Rc<RefCell<Relation>>,
+    rel: Arc<RwLock<Relation>>,
 }
 
 /// A recovered-partition record: which partition, in which restart phase.
@@ -102,7 +102,7 @@ pub struct RecoveryReport {
 pub struct Database<S: StableStore = MemDisk> {
     tables: Vec<Table>,
     indexes: Vec<IndexDef>,
-    locks: LockManager,
+    locks: Arc<LockManager>,
     recovery: RecoveryManager<S>,
     exec: ExecConfig,
     /// Monotone catalog version; selects which shadow slot the next
@@ -113,8 +113,16 @@ pub struct Database<S: StableStore = MemDisk> {
     /// Plan-keyed intermediate-result reuse cache (queries take `&self`,
     /// hence the cell). Consulted only when [`ExecConfig::cache`] or the
     /// per-query `QueryBuilder::cache(true)` knob asks for it.
-    cache: RefCell<ReuseCache>,
+    cache: Mutex<ReuseCache>,
 }
+
+/// Partition number used as a per-table append fence: transactional
+/// readers S-lock it alongside every real partition of a table, and
+/// transactions that grow the table (inserts, or updates that may
+/// relocate a tuple) X-lock it — so a committed insert can never surface
+/// as a phantom inside a concurrent reader's scan. Real partitions never
+/// reach this id.
+pub const APPEND_FENCE: u32 = u32::MAX;
 
 /// Shadow slots for the catalog blob. Persists alternate between them,
 /// so a torn write (power cut mid-catalog-write) can destroy at most
@@ -143,11 +151,11 @@ impl<S: StableStore> Database<S> {
         Database {
             tables: Vec::new(),
             indexes: Vec::new(),
-            locks: LockManager::default(),
+            locks: Arc::new(LockManager::default()),
             recovery: RecoveryManager::new(disk),
             exec: ExecConfig::default(),
             catalog_epoch: 0,
-            cache: RefCell::new(ReuseCache::default()),
+            cache: Mutex::new(ReuseCache::default()),
         }
     }
 
@@ -176,26 +184,26 @@ impl<S: StableStore> Database<S> {
     /// Lifetime counters of the intermediate-result reuse cache.
     #[must_use]
     pub fn cache_report(&self) -> CacheReport {
-        self.cache.borrow().report()
+        self.cache.lock().report()
     }
 
     /// Drop every cached intermediate result (counters are kept).
     pub fn clear_cache(&self) {
-        self.cache.borrow_mut().clear();
+        self.cache.lock().clear();
     }
 
     /// Set the reuse cache's retention budget, evicting down if needed.
     pub fn set_cache_capacity_bytes(&self, bytes: usize) {
-        self.cache.borrow_mut().set_capacity_bytes(bytes);
+        self.cache.lock().set_capacity_bytes(bytes);
     }
 
     /// Run `f` against the reuse cache (for inspection and checking;
     /// queries go through [`Database::query`] and touch it themselves).
     pub fn with_cache<R>(&self, f: impl FnOnce(&ReuseCache) -> R) -> R {
-        f(&self.cache.borrow())
+        f(&self.cache.lock())
     }
 
-    pub(crate) fn reuse_cache(&self) -> &RefCell<ReuseCache> {
+    pub(crate) fn reuse_cache(&self) -> &Mutex<ReuseCache> {
         &self.cache
     }
 
@@ -230,7 +238,7 @@ impl<S: StableStore> Database<S> {
         let rel = Relation::new(name, schema, config);
         self.tables.push(Table {
             name: name.to_string(),
-            rel: Rc::new(RefCell::new(rel)),
+            rel: Arc::new(RwLock::new(rel)),
         });
         self.persist_catalog()?;
         Ok(self.tables.len() - 1)
@@ -265,8 +273,8 @@ impl<S: StableStore> Database<S> {
             return Err(DbError::Duplicate(name.to_string()));
         }
         let t = self.table_id(table)?;
-        let attr_idx = self.table(t).rel.borrow().schema().index_of(attr)?;
-        let adapter = SharedAdapter::new(Rc::clone(&self.table(t).rel), attr_idx);
+        let attr_idx = self.table(t).rel.read().schema().index_of(attr)?;
+        let adapter = SharedAdapter::new(Arc::clone(&self.table(t).rel), attr_idx);
         let mut index = match kind {
             IndexKind::TTree => AnyIndex::TTree(TTree::new(
                 adapter,
@@ -276,7 +284,7 @@ impl<S: StableStore> Database<S> {
         };
         // Index the existing population (streamed partition by partition —
         // no tuple-id vector is materialized).
-        for tid in self.table(t).rel.borrow().iter_tids() {
+        for tid in self.table(t).rel.read().iter_tids() {
             index.insert(tid);
         }
         self.indexes.push(IndexDef {
@@ -297,7 +305,7 @@ impl<S: StableStore> Database<S> {
                 .tables
                 .iter()
                 .map(|t| {
-                    let r = t.rel.borrow();
+                    let r = t.rel.read();
                     TableMeta {
                         name: t.name.clone(),
                         schema: r.schema().clone(),
@@ -336,24 +344,24 @@ impl<S: StableStore> Database<S> {
 
     /// Number of live tuples in a table.
     pub fn len(&self, table: &str) -> Result<usize, DbError> {
-        Ok(self.table(self.table_id(table)?).rel.borrow().len())
+        Ok(self.table(self.table_id(table)?).rel.read().len())
     }
 
     /// The shared handle to a table's relation (the query layer borrows
     /// several relations at once for materialization).
-    pub(crate) fn relation_handle(&self, table: &str) -> Result<Rc<RefCell<Relation>>, DbError> {
-        Ok(Rc::clone(&self.table(self.table_id(table)?).rel))
+    pub(crate) fn relation_handle(&self, table: &str) -> Result<Arc<RwLock<Relation>>, DbError> {
+        Ok(Arc::clone(&self.table(self.table_id(table)?).rel))
     }
 
     /// Every table's relation handle, in table-id order (checkpoint
     /// work-list construction).
-    pub(crate) fn relations(&self) -> impl Iterator<Item = &Rc<RefCell<Relation>>> {
+    pub(crate) fn relations(&self) -> impl Iterator<Item = &Arc<RwLock<Relation>>> {
         self.tables.iter().map(|t| &t.rel)
     }
 
     /// Relation handle by table id (checkpoint step path).
-    pub(crate) fn relation_by_id(&self, t: TableId) -> Rc<RefCell<Relation>> {
-        Rc::clone(&self.tables[t].rel)
+    pub(crate) fn relation_by_id(&self, t: TableId) -> Arc<RwLock<Relation>> {
+        Arc::clone(&self.tables[t].rel)
     }
 
     /// Mutable recovery manager (checkpoint step path).
@@ -368,7 +376,7 @@ impl<S: StableStore> Database<S> {
         f: impl FnOnce(&Relation) -> R,
     ) -> Result<R, DbError> {
         let t = self.table_id(table)?;
-        let r = self.table(t).rel.borrow();
+        let r = self.table(t).rel.read();
         Ok(f(&r))
     }
 
@@ -376,14 +384,14 @@ impl<S: StableStore> Database<S> {
     /// would yield the same set).
     pub fn tids(&self, table: &str) -> Result<Vec<TupleId>, DbError> {
         let t = self.table_id(table)?;
-        Ok(self.table(t).rel.borrow().tids())
+        Ok(self.table(t).rel.read().tids())
     }
 
     /// Check every index invariant (tests / debugging).
     pub fn validate_indexes(&self) -> Result<(), String> {
         for i in &self.indexes {
             i.index.validate().map_err(|e| format!("{}: {e}", i.name))?;
-            let expect = self.table(i.table).rel.borrow().len();
+            let expect = self.table(i.table).rel.read().len();
             if i.index.len() != expect {
                 return Err(format!(
                     "{}: holds {} entries, relation has {expect}",
@@ -413,7 +421,7 @@ impl<S: StableStore> Database<S> {
         if !self.indexes.iter().any(|i| i.table == t) {
             return Err(DbError::MissingIndex(table.to_string()));
         }
-        self.table(t).rel.borrow().schema().check_row(&values)?;
+        self.table(t).rel.read().schema().check_row(&values)?;
         txn.writes.push(WriteOp::Insert { table: t, values });
         Ok(())
     }
@@ -428,7 +436,7 @@ impl<S: StableStore> Database<S> {
         value: OwnedValue,
     ) -> Result<(), DbError> {
         let t = self.table_id(table)?;
-        let rel = self.table(t).rel.borrow();
+        let rel = self.table(t).rel.read();
         let attr_idx = rel.schema().index_of(attr)?;
         let a = rel.schema().attr(attr_idx)?;
         if !a.ty.admits(&value) {
@@ -452,7 +460,7 @@ impl<S: StableStore> Database<S> {
     /// Buffer a delete.
     pub fn delete(&self, txn: &mut Transaction, table: &str, tid: TupleId) -> Result<(), DbError> {
         let t = self.table_id(table)?;
-        self.table(t).rel.borrow().resolve(tid)?;
+        self.table(t).rel.read().resolve(tid)?;
         txn.writes.push(WriteOp::Delete { table: t, tid });
         Ok(())
     }
@@ -462,9 +470,80 @@ impl<S: StableStore> Database<S> {
     /// all locks (strict 2PL). Returns the tuple ids of the transaction's
     /// inserts, in order.
     pub fn commit(&mut self, mut txn: Transaction) -> Result<Vec<TupleId>, DbError> {
+        let writes = std::mem::take(&mut txn.writes);
+        let inserted = self.apply_and_log(txn.id, writes)?;
+        self.recovery.commit(txn.id.0);
+        self.locks.release_all(txn.id);
+        Ok(inserted)
+    }
+
+    /// The partition locks a transaction's write set will need at commit:
+    /// resolved partitions for updates/deletes, predicted landing
+    /// partitions for inserts, and the [`APPEND_FENCE`] for any table the
+    /// transaction may grow. Sorted and deduplicated (a global acquisition
+    /// order keeps lock-footprint reasoning simple; deadlocks are still
+    /// detected, not prevented, because reads interleave). Predictions are
+    /// only exact while the catalog latch is held — the transaction engine
+    /// re-validates before applying.
+    pub(crate) fn commit_lock_targets(
+        &self,
+        txn: &Transaction,
+    ) -> Result<Vec<LockTarget>, DbError> {
+        let mut targets = Vec::new();
+        let mut inserts: HashMap<TableId, Vec<Vec<OwnedValue>>> = HashMap::new();
+        for op in &txn.writes {
+            match op {
+                WriteOp::Insert { table, values } => {
+                    inserts.entry(*table).or_default().push(values.clone());
+                }
+                WriteOp::Update {
+                    table, tid, value, ..
+                } => {
+                    let phys = self.table(*table).rel.read().resolve(*tid)?;
+                    targets.push(LockTarget::new(*table as u32, phys.partition));
+                    if matches!(value, OwnedValue::Str(_) | OwnedValue::PtrList(_)) {
+                        // A heap-bearing update can overflow its partition
+                        // and relocate the tuple wherever an insert would
+                        // land — fence the table like an insert does.
+                        let rel = self.table(*table).rel.read();
+                        let n = rel.partition_count() as u32;
+                        for p in n.saturating_sub(2)..=n {
+                            targets.push(LockTarget::new(*table as u32, p));
+                        }
+                        targets.push(LockTarget::new(*table as u32, APPEND_FENCE));
+                    }
+                }
+                WriteOp::Delete { table, tid } => {
+                    let phys = self.table(*table).rel.read().resolve(*tid)?;
+                    targets.push(LockTarget::new(*table as u32, phys.partition));
+                }
+            }
+        }
+        for (t, rows) in inserts {
+            let rel = self.table(t).rel.read();
+            for p in rel.predict_inserts(&rows) {
+                targets.push(LockTarget::new(t as u32, p));
+            }
+            targets.push(LockTarget::new(t as u32, APPEND_FENCE));
+        }
+        targets.sort_unstable();
+        targets.dedup();
+        Ok(targets)
+    }
+
+    /// Apply and write-ahead-log a transaction's writes without ending the
+    /// transaction: everything [`Database::commit`] does up to (but not
+    /// including) the commit record and lock release. The transaction
+    /// engine calls this under its latch with all partition locks already
+    /// held, then group-commits the record and releases.
+    pub(crate) fn apply_and_log(
+        &mut self,
+        txn_id: TxnId,
+        writes: Vec<WriteOp>,
+    ) -> Result<Vec<TupleId>, DbError> {
         // Pre-validate so the apply loop cannot fail halfway.
         let mut doomed: HashSet<(usize, TupleId)> = HashSet::new();
-        for op in &txn.writes {
+        for op in &writes {
             match op {
                 WriteOp::Update { table, tid, .. } => {
                     if doomed.contains(&(*table, *tid)) {
@@ -472,7 +551,7 @@ impl<S: StableStore> Database<S> {
                             *tid,
                         )));
                     }
-                    self.table(*table).rel.borrow().resolve(*tid)?;
+                    self.table(*table).rel.read().resolve(*tid)?;
                 }
                 WriteOp::Delete { table, tid } => {
                     if !doomed.insert((*table, *tid)) {
@@ -480,7 +559,7 @@ impl<S: StableStore> Database<S> {
                             *tid,
                         )));
                     }
-                    self.table(*table).rel.borrow().resolve(*tid)?;
+                    self.table(*table).rel.read().resolve(*tid)?;
                 }
                 WriteOp::Insert { .. } => {}
             }
@@ -488,12 +567,12 @@ impl<S: StableStore> Database<S> {
 
         let mut inserted = Vec::new();
         let mut touched: HashSet<usize> = HashSet::new();
-        for op in std::mem::take(&mut txn.writes) {
+        for op in writes {
             match op {
                 WriteOp::Insert { table, values } => {
-                    let tid = self.table(table).rel.borrow_mut().insert(&values)?;
+                    let tid = self.table(table).rel.write().insert(&values)?;
                     self.locks.lock(
-                        txn.id,
+                        txn_id,
                         LockTarget::new(table as u32, tid.partition),
                         LockMode::Exclusive,
                     )?;
@@ -509,9 +588,9 @@ impl<S: StableStore> Database<S> {
                     attr,
                     value,
                 } => {
-                    let phys = self.table(table).rel.borrow().resolve(tid)?;
+                    let phys = self.table(table).rel.read().resolve(tid)?;
                     self.locks.lock(
-                        txn.id,
+                        txn_id,
                         LockTarget::new(table as u32, phys.partition),
                         LockMode::Exclusive,
                     )?;
@@ -526,7 +605,7 @@ impl<S: StableStore> Database<S> {
                     }
                     self.table(table)
                         .rel
-                        .borrow_mut()
+                        .write()
                         .update_field(tid, attr, &value)?;
                     for idx in self
                         .indexes
@@ -538,16 +617,16 @@ impl<S: StableStore> Database<S> {
                     touched.insert(table);
                 }
                 WriteOp::Delete { table, tid } => {
-                    let phys = self.table(table).rel.borrow().resolve(tid)?;
+                    let phys = self.table(table).rel.read().resolve(tid)?;
                     self.locks.lock(
-                        txn.id,
+                        txn_id,
                         LockTarget::new(table as u32, phys.partition),
                         LockMode::Exclusive,
                     )?;
                     for idx in self.indexes.iter_mut().filter(|i| i.table == table) {
                         idx.index.delete_entry(&tid);
                     }
-                    self.table(table).rel.borrow_mut().delete(tid)?;
+                    self.table(table).rel.write().delete(tid)?;
                     touched.insert(table);
                 }
             }
@@ -556,17 +635,15 @@ impl<S: StableStore> Database<S> {
         // Write-ahead the after-images of every dirtied partition, then
         // commit the log.
         for t in touched {
-            let rel_handle = Rc::clone(&self.table(t).rel);
-            let mut rel = rel_handle.borrow_mut();
+            let rel_handle = Arc::clone(&self.table(t).rel);
+            let mut rel = rel_handle.write();
             for p in rel.dirty_partitions() {
                 let image = rel.partition_image(p)?;
                 self.recovery
-                    .log_update(txn.id.0, PartitionKey::new(t as u32, p), image);
+                    .log_update(txn_id.0, PartitionKey::new(t as u32, p), image);
             }
             rel.clear_dirty();
         }
-        self.recovery.commit(txn.id.0);
-        self.locks.release_all(txn.id);
         Ok(inserted)
     }
 
@@ -575,6 +652,30 @@ impl<S: StableStore> Database<S> {
     pub fn abort(&mut self, txn: Transaction) {
         self.recovery.abort(txn.id.0);
         self.locks.release_all(txn.id);
+    }
+
+    // ---- transaction-engine plumbing -----------------------------------
+
+    /// Shared handle to the lock manager. Engine sessions block on
+    /// partition locks through it *without* holding the engine latch.
+    pub(crate) fn lock_manager(&self) -> Arc<LockManager> {
+        Arc::clone(&self.locks)
+    }
+
+    /// Write the commit record for `txn_id` into the stable log buffer
+    /// (the group-commit leader batches these, then flushes once).
+    pub(crate) fn mark_committed(&mut self, txn_id: TxnId) {
+        self.recovery.commit(txn_id.0);
+    }
+
+    /// Resolve a table name to its id (sessions key lock targets by id).
+    pub(crate) fn resolve_table(&self, name: &str) -> Result<TableId, DbError> {
+        self.table_id(name)
+    }
+
+    /// Current partition count of table `t`.
+    pub(crate) fn table_partition_count(&self, t: TableId) -> usize {
+        self.table(t).rel.read().partition_count()
     }
 
     // ---- recovery plumbing ---------------------------------------------
@@ -642,7 +743,7 @@ impl<S: StableStore> Database<S> {
         pred: &Predicate,
     ) -> Result<SelectPath, DbError> {
         let t = self.table_id(table)?;
-        let attr_idx = self.table(t).rel.borrow().schema().index_of(attr)?;
+        let attr_idx = self.table(t).rel.read().schema().index_of(attr)?;
         let avail = self.availability(t, attr_idx, false);
         Ok(choose_select_path(avail, matches!(pred, Predicate::Eq(_))))
     }
@@ -663,7 +764,7 @@ impl<S: StableStore> Database<S> {
         cfg: ExecConfig,
     ) -> Result<TempList, DbError> {
         let t = self.table_id(table)?;
-        let attr_idx = self.table(t).rel.borrow().schema().index_of(attr)?;
+        let attr_idx = self.table(t).rel.read().schema().index_of(attr)?;
         match self.plan_select(table, attr, pred)? {
             SelectPath::HashLookup => {
                 let idx = self
@@ -681,7 +782,7 @@ impl<S: StableStore> Database<S> {
                 Ok(select_tree_index(idx, pred))
             }
             SelectPath::SequentialScan => {
-                let rel = self.table(t).rel.borrow();
+                let rel = self.table(t).rel.read();
                 Ok(parallel_select_scan(&rel, attr_idx, pred, cfg)?)
             }
         }
@@ -710,15 +811,15 @@ impl<S: StableStore> Database<S> {
         let ot = self.table_id(outer_table)?;
         let it = self.table_id(inner_table)?;
         let (o_attr, o_fk) = {
-            let r = self.table(ot).rel.borrow();
+            let r = self.table(ot).rel.read();
             let a = r.schema().index_of(outer_attr)?;
             let ty = r.schema().attr(a)?.ty;
             (a, ty == AttrType::Ptr || ty == AttrType::PtrList)
         };
-        let i_attr = self.table(it).rel.borrow().schema().index_of(inner_attr)?;
+        let i_attr = self.table(it).rel.read().schema().index_of(inner_attr)?;
         Ok(JoinPlanner {
-            outer_card: self.table(ot).rel.borrow().len(),
-            inner_card: self.table(it).rel.borrow().len(),
+            outer_card: self.table(ot).rel.read().len(),
+            inner_card: self.table(it).rel.read().len(),
             outer: self.availability(ot, o_attr, o_fk),
             inner: self.availability(it, i_attr, false),
             duplicate_pct: 0.0,
@@ -786,8 +887,8 @@ impl<S: StableStore> Database<S> {
         let method = planner.choose();
         let ot = self.table_id(outer_table)?;
         let it = self.table_id(inner_table)?;
-        let orel = self.table(ot).rel.borrow();
-        let irel = self.table(it).rel.borrow();
+        let orel = self.table(ot).rel.read();
+        let irel = self.table(it).rel.read();
         let o_attr = orel.schema().index_of(outer_attr)?;
         let i_attr = irel.schema().index_of(inner_attr)?;
         let kernel = self.make_join_kernel(
@@ -817,8 +918,8 @@ impl<S: StableStore> Database<S> {
         let cfg = self.exec;
         let ot = self.table_id(outer_table)?;
         let it = self.table_id(inner_table)?;
-        let orel = self.table(ot).rel.borrow();
-        let irel = self.table(it).rel.borrow();
+        let orel = self.table(ot).rel.read();
+        let irel = self.table(it).rel.read();
         let o_attr = orel.schema().index_of(outer_attr)?;
         let i_attr = irel.schema().index_of(inner_attr)?;
         let otids = orel.tids();
@@ -1045,7 +1146,7 @@ impl<S: StableStore> Database<S> {
             } => {
                 let rows = self
                     .cache
-                    .borrow()
+                    .lock()
                     .peek(*fingerprint, canonical)
                     .ok_or_else(|| {
                         DbError::BadQuery("cached plan node lost its cache entry".into())
@@ -1072,7 +1173,7 @@ impl<S: StableStore> Database<S> {
         attrs: &[&str],
     ) -> Result<Vec<Vec<OwnedValue>>, DbError> {
         let t = self.table_id(table)?;
-        let rel = self.table(t).rel.borrow();
+        let rel = self.table(t).rel.read();
         let idxs: Vec<usize> = attrs
             .iter()
             .map(|a| rel.schema().index_of(a))
@@ -1148,16 +1249,16 @@ impl<S: StableStore> CrashedDatabase<S> {
         let mut db = Database {
             tables: Vec::new(),
             indexes: Vec::new(),
-            locks: LockManager::default(),
+            locks: Arc::new(LockManager::default()),
             recovery: self.recovery,
             exec: ExecConfig::default(),
             catalog_epoch,
-            cache: RefCell::new(ReuseCache::default()),
+            cache: Mutex::new(ReuseCache::default()),
         };
         for t in &meta.tables {
             db.tables.push(Table {
                 name: t.name.clone(),
-                rel: Rc::new(RefCell::new(Relation::new(
+                rel: Arc::new(RwLock::new(Relation::new(
                     &t.name,
                     t.schema.clone(),
                     t.config,
@@ -1182,7 +1283,7 @@ impl<S: StableStore> CrashedDatabase<S> {
             }
             db.tables[t]
                 .rel
-                .borrow_mut()
+                .write()
                 .load_partition_image(key.partition, &image)
                 .map_err(|e| match e {
                     // A torn/truncated image must fail loudly with the
@@ -1200,7 +1301,7 @@ impl<S: StableStore> CrashedDatabase<S> {
         let mut rebuilt = 0usize;
         for im in &meta.indexes {
             let t = im.table as usize;
-            let adapter = SharedAdapter::new(Rc::clone(&db.tables[t].rel), im.attr as usize);
+            let adapter = SharedAdapter::new(Arc::clone(&db.tables[t].rel), im.attr as usize);
             let mut index = match im.kind {
                 IndexKind::TTree => AnyIndex::TTree(TTree::new(
                     adapter,
@@ -1210,7 +1311,7 @@ impl<S: StableStore> CrashedDatabase<S> {
                     AnyIndex::Hash(ModifiedLinearHash::new(adapter, im.param as usize))
                 }
             };
-            for tid in db.tables[t].rel.borrow().iter_tids() {
+            for tid in db.tables[t].rel.read().iter_tids() {
                 index.insert(tid);
             }
             rebuilt += 1;
@@ -1236,7 +1337,7 @@ impl<S: StableStore> CrashedDatabase<S> {
 impl<S: StableStore> VersionSource for Database<S> {
     fn table_versions(&self, table: &str) -> Option<Vec<u64>> {
         let t = self.table_id(table).ok()?;
-        Some(self.table(t).rel.borrow().partition_versions().to_vec())
+        Some(self.table(t).rel.read().partition_versions().to_vec())
     }
 
     fn catalog_epoch(&self) -> u64 {
@@ -1247,12 +1348,12 @@ impl<S: StableStore> VersionSource for Database<S> {
 impl<S: StableStore> PlanCatalog for Database<S> {
     fn cardinality(&self, table: &str) -> Option<usize> {
         let t = self.table_id(table).ok()?;
-        Some(self.table(t).rel.borrow().len())
+        Some(self.table(t).rel.read().len())
     }
 
     fn resolve_attr(&self, table: &str, attr: &str) -> Option<AttrInfo> {
         let t = self.table_id(table).ok()?;
-        let rel = self.table(t).rel.borrow();
+        let rel = self.table(t).rel.read();
         let idx = rel.schema().index_of(attr).ok()?;
         let ty = rel.schema().attr(idx).ok()?.ty;
         let fk = ty == AttrType::Ptr || ty == AttrType::PtrList;
@@ -1282,7 +1383,7 @@ impl<S: StableStore> Database<S> {
             }
         }
         for (t, table) in self.tables.iter().enumerate() {
-            let rel = table.rel.borrow();
+            let rel = table.rel.read();
             report.merge(mmdb_check::storage_checks::check_relation(&rel));
             let live: HashSet<TupleId> = rel.iter_tids().collect();
             for def in self.indexes.iter().filter(|d| d.table == t) {
@@ -1352,7 +1453,7 @@ impl<S: StableStore> Database<S> {
                         let resolves = self
                             .tables
                             .iter()
-                            .any(|t| t.rel.borrow().resolve(target).is_ok());
+                            .any(|t| t.rel.read().resolve(target).is_ok());
                         if !resolves {
                             report.fail(
                                 "database",
@@ -1372,7 +1473,7 @@ impl<S: StableStore> Database<S> {
             self.recovery.log_buffer(),
         ));
         report.merge(mmdb_check::cache_checks::check_cache(
-            &self.cache.borrow(),
+            &self.cache.lock(),
             self,
         ));
         report

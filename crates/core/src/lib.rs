@@ -38,6 +38,7 @@
 pub mod catalog;
 pub mod checkpoint;
 pub mod db;
+pub mod engine;
 pub mod error;
 pub mod query;
 pub mod server;
@@ -45,7 +46,8 @@ pub mod shared;
 pub mod txn;
 
 pub use checkpoint::{CheckpointReport, Checkpointer};
-pub use db::{CrashedDatabase, Database, IndexKind, RecoveryReport, TableId};
+pub use db::{CrashedDatabase, Database, IndexKind, RecoveryReport, TableId, APPEND_FENCE};
+pub use engine::{GroupCommitStats, Session, Txn, TxnEngine, TxnError};
 pub use error::DbError;
 pub use query::{QueryBuilder, QueryOutput};
 pub use server::{DbClient, DbServer};

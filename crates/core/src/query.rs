@@ -277,7 +277,7 @@ impl<S: StableStore> QueryBuilder<'_, S> {
         let mut planned = Planner::plan(&logical, self.db, &self.options())
             .map_err(|e| DbError::BadQuery(e.to_string()))?;
         if self.cache.unwrap_or(self.db.exec_config().cache) {
-            let mut cache = self.db.reuse_cache().borrow_mut();
+            let mut cache = self.db.reuse_cache().lock();
             let _ = mmdb_exec::apply_cache(&mut planned, &mut cache, self.db);
         }
         Ok(PlanProfile::estimates(&planned).render())
@@ -302,7 +302,7 @@ impl<S: StableStore> QueryBuilder<'_, S> {
         // the builder holds `&Database` until execution finishes: no
         // write can move the stamped versions in between.
         let tickets = if use_cache {
-            let mut cache = db.reuse_cache().borrow_mut();
+            let mut cache = db.reuse_cache().lock();
             mmdb_exec::apply_cache(&mut planned, &mut cache, db)
         } else {
             std::collections::HashMap::new()
@@ -336,7 +336,7 @@ impl<S: StableStore> QueryBuilder<'_, S> {
             .iter()
             .map(|t| db.relation_handle(t))
             .collect::<Result<_, _>>()?;
-        let guards: Vec<_> = handles.iter().map(|h| h.borrow()).collect();
+        let guards: Vec<_> = handles.iter().map(|h| h.read()).collect();
         let rels: Vec<&mmdb_storage::Relation> = guards.iter().map(|r| &**r).collect();
         let mut root = db.bind_plan(&planned.root, &planned.tables, &rels, &desc, &tickets)?;
         let mut ctx = ExecContext::new(cfg, planned.node_count);

@@ -52,9 +52,10 @@ impl DbServer<MemDisk> {
 }
 
 impl<S: StableStore + 'static> DbServer<S> {
-    /// Spawn the database thread. The database is **built on its owning
-    /// thread** (it is deliberately not `Send`: relations are shared with
-    /// their indexes via `Rc`).
+    /// Spawn the database thread. The database is built on its owning
+    /// thread and serves every request there — the serial §2.4 facade.
+    /// (Since the multi-session engine landed, `Database` is `Send`;
+    /// for *concurrent* sessions use [`crate::TxnEngine`] instead.)
     pub fn spawn(build: impl FnOnce() -> Database<S> + Send + 'static) -> Self {
         let (sender, receiver) = mpsc::channel::<Job<S>>();
         let thread = std::thread::Builder::new()

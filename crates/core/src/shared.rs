@@ -2,28 +2,28 @@
 //!
 //! Index structures store tuple pointers and compare through an adapter
 //! (§2.2). Inside [`crate::Database`], relations live behind
-//! `Rc<RefCell<…>>` so indexes and the catalog can coexist;
-//! [`SharedAdapter`] performs each comparison inside a short borrow — no
-//! reference ever escapes, so index operations and relation updates can
-//! interleave freely (never concurrently, which the `RefCell` enforces).
+//! `Arc<RwLock<…>>` so indexes, the catalog, and concurrent sessions can
+//! coexist; [`SharedAdapter`] performs each comparison inside a short read
+//! lock — no reference ever escapes, so index operations and relation
+//! updates can interleave freely.
 
 use mmdb_index::adapter::{Adapter, HashAdapter};
 use mmdb_storage::{value_hash, KeyValue, Relation, TupleId, Value};
-use std::cell::RefCell;
+use parking_lot::RwLock;
 use std::cmp::Ordering;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Adapter over a shared relation handle.
 #[derive(Clone)]
 pub struct SharedAdapter {
-    rel: Rc<RefCell<Relation>>,
+    rel: Arc<RwLock<Relation>>,
     attr: usize,
 }
 
 impl SharedAdapter {
     /// Adapter for attribute `attr` of `rel`.
     #[must_use]
-    pub fn new(rel: Rc<RefCell<Relation>>, attr: usize) -> Self {
+    pub fn new(rel: Arc<RwLock<Relation>>, attr: usize) -> Self {
         SharedAdapter { rel, attr }
     }
 
@@ -51,20 +51,20 @@ impl Adapter for SharedAdapter {
     type Key = KeyValue;
 
     fn cmp_entries(&self, a: &TupleId, b: &TupleId) -> Ordering {
-        let r = self.rel.borrow();
+        let r = self.rel.read();
         let va = live_field(&r, *a, self.attr);
         let vb = live_field(&r, *b, self.attr);
         va.total_cmp(&vb)
     }
 
     fn cmp_entry_key(&self, e: &TupleId, key: &KeyValue) -> Ordering {
-        let r = self.rel.borrow();
+        let r = self.rel.read();
         let v = live_field(&r, *e, self.attr);
         key.cmp_value(&v)
     }
 
     fn entry_tag(&self, e: &TupleId) -> u64 {
-        let r = self.rel.borrow();
+        let r = self.rel.read();
         mmdb_storage::value_order_tag(&live_field(&r, *e, self.attr))
     }
 
@@ -75,7 +75,7 @@ impl Adapter for SharedAdapter {
 
 impl HashAdapter for SharedAdapter {
     fn hash_entry(&self, e: &TupleId) -> u64 {
-        let r = self.rel.borrow();
+        let r = self.rel.read();
         let v = live_field(&r, *e, self.attr);
         value_hash(&v)
     }
@@ -92,7 +92,7 @@ mod tests {
     use mmdb_index::{ModifiedLinearHash, TTree, TTreeConfig};
     use mmdb_storage::{AttrType, OwnedValue, PartitionConfig, Schema};
 
-    fn shared_rel() -> (Rc<RefCell<Relation>>, Vec<TupleId>) {
+    fn shared_rel() -> (Arc<RwLock<Relation>>, Vec<TupleId>) {
         let mut r = Relation::new(
             "t",
             Schema::of(&[("v", AttrType::Int)]),
@@ -101,14 +101,14 @@ mod tests {
         let tids = (0..100i64)
             .map(|i| r.insert(&[OwnedValue::Int(i * 3 % 50)]).unwrap())
             .collect();
-        (Rc::new(RefCell::new(r)), tids)
+        (Arc::new(RwLock::new(r)), tids)
     }
 
     #[test]
     fn ttree_over_shared_relation() {
         let (rel, tids) = shared_rel();
         let mut idx = TTree::new(
-            SharedAdapter::new(Rc::clone(&rel), 0),
+            SharedAdapter::new(Arc::clone(&rel), 0),
             TTreeConfig::with_node_size(8),
         );
         for t in &tids {
@@ -120,7 +120,7 @@ mod tests {
         assert!(!hits.is_empty());
         // Mutating the relation through the shared handle between index
         // operations is fine (no borrow is held across calls).
-        let new_tid = rel.borrow_mut().insert(&[OwnedValue::Int(999)]).unwrap();
+        let new_tid = rel.write().insert(&[OwnedValue::Int(999)]).unwrap();
         idx.insert(new_tid);
         assert_eq!(idx.search(&KeyValue::Int(999)), Some(new_tid));
     }
@@ -128,7 +128,7 @@ mod tests {
     #[test]
     fn hash_index_over_shared_relation() {
         let (rel, tids) = shared_rel();
-        let mut idx = ModifiedLinearHash::new(SharedAdapter::new(Rc::clone(&rel), 0), 2);
+        let mut idx = ModifiedLinearHash::new(SharedAdapter::new(Arc::clone(&rel), 0), 2);
         for t in &tids {
             idx.insert(*t);
         }

@@ -31,9 +31,9 @@ use crate::select::Predicate;
 use mmdb_index::adapter::mix64;
 use mmdb_index::stats::Snapshot;
 use mmdb_storage::TempList;
-use std::cell::RefCell;
+use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Default cache budget: 16 MiB of cached tuple pointers.
@@ -243,7 +243,7 @@ pub struct CacheEntry {
     /// Catalog epoch the rows were computed under.
     pub epoch: u64,
     /// The memoised rows.
-    pub rows: Rc<TempList>,
+    pub rows: Arc<TempList>,
     /// Eviction benefit score (estimated comparisons per recompute).
     pub cost: f64,
     /// Approximate retained bytes.
@@ -377,14 +377,14 @@ impl ReuseCache {
         fp: u64,
         canonical: &str,
         live: &dyn VersionSource,
-    ) -> Option<Rc<TempList>> {
+    ) -> Option<Arc<TempList>> {
         match self.entries.get_mut(&fp) {
             Some(e) if e.canonical == canonical && Self::entry_fresh(e, live) => {
                 self.hits += 1;
                 self.clock += 1;
                 e.hits += 1;
                 e.last_used = self.clock;
-                Some(Rc::clone(&e.rows))
+                Some(Arc::clone(&e.rows))
             }
             Some(e) if e.canonical == canonical => {
                 // Stale: some input changed since the rows were computed.
@@ -406,11 +406,11 @@ impl ReuseCache {
     /// Read an entry's rows without touching counters (the binder's path:
     /// substitution already accounted the hit this query).
     #[must_use]
-    pub fn peek(&self, fp: u64, canonical: &str) -> Option<Rc<TempList>> {
+    pub fn peek(&self, fp: u64, canonical: &str) -> Option<Arc<TempList>> {
         self.entries
             .get(&fp)
             .filter(|e| e.canonical == canonical)
-            .map(|e| Rc::clone(&e.rows))
+            .map(|e| Arc::clone(&e.rows))
     }
 
     /// Memoise `rows` under `ticket`. Oversized results (more than a
@@ -438,7 +438,7 @@ impl ReuseCache {
                 tables: ticket.tables.clone(),
                 stamps: ticket.stamps.clone(),
                 epoch: ticket.epoch,
-                rows: Rc::new(rows.clone()),
+                rows: Arc::new(rows.clone()),
                 cost: ticket.cost,
                 bytes,
                 hits: 0,
@@ -575,7 +575,7 @@ pub struct CachedReadOp {
     /// Plan-node id (actuals slot).
     pub id: NodeId,
     /// The memoised rows (shared with the cache entry).
-    pub rows: Rc<TempList>,
+    pub rows: Arc<TempList>,
 }
 
 impl Operator for CachedReadOp {
@@ -594,7 +594,7 @@ pub struct MemoizeOp<'a> {
     /// The wrapped operator.
     pub child: BoxedOperator<'a>,
     /// Where to store the result.
-    pub cache: &'a RefCell<ReuseCache>,
+    pub cache: &'a Mutex<ReuseCache>,
     /// Key, stamps, and benefit score for the stored entry.
     pub ticket: StoreTicket,
 }
@@ -602,7 +602,7 @@ pub struct MemoizeOp<'a> {
 impl Operator for MemoizeOp<'_> {
     fn execute(&mut self, ctx: &mut ExecContext) -> Result<TempList, ExecError> {
         let out = self.child.execute(ctx)?;
-        self.cache.borrow_mut().insert(&self.ticket, &out);
+        self.cache.lock().insert(&self.ticket, &out);
         Ok(out)
     }
 }

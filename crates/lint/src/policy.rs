@@ -46,6 +46,20 @@ pub struct LockPolicy {
     pub reentrant: Vec<String>,
     /// Zero-argument guard-returning methods (`.lock()`, `.read()`, …).
     pub guards: Vec<String>,
+    /// Idents that are raw lock-manager acquisitions when called *with
+    /// arguments* (`locks.lock(txn, target, mode)` — the zero-argument
+    /// form is a latch, recognized via `guards`).
+    pub raw_acquire: Vec<String>,
+    /// Functions allowed to call raw acquisitions; everything else must
+    /// go through them (the transaction context).
+    pub acquire_via: Vec<String>,
+    /// Idents that stage a commit's redo records (write-ahead work).
+    pub commit_stage: Vec<String>,
+    /// Idents that log the commit marker, making the staged records
+    /// durable-on-restart.
+    pub commit_marker: Vec<String>,
+    /// Idents that release a transaction's locks (strict-2PL end).
+    pub release: Vec<String>,
     /// Functions excused from the rule.
     pub allow: Vec<AllowEntry>,
 }
@@ -151,6 +165,11 @@ impl Policy {
                 ("lock-order", "order") => p.lock.order.extend(split_list(value)),
                 ("lock-order", "reentrant") => p.lock.reentrant.extend(split_list(value)),
                 ("lock-order", "guards") => p.lock.guards.extend(split_list(value)),
+                ("lock-order", "raw_acquire") => p.lock.raw_acquire.extend(split_list(value)),
+                ("lock-order", "acquire_via") => p.lock.acquire_via.extend(split_list(value)),
+                ("lock-order", "commit_stage") => p.lock.commit_stage.extend(split_list(value)),
+                ("lock-order", "commit_marker") => p.lock.commit_marker.extend(split_list(value)),
+                ("lock-order", "release") => p.lock.release.extend(split_list(value)),
                 ("lock-order", "allow") => p.lock.allow.push(parse_allow(value, line_no)?),
                 ("lock-order", level) if p.lock.order.iter().any(|o| o == level) => {
                     let li = p

@@ -4,7 +4,20 @@
 //! guard may be held across a call that can re-enter `mmdb-lock` —
 //! the latent latch-vs-lock deadlock shape.
 //!
-//! Both checks are intra-function over the token stream: acquisition
+//! Two transaction-context checks ride on the same scan:
+//!
+//! * **raw acquisition** — calls to `raw_acquire` idents *with
+//!   arguments* (the lock-manager entry points, as opposed to the
+//!   zero-argument latch methods) are only legal inside the designated
+//!   `acquire_via` context functions, so every blocking acquisition is
+//!   funnelled through the code that is audited to never hold the
+//!   engine latch;
+//! * **early release** — after a `commit_stage` ident (redo records
+//!   staged, write-ahead pending), a `release` ident is a finding until
+//!   a `commit_marker` ident appears: strict 2PL requires the locks to
+//!   outlive the commit record, never the other way round.
+//!
+//! All checks are intra-function over the token stream: acquisition
 //! calls are mapped to levels by name; guards are recognized from
 //! `let g = expr.lock()`-shaped bindings of zero-argument guard methods
 //! and die at `drop(g)` or the end of their block.
@@ -48,7 +61,11 @@ pub fn run(ws: &Workspace, policy: &Policy, out: &mut Vec<Diagnostic>) {
             let Some((open, close)) = f.body else {
                 continue;
             };
-            check_body(&file.path, &file.toks, open, close, policy, out);
+            let in_context = p
+                .acquire_via
+                .iter()
+                .any(|a| a == &f.name || a == &f.qual_name);
+            check_body(&file.path, &file.toks, open, close, in_context, policy, out);
         }
     }
 }
@@ -59,6 +76,7 @@ fn check_body(
     toks: &[Tok],
     open: usize,
     close: usize,
+    in_context: bool,
     policy: &Policy,
     out: &mut Vec<Diagnostic>,
 ) {
@@ -66,6 +84,9 @@ fn check_body(
     let mut depth = 0i32;
     let mut max_level: Option<(usize, String, u32)> = None;
     let mut guards: Vec<Guard> = Vec::new();
+    // Pending commit stage: Some((ident, line)) after a `commit_stage`
+    // call until a `commit_marker` call flushes it.
+    let mut staged: Option<(String, u32)> = None;
     let mut i = open;
     while i <= close {
         let t = &toks[i];
@@ -105,6 +126,53 @@ fn check_body(
             && toks[i + 1].is_punct('(')
             && !(i > 0 && (toks[i - 1].is_ident("fn") || toks[i - 1].is_punct('!')))
         {
+            // Raw lock-manager acquisition (call with arguments) outside
+            // the designated transaction-context functions.
+            if !in_context
+                && p.raw_acquire.iter().any(|r| r == &t.text)
+                && i + 2 <= close
+                && !toks[i + 2].is_punct(')')
+            {
+                out.push(Diagnostic {
+                    file: path.to_string(),
+                    line: t.line,
+                    rule: RULE.to_string(),
+                    message: format!(
+                        "raw lock acquisition `{}` outside the transaction context \
+                         (allowed only in: {})",
+                        t.text,
+                        p.acquire_via.join(", ")
+                    ),
+                    hint: "acquire partition locks through the txn-context functions, \
+                           which are audited to never block under the engine latch"
+                        .to_string(),
+                });
+            }
+            // Early release: locks going away while a staged commit
+            // record is not yet marked committed.
+            if p.commit_stage.iter().any(|s| s == &t.text) && staged.is_none() {
+                staged = Some((t.text.clone(), t.line));
+            } else if p.commit_marker.iter().any(|m| m == &t.text) {
+                staged = None;
+            } else if p.release.iter().any(|r| r == &t.text) {
+                if let Some((stage, line)) = &staged {
+                    out.push(Diagnostic {
+                        file: path.to_string(),
+                        line: t.line,
+                        rule: RULE.to_string(),
+                        message: format!(
+                            "releases transaction locks via `{}` while the commit record \
+                             staged by `{}` (line {}) is unflushed",
+                            t.text, stage, line
+                        ),
+                        hint: format!(
+                            "log the commit marker ({}) before releasing — strict 2PL \
+                             requires locks to outlive the commit record",
+                            p.commit_marker.join(", ")
+                        ),
+                    });
+                }
+            }
             if p.reentrant.iter().any(|r| r == &t.text) {
                 if let Some(g) = guards.iter().find(|g| g.active_from <= i) {
                     out.push(Diagnostic {
@@ -196,6 +264,7 @@ fn parse_guard_let(
         } else if t.is_punct(';') && rel == 0 {
             break;
         } else if t.kind == Kind::Ident
+            && rel == 0
             && guard_methods.iter().any(|g| g == &t.text)
             && k > 0
             && toks[k - 1].is_punct('.')
@@ -203,6 +272,10 @@ fn parse_guard_let(
             && toks[k + 1].is_punct('(')
             && toks[k + 2].is_punct(')')
         {
+            // `rel == 0` keeps the guard on *this* binding: a guard
+            // taken inside a brace/paren-nested sub-expression (e.g. a
+            // block initializer with its own `let g = x.lock();`) is
+            // scoped there, not bound to the outer name.
             found = true;
         }
         k += 1;

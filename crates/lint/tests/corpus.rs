@@ -30,6 +30,8 @@ const SEEDED: &[(&str, u32, &str)] = &[
     ("crates/kernelfix/src/lib.rs", 28, "panic-path"),
     ("crates/lockfix/src/lib.rs", 31, "lock-order"),
     ("crates/lockfix/src/lib.rs", 37, "lock-order"),
+    ("crates/lockfix/src/lib.rs", 75, "lock-order"),
+    ("crates/lockfix/src/lib.rs", 89, "lock-order"),
     ("crates/storagefix/src/lib.rs", 24, "version-bump"),
     ("crates/storagefix/src/lib.rs", 30, "version-bump"),
     ("crates/storagefix/src/lib.rs", 36, "version-bump"),

@@ -52,3 +52,40 @@ pub fn latch_scoped(l: &Latch, m: &LockManager) {
     }
     m.acquire(4);
 }
+
+// Transaction-context fixtures: raw acquisition outside the context
+// functions, and lock release racing an unflushed commit record.
+
+pub struct TxnLocks;
+
+impl TxnLocks {
+    pub fn lock(&self, _txn: u64, _target: u32) {}
+    pub fn release_all(&self, _txn: u64) {}
+    pub fn log_update(&self, _txn: u64) {}
+    pub fn mark_committed(&self, _txn: u64) {}
+}
+
+/// Clean: the designated context function may acquire raw locks.
+pub fn acquire(m: &TxnLocks) {
+    m.lock(1, 2);
+}
+
+/// SEEDED VIOLATION (lock-order): raw acquisition outside the context.
+pub fn sneaky_acquire(m: &TxnLocks) {
+    m.lock(1, 2);
+}
+
+/// Clean: commit marker logged before the locks go.
+pub fn commit_in_order(m: &TxnLocks) {
+    m.log_update(7);
+    m.mark_committed(7);
+    m.release_all(7);
+}
+
+/// SEEDED VIOLATION (lock-order): locks released while the staged
+/// commit record is unflushed.
+pub fn early_release(m: &TxnLocks) {
+    m.log_update(7);
+    m.release_all(7);
+    m.mark_committed(7);
+}

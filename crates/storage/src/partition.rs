@@ -126,6 +126,13 @@ impl Partition {
         self.heap_budget.saturating_sub(self.heap.len())
     }
 
+    /// Number of additional tuples this partition can hold slot-wise
+    /// (free-list slots plus never-used capacity; heap budget ignored).
+    #[must_use]
+    pub fn insert_headroom(&self) -> usize {
+        self.free_slots.len() + self.capacity.saturating_sub(self.states.len())
+    }
+
     /// State of slot `slot`.
     pub fn slot_state(&self, slot: u32) -> Result<SlotState, StorageError> {
         self.states

@@ -127,6 +127,46 @@ impl Relation {
         (self.partitions.len() - 1) as u32
     }
 
+    /// Predict the partitions `rows` would land in if inserted in order,
+    /// without mutating the relation. Returned ids may reach past
+    /// `partition_count()` when rows would force new partitions. Mirrors
+    /// [`Relation::insert`]'s placement policy, but interleaved writes can
+    /// shift placements — callers needing an exact answer must re-validate
+    /// once they hold the relevant locks.
+    #[must_use]
+    pub fn predict_inserts(&self, rows: &[Vec<OwnedValue>]) -> Vec<u32> {
+        let fresh = Partition::new(self.schema.arity(), self.config);
+        let (new_slots, new_heap) = (fresh.insert_headroom(), fresh.heap_remaining());
+        let mut sim: Vec<(usize, usize)> = self
+            .partitions
+            .iter()
+            .map(|p| (p.insert_headroom(), p.heap_remaining()))
+            .collect();
+        let mut out = Vec::with_capacity(rows.len());
+        for row in rows {
+            let need = Partition::heap_needed(row);
+            let mut placed = None;
+            for i in (0..sim.len()).rev() {
+                let (slots, heap) = sim[i];
+                if slots > 0 && heap >= need {
+                    placed = Some(i);
+                    break;
+                }
+                if sim.len() - i >= 2 {
+                    break;
+                }
+            }
+            let i = placed.unwrap_or_else(|| {
+                sim.push((new_slots, new_heap));
+                sim.len() - 1
+            });
+            sim[i].0 = sim[i].0.saturating_sub(1);
+            sim[i].1 = sim[i].1.saturating_sub(need);
+            out.push(i as u32);
+        }
+        out
+    }
+
     /// Insert a row; returns its permanent [`TupleId`].
     pub fn insert(&mut self, values: &[OwnedValue]) -> Result<TupleId, StorageError> {
         self.schema.check_row(values)?;

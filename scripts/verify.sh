@@ -89,6 +89,17 @@ gate "reuse-cache-accept" cargo run --release --example reuse_cache
 # plus the torn-write negative tests and the buggy-manager catch.
 gate "recovery-torture"  env MMDB_TORTURE_SEEDS=64 cargo test --test recovery_torture -q
 
+# Multi-session serializability: seeded concurrent transaction schedules
+# over the TxnEngine must admit a serial order explaining every committed
+# read and the final state (64-seed sweep; MMDB_TXN_SEED replays one),
+# plus the guaranteed deadlock-cycle and no-false-positive tests.
+gate "txn-serializability" env MMDB_TXN_SEEDS=64 cargo test --test prop_txn -q
+
+# Concurrent-commit crash torture: group commits from racing sessions
+# against seeded power cuts; restart must recover exactly the Ok-committed
+# set (64 seeds, MMDB_TORTURE_SEED replays one).
+gate "txn-torture"       env MMDB_TORTURE_SEEDS=64 cargo test --test recovery_torture concurrent_commit -q
+
 # Fault-injection smoke: the StableStore conformance suite (MemDisk,
 # FileDisk, FaultyDisk passthrough) and the log-device counter/retry
 # tests under injected flush failures.

@@ -13,10 +13,10 @@ use mmdb_index::{
 use mmdb_storage::{
     AttrType, KeyValue, OwnedValue, PartitionConfig, Relation, Schema, TupleId, Value,
 };
+use parking_lot::RwLock;
 use proptest::prelude::*;
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -65,7 +65,7 @@ macro_rules! drive {
         for op in $ops {
             match op {
                 Op::Insert(k) => {
-                    let tid = rel.borrow_mut().insert(&[OwnedValue::Int(*k)]).unwrap();
+                    let tid = rel.write().insert(&[OwnedValue::Int(*k)]).unwrap();
                     idx.insert(tid);
                     model.by_key.entry(*k).or_default().push(tid);
                 }
@@ -74,7 +74,7 @@ macro_rules! drive {
                     let entry = model.by_key.get_mut(k);
                     match (got, entry) {
                         (Some(tid), Some(pool)) => {
-                            let r = rel.borrow();
+                            let r = rel.read();
                             prop_assert_eq!(key_of(&r, tid), *k);
                             drop(r);
                             let pos = pool.iter().position(|t| *t == tid).expect("tid in model");
@@ -83,7 +83,7 @@ macro_rules! drive {
                                 model.by_key.remove(k);
                             }
                             // Keep relation in sync: tuple removed.
-                            rel.borrow_mut().delete(tid).unwrap();
+                            rel.write().delete(tid).unwrap();
                         }
                         (None, None) => {}
                         (None, Some(pool)) if pool.is_empty() => {}
@@ -132,7 +132,7 @@ macro_rules! drive_ordered {
         // Ordered extras: full scan sorted + range correctness.
         let mut scanned: Vec<i64> = Vec::new();
         {
-            let r = $rel.borrow();
+            let r = $rel.read();
             $idx.scan(&mut |t| scanned.push(key_of(&r, *t)));
         }
         let mut expect: Vec<i64> = model
@@ -162,16 +162,16 @@ macro_rules! drive_ordered {
 }
 
 /// A shared relation plus its index adapter: `SharedAdapter` performs
-/// each comparison inside a short `RefCell` borrow, so the test can
+/// each comparison inside a short read lock, so the test can
 /// interleave relation mutations with index operations — exactly how the
 /// `mmdb_core::Database` wires indexes to relations.
-fn fresh_rel() -> (Rc<RefCell<Relation>>, SharedAdapter) {
-    let rel = Rc::new(RefCell::new(Relation::new(
+fn fresh_rel() -> (Arc<RwLock<Relation>>, SharedAdapter) {
+    let rel = Arc::new(RwLock::new(Relation::new(
         "t",
         Schema::of(&[("k", AttrType::Int)]),
         PartitionConfig::default(),
     )));
-    let adapter = SharedAdapter::new(Rc::clone(&rel), 0);
+    let adapter = SharedAdapter::new(Arc::clone(&rel), 0);
     (rel, adapter)
 }
 

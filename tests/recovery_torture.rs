@@ -21,7 +21,7 @@
 
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
-use mmdb_core::{Checkpointer, Database, DbError, IndexKind};
+use mmdb_core::{Checkpointer, Database, DbError, IndexKind, TxnEngine, TxnError};
 use mmdb_exec::Predicate;
 use mmdb_recovery::{
     FaultCounters, FaultPlan, FaultyDisk, MemDisk, PartitionKey, RecoveryManager, SplitMix64,
@@ -678,6 +678,210 @@ fn run_manager_script<R: RedoRecovery>(seed: u64, mgr: &mut R) -> Result<(), Str
         ));
     }
     Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Concurrent-commit torture: group commits from several sessions racing
+// the same FaultyDisk power cut. Durability lives in the stable log
+// buffer (§2.4), so every commit that returned `Ok` before the plug is
+// pulled — and nothing else — must survive restart.
+// ---------------------------------------------------------------------
+
+/// Committer sessions racing each other and the fault schedule.
+const CONCURRENT_THREADS: usize = 3;
+
+/// Transactions each committer session runs.
+const TXNS_PER_SESSION: usize = 4;
+
+/// Salt separating the concurrent committers' RNG streams from the
+/// scripted single-threaded workload above.
+const CONCURRENT_SALT: u64 = 0x9d2c_5680_ca11_ab1e;
+
+/// Run `CONCURRENT_THREADS` sessions against one [`TxnEngine`] over a
+/// faulty disk, each committing (or aborting) seeded insert batches and
+/// occasionally racing a log-device cycle or checkpoint into the mix.
+/// Then crash, heal, restart, and check the recovered table holds
+/// exactly the rows whose commits returned `Ok`.
+fn run_concurrent_torture(seed: u64, plan: FaultPlan) -> Result<FaultCounters, String> {
+    let (disk, handle) = FaultyDisk::new(MemDisk::new(), plan);
+    let mut db = Database::with_disk(disk);
+    db.create_table(
+        "ct",
+        Schema::of(&[("k", AttrType::Int), ("v", AttrType::Int)]),
+    )
+    .map_err(|e| format!("SETUP: seed {seed}: create_table: {e}"))?;
+    db.create_index("ct_k", "ct", "k", IndexKind::TTree)
+        .map_err(|e| format!("SETUP: seed {seed}: create_index: {e}"))?;
+    handle.arm();
+
+    let engine = TxnEngine::new(db);
+    let (sink, results) = std::sync::mpsc::channel::<(i64, i64)>();
+    let mut workers = Vec::new();
+    for t in 0..CONCURRENT_THREADS {
+        let e = engine.clone();
+        let sink = sink.clone();
+        workers.push(std::thread::spawn(move || -> Result<(), String> {
+            let session = e.session();
+            let mut rng = SplitMix64::new(
+                seed.wrapping_add(CONCURRENT_SALT)
+                    .wrapping_mul(2 * t as u64 + 1),
+            );
+            for i in 0..TXNS_PER_SESSION {
+                // Key space is partitioned per (thread, txn) so commits
+                // never collide on a key and the committed set is
+                // unambiguous regardless of interleaving.
+                let base = ((t * TXNS_PER_SESSION + i) * 8) as i64;
+                let n = 1 + rng.next_u64() % 3;
+                let doomed = rng.next_u64().is_multiple_of(4);
+                let mut txn = session.begin();
+                let mut staged = Vec::new();
+                for j in 0..n {
+                    let k = if doomed {
+                        ABORT_BASE + base + j as i64
+                    } else {
+                        base + j as i64
+                    };
+                    let v = (rng.next_u64() % 100_000) as i64;
+                    session
+                        .insert(&mut txn, "ct", vec![OwnedValue::Int(k), OwnedValue::Int(v)])
+                        .map_err(|e| format!("SETUP: seed {seed}: thread {t}: insert: {e}"))?;
+                    staged.push((k, v));
+                }
+                if doomed {
+                    session.abort(txn);
+                } else {
+                    match session.commit(txn) {
+                        Ok(_) => {
+                            for kv in staged {
+                                let _ = sink.send(kv);
+                            }
+                        }
+                        // A victim commits nothing and leaves no trace.
+                        Err(TxnError::Deadlock) => {}
+                        Err(e) => {
+                            return Err(format!("SETUP: seed {seed}: thread {t}: commit: {e}"))
+                        }
+                    }
+                }
+                // Race device cycles and checkpoints into the commit
+                // stream. Both touch the faulty disk; any error (the
+                // power cut included) is survivable because durability
+                // is the marker in the stable log buffer, not the disk.
+                if rng.next_u64().is_multiple_of(3) {
+                    e.with_db(|db| {
+                        let _ = db.run_log_device();
+                    });
+                }
+                if rng.next_u64().is_multiple_of(4) {
+                    e.with_db(|db| {
+                        let _ = db.checkpoint();
+                    });
+                }
+            }
+            Ok(())
+        }));
+    }
+    drop(sink);
+    for w in workers {
+        w.join()
+            .map_err(|_| format!("SETUP: seed {seed}: committer thread panicked"))??;
+    }
+    let committed: BTreeMap<i64, i64> = results.iter().collect();
+
+    let db = engine
+        .into_inner()
+        .ok_or_else(|| format!("SETUP: seed {seed}: engine still shared after join"))?;
+    let counters = handle.counters();
+    let crashed = db.crash();
+    handle.heal();
+    let (db2, _report) = crashed
+        .recover(&[("ct", 0)])
+        .map_err(|e| format!("RESTART: seed {seed}: {e}"))?;
+
+    let rows = db2
+        .len("ct")
+        .map_err(|e| format!("EQUIVALENCE: seed {seed}: len: {e}"))?;
+    if rows != committed.len() {
+        return Err(format!(
+            "EQUIVALENCE: seed {seed}: recovered {rows} rows, {} commits returned Ok",
+            committed.len()
+        ));
+    }
+    db2.validate_indexes()
+        .map_err(|e| format!("EQUIVALENCE: seed {seed}: index validation after redo: {e}"))?;
+    for (k, v) in &committed {
+        let hits = db2
+            .select("ct", "k", &Predicate::Eq(KeyValue::Int(*k)))
+            .map_err(|e| format!("EQUIVALENCE: seed {seed}: select k={k}: {e}"))?;
+        if hits.len() != 1 {
+            return Err(format!(
+                "EQUIVALENCE: seed {seed}: committed key {k} matched {} rows, want 1",
+                hits.len()
+            ));
+        }
+        let row = db2
+            .fetch("ct", &hits.column(0), &["v"])
+            .map_err(|e| format!("EQUIVALENCE: seed {seed}: fetch k={k}: {e}"))?;
+        if row[0][0] != OwnedValue::Int(*v) {
+            return Err(format!(
+                "EQUIVALENCE: seed {seed}: key {k} recovered {:?}, committed value {v}",
+                row[0][0]
+            ));
+        }
+    }
+    let ghosts = db2
+        .select(
+            "ct",
+            "k",
+            &Predicate::greater(KeyValue::Int(ABORT_BASE - 1)),
+        )
+        .map_err(|e| format!("EQUIVALENCE: seed {seed}: ghost scan: {e}"))?;
+    if !ghosts.is_empty() {
+        return Err(format!(
+            "EQUIVALENCE: seed {seed}: {} aborted tuples leaked into recovery",
+            ghosts.len()
+        ));
+    }
+    Ok(counters)
+}
+
+/// The concurrent sweep: N seeds (default 64, shared with the scripted
+/// sweep's env knobs), each with a seed-derived power cut racing the
+/// group-commit stream from three sessions.
+#[test]
+fn concurrent_commit_torture_across_seeds() {
+    let n = env_u64("MMDB_TORTURE_SEEDS").unwrap_or(64);
+    let seeds: Vec<u64> = match env_u64("MMDB_TORTURE_SEED") {
+        Some(one) => vec![one],
+        None => (0..n).collect(),
+    };
+    let mut cut_runs = 0u64;
+    for &seed in &seeds {
+        let crash_at = SplitMix64::new(seed.wrapping_add(CRASH_SALT)).next_u64() % 32;
+        let plan = FaultPlan::seeded(seed, 50).with_crash_at(crash_at);
+        match run_concurrent_torture(seed, plan) {
+            Ok(counters) => {
+                if counters.power_cut {
+                    cut_runs += 1;
+                }
+            }
+            Err(msg) => panic!(
+                "concurrent commit torture failed under seed {seed} (power cut at write \
+                 #{crash_at}): {msg}\n  replay: MMDB_TORTURE_SEED={seed} cargo test --test \
+                 recovery_torture concurrent_commit_torture_across_seeds -- --nocapture"
+            ),
+        }
+    }
+    // The sweep must actually race commits against mid-flight power
+    // cuts, not just run fault-free.
+    if seeds.len() >= 16 {
+        assert!(
+            cut_runs >= seeds.len() as u64 / 4,
+            "only {cut_runs}/{} runs reached their injected power cut — fault schedule \
+             is not biting",
+            seeds.len()
+        );
+    }
 }
 
 #[test]
