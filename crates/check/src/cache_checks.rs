@@ -9,9 +9,15 @@
 //! in either side surfaces as a named violation instead of a stale row.
 
 use crate::report::Report;
-use mmdb_exec::cache::{fingerprint, ReuseCache, VersionSource};
+use mmdb_exec::cache::{fingerprint, DeltaEvent, ReuseCache, VersionSource, DELTA_BUDGET};
 
 const STRUCTURE: &str = "reuse cache";
+
+/// Componentwise `a <= b` for partition-version vectors, tolerating
+/// growth (a later vector may have more partitions, never fewer).
+fn versions_le(a: &[u64], b: &[u64]) -> bool {
+    a.len() <= b.len() && a.iter().zip(b).all(|(x, y)| x <= y)
+}
 
 /// Validate every resident entry of `cache` against `live`.
 #[must_use]
@@ -89,6 +95,137 @@ pub fn check_cache(cache: &ReuseCache, live: &dyn VersionSource) -> Report {
                 "an input version moved but the entry would still serve".to_string(),
             );
         }
+
+        // Structured-key consistency: a keyed entry is a single-table
+        // arity-1 selection whose canonical form re-derives from the key
+        // (so subsumption matching and fingerprint matching can never
+        // disagree about what the rows mean).
+        if let Some(k) = &e.key {
+            let derived_canon = format!("sel({}.{} {})", k.table, k.attr, k.pred);
+            if e.canonical != derived_canon {
+                report.fail(
+                    STRUCTURE,
+                    loc(),
+                    "a keyed entry's canonical form re-derives from its reuse key",
+                    format!("stored {:?}, derived {derived_canon:?}", e.canonical),
+                );
+            }
+            if e.tables.as_slice() != [k.table.clone()] {
+                report.fail(
+                    STRUCTURE,
+                    loc(),
+                    "a keyed entry covers exactly its key's table",
+                    format!("tables {:?}, key table {:?}", e.tables, k.table),
+                );
+            }
+            if k.maintainable && !k.order_safe {
+                report.fail(
+                    STRUCTURE,
+                    loc(),
+                    "maintainable entries are order-safe (sequential scan order)",
+                    "maintainable flag set on an order-unsafe key".to_string(),
+                );
+            }
+        }
+
+        // Delta-chain invariants.
+        if !e.deltas.is_empty() {
+            let maintainable = e.key.as_ref().is_some_and(|k| k.maintainable);
+            if !maintainable {
+                report.fail(
+                    STRUCTURE,
+                    loc(),
+                    "only maintainable selection entries accrue deltas",
+                    format!(
+                        "{} pending deltas on an unmaintainable entry",
+                        e.deltas.len()
+                    ),
+                );
+            }
+            if e.deltas.len() > DELTA_BUDGET {
+                report.fail(
+                    STRUCTURE,
+                    loc(),
+                    "a delta chain never outgrows the budget",
+                    format!("{} > {DELTA_BUDGET}", e.deltas.len()),
+                );
+            }
+            if e.deltas.iter().any(|d| d.event == DeltaEvent::Barrier) {
+                report.fail(
+                    STRUCTURE,
+                    loc(),
+                    "relocation barriers evict, they are never stored",
+                    "a Barrier record is resident in a delta chain".to_string(),
+                );
+            }
+            // The chain must walk monotonically from the compute-time
+            // stamp to `delta_stamps`: stamps[0] <= rec1 <= ... <= tip.
+            let mut prev: &[u64] = e.stamps.first().map_or(&[], Vec::as_slice);
+            let mut monotone = true;
+            for d in &e.deltas {
+                monotone &= versions_le(prev, &d.versions_after);
+                prev = &d.versions_after;
+            }
+            monotone &= prev == e.delta_stamps.as_slice();
+            if !monotone {
+                report.fail(
+                    STRUCTURE,
+                    loc(),
+                    "the delta chain walks the version lattice upward to delta_stamps",
+                    format!(
+                        "stamps {:?} -> chain {:?} -> delta_stamps {:?}",
+                        e.stamps.first(),
+                        e.deltas
+                            .iter()
+                            .map(|d| &d.versions_after)
+                            .collect::<Vec<_>>(),
+                        e.delta_stamps
+                    ),
+                );
+            }
+
+            // Gap coverage: the cache may serve this entry via patching
+            // iff the chain's tip *is* the live vector — the deltas then
+            // exactly cover the version gap between the entry's stamps
+            // and the live table. Judged independently of the cache's
+            // own `would_serve_delta`.
+            let gap_covered = !fresh
+                && maintainable
+                && e.epoch == live.catalog_epoch()
+                && e.tables.len() == 1
+                && live.table_versions(&e.tables[0]).as_deref() == Some(e.delta_stamps.as_slice());
+            let delta_served = cache.would_serve_delta(e.fingerprint, &e.canonical, live);
+            if gap_covered && derivable && !delta_served {
+                report.fail(
+                    STRUCTURE,
+                    loc(),
+                    "a gap-covering delta chain is delta-servable",
+                    "chain tip equals the live versions but would_serve_delta is false".to_string(),
+                );
+            }
+            if !gap_covered && delta_served {
+                report.fail(
+                    STRUCTURE,
+                    loc(),
+                    "deltas served only when they exactly cover the version gap",
+                    "would_serve_delta is true but the chain tip is not the live vector"
+                        .to_string(),
+                );
+            }
+        } else if !e.delta_stamps.is_empty() && e.stamps.first() != Some(&e.delta_stamps) {
+            // An empty chain means "no pending maintenance": the tip
+            // must sit exactly at the compute-time stamp.
+            report.fail(
+                STRUCTURE,
+                loc(),
+                "an empty delta chain keeps delta_stamps at the compute-time stamp",
+                format!(
+                    "stamps {:?}, delta_stamps {:?}",
+                    e.stamps.first(),
+                    e.delta_stamps
+                ),
+            );
+        }
     }
 
     // Occupancy accounting must agree with the per-entry bytes.
@@ -116,8 +253,9 @@ pub fn check_cache(cache: &ReuseCache, live: &dyn VersionSource) -> Report {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mmdb_exec::cache::StoreTicket;
-    use mmdb_storage::{TempList, TupleId};
+    use mmdb_exec::cache::{DeltaRec, ReuseKey, StoreTicket};
+    use mmdb_exec::Predicate;
+    use mmdb_storage::{KeyValue, TempList, TupleId};
     use std::collections::HashMap;
 
     struct MemVersions(HashMap<String, Vec<u64>>);
@@ -141,7 +279,20 @@ mod tests {
             stamps: vec![vec![v]],
             epoch: 0,
             cost: 100.0,
+            key: None,
         }
+    }
+
+    fn keyed_ticket(v: u64) -> StoreTicket {
+        let mut t = ticket(v);
+        t.key = Some(ReuseKey {
+            table: "emp".to_string(),
+            attr: "age".to_string(),
+            pred: Predicate::Eq(KeyValue::Int(30)),
+            order_safe: true,
+            maintainable: true,
+        });
+        t
     }
 
     fn rows() -> TempList {
@@ -215,5 +366,118 @@ mod tests {
             e.stamps.clear();
         }
         assert!(!check_cache(&cache, &live(5)).is_ok());
+    }
+
+    /// Put a maintained keyed entry with one pending delta into `cache`
+    /// (hot, chain `[5] -> [6]`).
+    fn maintained_entry(cache: &mut ReuseCache) {
+        cache.insert(&keyed_ticket(5), &rows());
+        let t = keyed_ticket(5);
+        // Heat the entry so note_write maintains it instead of skipping.
+        assert!(cache
+            .lookup(t.fingerprint, &t.canonical, &live(5))
+            .is_some());
+        cache.note_write("emp", DeltaEvent::Insert(TupleId::new(0, 7)), &[6]);
+        assert_eq!(cache.entries().next().unwrap().deltas.len(), 1);
+    }
+
+    #[test]
+    fn healthy_maintained_entry_passes_and_gap_coverage_agrees() {
+        let mut cache = ReuseCache::default();
+        maintained_entry(&mut cache);
+        let t = keyed_ticket(5);
+        // At live [6] the chain exactly covers the gap.
+        assert!(check_cache(&cache, &live(6)).is_ok());
+        assert!(cache.would_serve_delta(t.fingerprint, &t.canonical, &live(6)));
+        // At live [7] it does not (an unlogged write slipped past):
+        // still consistent — just not servable.
+        assert!(check_cache(&cache, &live(7)).is_ok());
+        assert!(!cache.would_serve_delta(t.fingerprint, &t.canonical, &live(7)));
+    }
+
+    #[test]
+    fn tampered_delta_chain_is_caught() {
+        let mut cache = ReuseCache::default();
+        maintained_entry(&mut cache);
+        // Break monotonicity: the chain claims the write *lowered* a
+        // version counter.
+        for e in cache.entries_mut() {
+            e.deltas[0].versions_after = vec![4];
+            e.delta_stamps = vec![4];
+        }
+        let report = check_cache(&cache, &live(6));
+        let err = format!("{:?}", report.into_result());
+        assert!(err.contains("version lattice"), "{err}");
+    }
+
+    #[test]
+    fn tampered_chain_tip_is_caught() {
+        let mut cache = ReuseCache::default();
+        maintained_entry(&mut cache);
+        // delta_stamps disagrees with the last record's vector.
+        for e in cache.entries_mut() {
+            e.delta_stamps = vec![9];
+        }
+        assert!(!check_cache(&cache, &live(6)).is_ok());
+    }
+
+    #[test]
+    fn widened_key_predicate_is_caught() {
+        let mut cache = ReuseCache::default();
+        cache.insert(&keyed_ticket(5), &rows());
+        // Widen the key's interval without touching the canonical form:
+        // subsumption would now hand these rows to queries they don't
+        // answer — the key/canonical re-derivation must fire.
+        for e in cache.entries_mut() {
+            e.key.as_mut().unwrap().pred = Predicate::less(KeyValue::Int(1000));
+        }
+        let report = check_cache(&cache, &live(5));
+        let err = format!("{:?}", report.into_result());
+        assert!(err.contains("re-derives from its reuse key"), "{err}");
+    }
+
+    #[test]
+    fn deltas_on_unmaintainable_entry_are_caught() {
+        let mut cache = ReuseCache::default();
+        cache.insert(&ticket(5), &rows()); // no key: exact-only entry
+        for e in cache.entries_mut() {
+            e.deltas.push(DeltaRec {
+                event: DeltaEvent::Insert(TupleId::new(0, 7)),
+                versions_after: vec![6],
+            });
+            e.delta_stamps = vec![6];
+        }
+        let report = check_cache(&cache, &live(6));
+        let err = format!("{:?}", report.into_result());
+        assert!(err.contains("maintainable"), "{err}");
+    }
+
+    #[test]
+    fn stored_barrier_is_caught() {
+        let mut cache = ReuseCache::default();
+        maintained_entry(&mut cache);
+        for e in cache.entries_mut() {
+            e.deltas.push(DeltaRec {
+                event: DeltaEvent::Barrier,
+                versions_after: vec![7],
+            });
+            e.delta_stamps = vec![7];
+        }
+        let report = check_cache(&cache, &live(7));
+        let err = format!("{:?}", report.into_result());
+        assert!(err.contains("Barrier"), "{err}");
+    }
+
+    #[test]
+    fn drained_chain_with_moved_tip_is_caught() {
+        let mut cache = ReuseCache::default();
+        cache.insert(&keyed_ticket(5), &rows());
+        // Empty chain but a tip that wandered off the compute stamp.
+        for e in cache.entries_mut() {
+            e.delta_stamps = vec![8];
+        }
+        let report = check_cache(&cache, &live(5));
+        let err = format!("{:?}", report.into_result());
+        assert!(err.contains("compute-time stamp"), "{err}");
     }
 }

@@ -11,8 +11,9 @@ use mmdb_exec::plan::{
 };
 use mmdb_exec::{
     choose_select_path, parallel_select_scan, select_hash_index, select_tree_index, CacheReport,
-    CachedReadOp, ExecConfig, IndexAvailability, JoinMethod, JoinOutput, JoinPlanner, MemoizeOp,
-    Predicate, ReuseCache, SelectPath, StoreTicket, VersionSource,
+    CachedMode, CachedReadOp, DeltaApplyOp, DeltaEvent, ExecConfig, IndexAvailability, JoinMethod,
+    JoinOutput, JoinPlanner, MemoizeOp, Predicate, RefilterOp, ReuseCache, SelectPath, StoreTicket,
+    VersionSource,
 };
 use mmdb_index::traits::{OrderedIndex, UnorderedIndex};
 use mmdb_index::{ModifiedLinearHash, TTree, TTreeConfig};
@@ -579,6 +580,7 @@ impl<S: StableStore> Database<S> {
                     for idx in self.indexes.iter_mut().filter(|i| i.table == table) {
                         idx.index.insert(tid);
                     }
+                    self.note_cache_write(table, DeltaEvent::Insert(tid));
                     inserted.push(tid);
                     touched.insert(table);
                 }
@@ -614,6 +616,16 @@ impl<S: StableStore> Database<S> {
                     {
                         idx.index.insert(tid);
                     }
+                    // A heap-overflow relocation moves the tuple to a new
+                    // physical slot: cached physical pointers on the table
+                    // can no longer be patched, only dropped.
+                    let phys_after = self.table(table).rel.read().resolve(tid)?;
+                    let event = if phys_after == phys {
+                        DeltaEvent::Update(phys)
+                    } else {
+                        DeltaEvent::Barrier
+                    };
+                    self.note_cache_write(table, event);
                     touched.insert(table);
                 }
                 WriteOp::Delete { table, tid } => {
@@ -627,6 +639,7 @@ impl<S: StableStore> Database<S> {
                         idx.index.delete_entry(&tid);
                     }
                     self.table(table).rel.write().delete(tid)?;
+                    self.note_cache_write(table, DeltaEvent::Delete(phys));
                     touched.insert(table);
                 }
             }
@@ -645,6 +658,22 @@ impl<S: StableStore> Database<S> {
             rel.clear_dirty();
         }
         Ok(inserted)
+    }
+
+    /// Feed one applied write into the reuse cache's delta logs. Both
+    /// commit paths ([`Database::commit`] and the transaction engine)
+    /// route through [`Database::apply_and_log`], so this is the single
+    /// append site: it reads the table's partition versions *after* the
+    /// write, extending each hot maintained entry's version chain by
+    /// exactly the link the write created.
+    fn note_cache_write(&self, table: TableId, event: DeltaEvent) {
+        let mut cache = self.cache.lock();
+        if cache.report().entries == 0 {
+            return;
+        }
+        let t = self.table(table);
+        let rel = t.rel.read();
+        cache.note_write(&t.name, event, rel.partition_versions());
     }
 
     /// Abort: discard the buffered writes — "the log entry is removed and
@@ -1142,17 +1171,75 @@ impl<S: StableStore> Database<S> {
             PlanNodeKind::Cached {
                 fingerprint,
                 canonical,
+                filters,
+                mode,
                 ..
-            } => {
-                let rows = self
-                    .cache
-                    .lock()
-                    .peek(*fingerprint, canonical)
-                    .ok_or_else(|| {
-                        DbError::BadQuery("cached plan node lost its cache entry".into())
+            } => match mode {
+                CachedMode::Exact => {
+                    let rows =
+                        self.cache
+                            .lock()
+                            .peek(*fingerprint, canonical)
+                            .ok_or_else(|| {
+                                DbError::BadQuery("cached plan node lost its cache entry".into())
+                            })?;
+                    Box::new(CachedReadOp { id: node.id, rows })
+                }
+                CachedMode::Subsumed {
+                    entry_fingerprint,
+                    entry_canonical,
+                    ..
+                } => {
+                    // The residual predicate is the node's own absorbed
+                    // filter; the rows come from the wider entry.
+                    let (table, attr, pred) = filters.first().ok_or_else(|| {
+                        DbError::BadQuery("subsumed cache node carries no filter".into())
                     })?;
-                Box::new(CachedReadOp { id: node.id, rows })
-            }
+                    let rel = rels[position(table)?];
+                    let attr_idx = rel.schema().index_of(attr)?;
+                    let rows = self
+                        .cache
+                        .lock()
+                        .peek(*entry_fingerprint, entry_canonical)
+                        .ok_or_else(|| {
+                            DbError::BadQuery("subsuming cache entry disappeared".into())
+                        })?;
+                    Box::new(RefilterOp {
+                        id: node.id,
+                        rows,
+                        rel,
+                        attr: attr_idx,
+                        pred: pred.clone(),
+                    })
+                }
+                CachedMode::Delta { .. } => {
+                    let (table, attr, pred) = filters.first().ok_or_else(|| {
+                        DbError::BadQuery("delta cache node carries no filter".into())
+                    })?;
+                    let rel = rels[position(table)?];
+                    let attr_idx = rel.schema().index_of(attr)?;
+                    let view = self
+                        .cache
+                        .lock()
+                        .peek_delta(*fingerprint, canonical)
+                        .ok_or_else(|| {
+                            DbError::BadQuery("delta cache entry lost its chain".into())
+                        })?;
+                    Box::new(DeltaApplyOp {
+                        id: node.id,
+                        rows: view.rows,
+                        deltas: view.deltas,
+                        rel,
+                        attr: attr_idx,
+                        pred: pred.clone(),
+                        cache: &self.cache,
+                        fingerprint: *fingerprint,
+                        canonical: canonical.clone(),
+                        seq: view.seq,
+                        covered: view.covered,
+                    })
+                }
+            },
         };
         Ok(match tickets.get(&node.id) {
             Some(ticket) => Box::new(MemoizeOp {

@@ -55,8 +55,9 @@ pub trait HashTupleAdapter: HashAdapter<Entry = TupleId, Key = KeyValue> {}
 impl<T: HashAdapter<Entry = TupleId, Key = KeyValue>> HashTupleAdapter for T {}
 
 pub use cache::{
-    apply_cache, CacheEntry, CacheReport, CachedReadOp, MemoizeOp, ReuseCache, StoreTicket,
-    VersionSource,
+    apply_cache, covers, CacheEntry, CacheReport, CachedReadOp, DeltaApplyOp, DeltaEvent, DeltaRec,
+    DeltaView, MemoizeOp, RefilterOp, ReuseCache, ReuseKey, StoreTicket, VersionSource,
+    DELTA_BUDGET,
 };
 pub use error::ExecError;
 pub use join::{
@@ -69,7 +70,8 @@ pub use parallel::{
     parallel_select_scan, parallel_theta_join, ExecConfig,
 };
 pub use plan::{
-    ExecContext, LogicalPlan, PlanError, PlanProfile, PlannedQuery, Planner, PlannerOptions,
+    CachedMode, ExecContext, LogicalPlan, PlanError, PlanProfile, PlannedQuery, Planner,
+    PlannerOptions,
 };
 pub use project::{project_hash, project_hash_sized, project_sort, ProjectOutput};
 pub use select::{select_hash_index, select_scan, select_scan_iter, select_tree_index, Predicate};

@@ -219,6 +219,39 @@ pub enum PlanNodeKind {
         /// Joins absorbed from the replaced subtree, as
         /// `(source_table, outer_attr, inner_table, inner_attr)`.
         joins: Vec<(String, String, String, String)>,
+        /// How the cache serves this node (the §3.3.5 alternative the
+        /// cost comparison picked).
+        mode: CachedMode,
+    },
+}
+
+/// The reuse alternative chosen for a [`PlanNodeKind::Cached`] node.
+/// Each variant costs differently under the §3.3.4 formulas, and each
+/// renders distinctly in explain (`[cached]`, `[cached⊆ refilter]`,
+/// `[cached+Δ]`).
+#[derive(Debug, Clone)]
+pub enum CachedMode {
+    /// Exact fingerprint hit on a fresh entry: serve the rows as-is
+    /// (zero comparisons).
+    Exact,
+    /// Served from a *subsuming* entry over the same `(table, attr)`
+    /// whose predicate interval contains this node's: the cached rows
+    /// are re-filtered with the node's own predicate (`filters[0]`).
+    Subsumed {
+        /// Fingerprint of the subsuming entry.
+        entry_fingerprint: u64,
+        /// Canonical form of the subsuming entry (its preimage).
+        entry_canonical: String,
+        /// The subsuming entry's predicate — the invariant checker
+        /// verifies its interval contains the node's residual predicate.
+        entry_pred: Predicate,
+    },
+    /// Exact hit on a stale-but-maintained entry: the pending delta log
+    /// exactly covers the version gap, so the rows are patched at read
+    /// time instead of recomputed.
+    Delta {
+        /// Pending delta records at plan time (the cost driver).
+        pending: usize,
     },
 }
 

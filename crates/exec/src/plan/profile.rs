@@ -8,7 +8,7 @@
 
 use crate::optimizer::JoinMethod;
 use crate::plan::physical::{ExecContext, OpActuals};
-use crate::plan::planner::{NodeId, PlanNode, PlanNodeKind, PlannedQuery};
+use crate::plan::planner::{CachedMode, NodeId, PlanNode, PlanNodeKind, PlannedQuery};
 use mmdb_index::stats::Snapshot;
 use std::time::Duration;
 
@@ -158,7 +158,15 @@ pub fn node_label(kind: &PlanNodeKind) -> String {
             format!("project [{}]", names.join(", "))
         }
         PlanNodeKind::Distinct => "distinct[Hash]".to_string(),
-        PlanNodeKind::Cached { canonical, .. } => format!("[cached] {canonical}"),
+        PlanNodeKind::Cached {
+            canonical, mode, ..
+        } => match mode {
+            CachedMode::Exact => format!("[cached] {canonical}"),
+            CachedMode::Subsumed {
+                entry_canonical, ..
+            } => format!("[cached⊆ refilter] {canonical} from {entry_canonical}"),
+            CachedMode::Delta { pending } => format!("[cached+Δ] {canonical} (pending={pending})"),
+        },
     }
 }
 

@@ -29,6 +29,14 @@ pub struct VersionPolicy {
     pub sinks: Vec<String>,
     /// Idents whose presence means "bumps the version counters".
     pub bumps: Vec<String>,
+    /// Idents whose call means "appends to a reuse-cache delta log".
+    /// Every such append must ride a call path that also bumps, or the
+    /// recorded version stamps cannot cover the write.
+    pub delta_sinks: Vec<String>,
+    /// Extra path prefixes scanned for delta-log call-graph context.
+    /// Unlike `paths`, files here never contribute mutating entry
+    /// points — only appends, bumps, and call edges.
+    pub delta_paths: Vec<String>,
     /// Entry points excused from the rule.
     pub allow: Vec<AllowEntry>,
 }
@@ -160,6 +168,8 @@ impl Policy {
                 }
                 ("version-bump", "sinks") => p.version.sinks.extend(split_list(value)),
                 ("version-bump", "bumps") => p.version.bumps.extend(split_list(value)),
+                ("version-bump", "delta_sinks") => p.version.delta_sinks.extend(split_list(value)),
+                ("version-bump", "delta_paths") => p.version.delta_paths.extend(split_list(value)),
                 ("version-bump", "allow") => p.version.allow.push(parse_allow(value, line_no)?),
                 ("lock-order", "paths") => p.lock.paths.extend(split_list(value)),
                 ("lock-order", "order") => p.lock.order.extend(split_list(value)),

@@ -26,18 +26,20 @@ struct Node {
     entry: bool,
     calls: Vec<String>,
     sink: Option<String>,
+    delta_sink: Option<String>,
     bump: bool,
 }
 
 /// Run the rule.
 pub fn run(ws: &Workspace, policy: &Policy, out: &mut Vec<Diagnostic>) {
     let p = &policy.version;
-    if p.paths.is_empty() {
+    if p.paths.is_empty() && p.delta_paths.is_empty() {
         return;
     }
     let mut nodes: Vec<Node> = Vec::new();
     for (fi, file) in ws.files.iter().enumerate() {
-        if !path_covered(&file.path, &p.paths) {
+        let entry_scope = path_covered(&file.path, &p.paths);
+        if !entry_scope && !path_covered(&file.path, &p.delta_paths) {
             continue;
         }
         for f in &file.fns {
@@ -51,21 +53,28 @@ pub fn run(ws: &Workspace, policy: &Policy, out: &mut Vec<Diagnostic>) {
             let calls: Vec<String> = call_sites(body).into_iter().map(|(_, n)| n).collect();
             // A sink call counts whether written bare (`self.insert(…)`)
             // or path-qualified (`Partition::insert(…)`).
-            let sink = calls
-                .iter()
-                .find(|c| {
-                    let last = c.rsplit("::").next().unwrap_or(c);
-                    p.sinks.iter().any(|s| s == last)
-                })
-                .cloned();
+            let find_call = |vocab: &[String]| {
+                calls
+                    .iter()
+                    .find(|c| {
+                        let last = c.rsplit("::").next().unwrap_or(c);
+                        vocab.iter().any(|s| s == last)
+                    })
+                    .cloned()
+            };
+            let sink = find_call(&p.sinks);
+            let delta_sink = find_call(&p.delta_sinks);
             let bump = idents_in(body)
                 .iter()
                 .any(|i| p.bumps.iter().any(|b| b == i));
-            let entry = (f.mut_self
-                && f.impl_type
-                    .as_ref()
-                    .is_some_and(|t| p.impl_types.contains(t)))
-                || f.mut_params.iter().any(|t| p.mut_param_types.contains(t));
+            // Files pulled in only via `delta_paths` contribute call
+            // edges and bumps but never entry points of their own.
+            let entry = entry_scope
+                && ((f.mut_self
+                    && f.impl_type
+                        .as_ref()
+                        .is_some_and(|t| p.impl_types.contains(t)))
+                    || f.mut_params.iter().any(|t| p.mut_param_types.contains(t)));
             nodes.push(Node {
                 qual: f.qual_name.clone(),
                 name: f.name.clone(),
@@ -75,6 +84,7 @@ pub fn run(ws: &Workspace, policy: &Policy, out: &mut Vec<Diagnostic>) {
                 entry,
                 calls,
                 sink,
+                delta_sink,
                 bump,
             });
         }
@@ -111,19 +121,66 @@ pub fn run(ws: &Workspace, policy: &Policy, out: &mut Vec<Diagnostic>) {
         }
     }
 
-    for (i, n) in nodes.iter().enumerate() {
-        if !n.entry || reach_bump[i] {
-            continue;
+    // Push bump context down into callees: a delta-log append is sound
+    // only when the appender itself — or some caller on the path into
+    // it — reaches a version bump, so the stamps recorded alongside
+    // the append actually cover the write.
+    let mut bump_ctx = reach_bump.clone();
+    loop {
+        let mut changed = false;
+        for i in 0..nodes.len() {
+            if !bump_ctx[i] {
+                continue;
+            }
+            for call in &nodes[i].calls {
+                for j in 0..nodes.len() {
+                    if i != j
+                        && !bump_ctx[j]
+                        && call_matches(call, &nodes[j].name, &nodes[j].qual, nodes[j].impl_typed)
+                    {
+                        bump_ctx[j] = true;
+                        changed = true;
+                    }
+                }
+            }
         }
-        let Some(sink) = &reach_sink[i] else {
-            continue;
-        };
+        if !changed {
+            break;
+        }
+    }
+
+    for (i, n) in nodes.iter().enumerate() {
         if p.allow
             .iter()
             .any(|a| a.target == n.qual || a.target == n.name)
         {
             continue;
         }
+        if let Some(delta) = &n.delta_sink {
+            if !bump_ctx[i] {
+                out.push(Diagnostic {
+                    file: ws.files[n.file].path.clone(),
+                    line: n.line,
+                    rule: RULE.to_string(),
+                    message: format!(
+                        "delta-log append `{}` in `{}` is not reachable from a version bump",
+                        delta, n.qual
+                    ),
+                    hint: format!(
+                        "route the append through the bumping write path (policy bumps: {}), \
+                         or add `allow = {} -- <why>` to the policy",
+                        p.bumps.join("/"),
+                        n.qual
+                    ),
+                });
+            }
+        }
+        if !n.entry || reach_bump[i] {
+            continue;
+        }
+        let Some(sink) = &reach_sink[i] else {
+            continue;
+        };
         out.push(Diagnostic {
             file: ws.files[n.file].path.clone(),
             line: n.line,

@@ -35,6 +35,7 @@ const SEEDED: &[(&str, u32, &str)] = &[
     ("crates/storagefix/src/lib.rs", 24, "version-bump"),
     ("crates/storagefix/src/lib.rs", 30, "version-bump"),
     ("crates/storagefix/src/lib.rs", 36, "version-bump"),
+    ("crates/storagefix/src/lib.rs", 65, "version-bump"),
 ];
 
 #[test]
@@ -124,4 +125,6 @@ fn fixture_policy_parses_with_expected_shape() {
     assert_eq!(p.lock.order, vec!["catalog", "relation", "partition"]);
     assert_eq!(p.version.allow.len(), 1);
     assert!(p.version.allow[0].justification.contains("bumps"));
+    assert_eq!(p.version.delta_sinks, vec!["push_delta"]);
+    assert_eq!(p.version.delta_paths, vec!["crates/storagefix/src"]);
 }

@@ -50,3 +50,18 @@ pub fn free_fixup(part: &mut Partition) {
 
 /// The raw partition write; an entry with no calls, so never flagged.
 pub fn write_raw(_part: &mut Partition) {}
+
+/// The delta-log append helper; inert on its own.
+pub fn push_delta(_part: &mut Partition) {}
+
+/// Clean: the delta-log append rides a write path that also bumps.
+pub fn logged_write_ok(rel: &mut Relation, part: &mut Partition) {
+    push_delta(part);
+    rel.mark_dirty();
+}
+
+/// SEEDED VIOLATION (version-bump): appends to the delta log outside
+/// any bumping write path.
+pub fn logged_write_bad(part: &mut Partition) {
+    push_delta(part);
+}

@@ -83,6 +83,12 @@ gate "planner-accuracy"  cargo run --release --example planner_accuracy
 # force a recompute (writes results/reuse_cache.csv).
 gate "reuse-cache-accept" cargo run --release --example reuse_cache
 
+# Reuse-optimizer acceptance: a narrower selection must be served by
+# re-filtering a cached wider entry bit-identically, and a hot entry
+# must absorb committed write bursts via delta application cheaper than
+# cold recompute (writes results/reuse_subsumption.csv).
+gate "reuse-subsume-accept" cargo run --release --example reuse_cache -- --subsume
+
 # Crash-recovery torture: scripted workloads over the fault-injecting
 # disk, crashed at seeded power-cut points across a bounded seed sweep
 # (64 seeds — the CI budget; any failure prints its seed for replay),
@@ -109,10 +115,11 @@ gate "inject-smoke"      cargo test -p mmdb-recovery --test stable_store_conform
 # must restart to exactly the latest-LSN committed images.
 gate "prop-recovery"     cargo test --test prop_recovery -q
 
-# Reuse-cache properties: random query/write interleavings must produce
-# cached results bit-identical to cold runs, with no stale entry served
-# after a write (seeded sweep; any failure prints its seed for replay).
-gate "cache-prop"        cargo test --test prop_cache -q
+# Reuse-cache properties: random query/write interleavings — now mixing
+# subsumption re-filters and delta application with writes — must
+# produce cached results bit-identical to cold runs, with no stale entry
+# served (64-seed sweep; MMDB_CACHE_SEED replays one).
+gate "cache-prop"        env MMDB_CACHE_SEEDS=64 cargo test --test prop_cache -q
 
 # Parallel-scaling bench, criterion --test smoke mode (each case once).
 gate "bench-smoke"       cargo bench -p mmdb-bench --bench scaling -- --test
@@ -130,7 +137,7 @@ gate "bench-baseline"    bench_baseline_diff
 
 # Perf-regression gate: the same fresh quick-mode run, numerically diffed
 # against the committed baseline — fails if any tracked kernel (join_4k/,
-# dedup_4k/, scaling_10k/) is more than 25% slower than its baseline cell
+# dedup_4k/, scaling_10k/, reuse_10k/) is more than 25% slower than its baseline cell
 # after dividing out the run-wide host-speed factor (median ratio across
 # all cells, so a uniformly slower host doesn't flag every kernel). A
 # failing pass re-measures in-process and keeps per-key minima before

@@ -355,6 +355,49 @@ project [emp.ename, dept.dname]  [est_rows=2 act_rows=2 est_cmp=0 act_cmp=0]
 }
 
 #[test]
+fn golden_subsumed_refilter() {
+    let db = fixture();
+    // Warm a wide seq-scan selection (orders.dept_id is unindexed, so
+    // the cached TempList is order-safe and maintainable).
+    let wide = db
+        .query("orders")
+        .filter(
+            "dept_id",
+            Predicate::between(KeyValue::Int(1), KeyValue::Int(2)),
+        )
+        .project(&[("orders", "oid")])
+        .parallelism(1)
+        .cache(true)
+        .run()
+        .unwrap();
+    assert_eq!(wide.rows.len(), 40);
+    // The narrower query has no exact entry; the planner costs the
+    // subsumed re-filter against recompute and serves from the wide one.
+    let q = |cached: bool| {
+        db.query("orders")
+            .filter("dept_id", Predicate::Eq(KeyValue::Int(2)))
+            .project(&[("orders", "oid")])
+            .parallelism(1)
+            .cache(cached)
+            .run()
+            .unwrap()
+    };
+    let narrow = q(true);
+    let cold = q(false);
+    // Bit-identical to the cold oracle — rows AND row order.
+    assert_eq!(narrow.rows, cold.rows);
+    assert_eq!(narrow.columns, cold.columns);
+    assert_eq!(
+        narrow.profile.render(),
+        "\
+project [orders.oid]  [est_rows=6 act_rows=20 est_cmp=0 act_cmp=0]
+  [cached⊆ refilter] sel(orders.dept_id = 2) from sel(orders.dept_id in [1, 2])  [est_rows=40 act_rows=20 est_cmp=40 act_cmp=40]
+"
+    );
+    assert!(narrow.profile.cache.subsumed_hits >= 1);
+}
+
+#[test]
 fn explain_round_trips_estimates_and_actuals() {
     let db = fixture();
     let q = || {

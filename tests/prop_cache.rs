@@ -41,12 +41,16 @@ fn fixture() -> (Database, Vec<TupleId>, Vec<TupleId>) {
     .unwrap();
     db.create_index("dept_id", "dept", "id", IndexKind::TTree)
         .unwrap();
+    // `salary` is deliberately unindexed: selections on it run as
+    // sequential scans, the only access path whose cached TempLists
+    // are order-safe for subsumption AND delta maintenance.
     db.create_table(
         "emp",
         Schema::of(&[
             ("ename", AttrType::Str),
             ("age", AttrType::Int),
             ("dept_id", AttrType::Int),
+            ("salary", AttrType::Int),
         ]),
     )
     .unwrap();
@@ -70,6 +74,7 @@ fn fixture() -> (Database, Vec<TupleId>, Vec<TupleId>) {
                 format!("emp-{i}").into(),
                 ((i * 37) % 100).into(),
                 (i % 5 + 1).into(),
+                ((i * 53) % 100).into(),
             ],
         )
         .unwrap();
@@ -82,7 +87,7 @@ fn fixture() -> (Database, Vec<TupleId>, Vec<TupleId>) {
 /// a builder-producing closure so the same query can run under both
 /// cache settings.
 fn run_query(db: &Database, shape: u64, threshold: i64, cached: bool) -> QueryOutput {
-    let q = match shape % 4 {
+    let q = match shape % 6 {
         0 => db
             .query("emp")
             .filter("age", Predicate::greater(KeyValue::Int(threshold)))
@@ -97,18 +102,30 @@ fn run_query(db: &Database, shape: u64, threshold: i64, cached: bool) -> QueryOu
             .join("dept_id", "dept", "id")
             .project(&[("dept", "dname")])
             .distinct(),
-        _ => db
+        3 => db
             .query("emp")
             .join("dept_id", "dept", "id")
             .filter_on("dept", "dname", Predicate::Eq(KeyValue::from("dept-2")))
             .project(&[("emp", "ename"), ("emp", "age"), ("dept", "dname")]),
+        // Seq-scan selections on the unindexed salary attribute: the
+        // threshold ladder makes wide-then-narrow repeats common, so
+        // these exercise subsumption re-filters and delta application.
+        4 => db
+            .query("emp")
+            .filter("salary", Predicate::less(KeyValue::Int(threshold)))
+            .project(&[("emp", "ename"), ("emp", "salary")]),
+        _ => db
+            .query("emp")
+            .filter("salary", Predicate::less(KeyValue::Int(threshold)))
+            .join("dept_id", "dept", "id")
+            .project(&[("emp", "ename"), ("dept", "dname")]),
     };
     q.parallelism(1).cache(cached).run().unwrap()
 }
 
 /// Drive one seeded script; panics with seed + step context on any
-/// divergence. Returns the cache hits observed.
-fn run_script(seed: u64) -> u64 {
+/// divergence. Returns the final cache counters.
+fn run_script(seed: u64) -> mmdb_exec::CacheReport {
     let (mut db, mut dept_tids, mut emp_tids) = fixture();
     let mut rng = SplitMix64::new(seed);
     let mut next_emp = 1000i64;
@@ -134,14 +151,20 @@ fn run_script(seed: u64) -> u64 {
             // Write step: a committed insert/update/delete must move the
             // touched partition's version and unserve dependent entries.
             let mut txn = db.begin();
-            match rng.next_u64() % 4 {
+            match rng.next_u64() % 5 {
                 0 => {
                     let age = (rng.next_u64() % 100) as i64;
                     let dept = (rng.next_u64() % 5 + 1) as i64;
+                    let salary = (rng.next_u64() % 100) as i64;
                     db.insert(
                         &mut txn,
                         "emp",
-                        vec![format!("emp-{next_emp}").into(), age.into(), dept.into()],
+                        vec![
+                            format!("emp-{next_emp}").into(),
+                            age.into(),
+                            dept.into(),
+                            salary.into(),
+                        ],
                     )
                     .unwrap();
                     next_emp += 1;
@@ -151,7 +174,15 @@ fn run_script(seed: u64) -> u64 {
                     let age = (rng.next_u64() % 100) as i64;
                     db.update(&mut txn, "emp", tid, "age", age.into()).unwrap();
                 }
-                2 if emp_tids.len() > 5 => {
+                2 if !emp_tids.is_empty() => {
+                    // Salary updates land on hot seq-scan entries as
+                    // delta records rather than invalidations.
+                    let tid = emp_tids[(rng.next_u64() as usize) % emp_tids.len()];
+                    let salary = (rng.next_u64() % 100) as i64;
+                    db.update(&mut txn, "emp", tid, "salary", salary.into())
+                        .unwrap();
+                }
+                3 if emp_tids.len() > 5 => {
                     let i = (rng.next_u64() as usize) % emp_tids.len();
                     db.delete(&mut txn, "emp", emp_tids.swap_remove(i)).unwrap();
                 }
@@ -172,7 +203,7 @@ fn run_script(seed: u64) -> u64 {
             panic!("{}", ctx(&format!("deep_check: {msg}")));
         }
     }
-    db.cache_report().hits
+    db.cache_report()
 }
 
 fn env_u64(name: &str) -> Option<u64> {
@@ -186,14 +217,34 @@ fn cache_across_seeds() {
         Some(s) => vec![s],
         None => (0..n).collect(),
     };
-    let mut total_hits = 0;
+    let single = seeds.len() == 1;
+    let mut hits = 0;
+    let mut subsumed = 0;
+    let mut applied = 0;
     for seed in seeds {
-        total_hits += run_script(seed);
+        let report = run_script(seed);
+        hits += report.hits;
+        subsumed += report.subsumed_hits;
+        applied += report.delta_applies;
     }
     assert!(
-        total_hits > 0,
+        hits > 0,
         "no warm hit across the whole sweep: the suite is not exercising reuse"
     );
+    // A single-seed replay may legitimately miss the rarer serve modes;
+    // the full sweep must exercise both.
+    if !single {
+        assert!(
+            subsumed > 0,
+            "no subsumed serve across the whole sweep: the threshold ladder is not \
+             exercising the re-filter path"
+        );
+        assert!(
+            applied > 0,
+            "no delta application across the whole sweep: salary writes are not \
+             landing on hot seq-scan entries"
+        );
+    }
 }
 
 /// Regression shape: a write *between* a cold run and a would-be warm
@@ -216,7 +267,7 @@ fn write_between_runs_recomputes() {
     db.insert(
         &mut txn,
         "emp",
-        vec!["newcomer".into(), 99i64.into(), 1i64.into()],
+        vec!["newcomer".into(), 99i64.into(), 1i64.into(), 50i64.into()],
     )
     .unwrap();
     db.commit(txn).unwrap();
@@ -232,4 +283,30 @@ fn write_between_runs_recomputes() {
         .run()
         .unwrap();
     assert_eq!(after.rows, fresh.rows);
+}
+
+/// Focused subsumption shape: a narrow seq-scan selection answered by
+/// re-filtering a cached wider entry must be bit-identical to cold.
+#[test]
+fn narrow_query_is_served_from_wide_entry() {
+    let (db, _, _) = fixture();
+    let run = |hi: i64, cached: bool| {
+        db.query("emp")
+            .filter("salary", Predicate::less(KeyValue::Int(hi)))
+            .project(&[("emp", "ename"), ("emp", "salary")])
+            .parallelism(1)
+            .cache(cached)
+            .run()
+            .unwrap()
+    };
+    run(80, true); // memoize the wide entry
+    let narrow = run(40, true);
+    let cold = run(40, false);
+    assert_eq!(narrow.rows, cold.rows);
+    assert_eq!(narrow.columns, cold.columns);
+    let report = db.cache_report();
+    assert!(
+        report.subsumed_hits >= 1,
+        "expected a subsumed serve, report: {report:?}"
+    );
 }
