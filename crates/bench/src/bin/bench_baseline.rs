@@ -13,7 +13,8 @@
 //! The second form diffs a fresh run (or an already-generated `--fresh`
 //! file) against a committed baseline, printing per-key ratios, and exits
 //! non-zero if any *tracked* kernel (`join_4k/`, `dedup_4k/`,
-//! `scaling_10k/`, `reuse_10k/` — the keys large enough to be meaningful
+//! `scaling_10k/`, `reuse_10k/`, `recovery_100k/` — the keys large enough
+//! to be meaningful
 //! at quick-mode iteration counts) regressed by more than 25% beyond the run-wide
 //! host-speed factor (see [`REGRESS_LIMIT`]); a failing pass re-measures
 //! up to [`MAX_ATTEMPTS`] times, keeping per-key minima. `verify.sh`
@@ -623,6 +624,66 @@ fn reuse_suite(out: &mut BTreeMap<String, u64>) {
     });
 }
 
+/// Restart's index-rebuild kernels at the issue's 100k-row scale:
+/// tuple-at-a-time insertion (the pre-§16 restart loop — re-locking the
+/// relation through the adapter on every comparison) against the bulk
+/// run-sort + bottom-up build `recover` now uses. Both cells rebuild
+/// the same T-Tree over the same 100k-row relation; the ratio between
+/// them is the algorithmic win the bulk path exists for.
+fn recovery_suite(out: &mut BTreeMap<String, u64>) {
+    use mmdb_core::SharedAdapter;
+    use mmdb_index::sort::run_sort;
+    use mmdb_index::stats::Counters;
+    use mmdb_storage::value_order_tag;
+    use parking_lot::RwLock;
+    use std::sync::Arc;
+
+    const REBUILD_N: usize = 100_000;
+    /// The restart path's run length (L2-resident `(tag, tid)` runs).
+    const RUN_LEN: usize = 16_384;
+
+    let mut rel = Relation::new(
+        "r",
+        Schema::of(&[("k", AttrType::Int)]),
+        PartitionConfig::default(),
+    );
+    for k in shuffled_keys(REBUILD_N, 11) {
+        rel.insert(&[OwnedValue::Int(k as i64)]).expect("insert");
+    }
+    let rel = Arc::new(RwLock::new(rel));
+
+    measure(out, "recovery_100k/tuple_rebuild", 1, || {
+        let adapter = SharedAdapter::new(Arc::clone(&rel), 0);
+        let mut t = TTree::new(adapter, TTreeConfig::with_node_size(NODE_SIZE));
+        for tid in rel.read().iter_tids() {
+            t.insert(tid);
+        }
+        black_box(t.len());
+    });
+
+    measure(out, "recovery_100k/bulk_rebuild", 1, || {
+        let adapter = SharedAdapter::new(Arc::clone(&rel), 0);
+        let tagged = {
+            let r = rel.read();
+            let mut v: Vec<(u64, TupleId)> = r
+                .iter_tids()
+                .map(|tid| (value_order_tag(&r.field(tid, 0).expect("live")), tid))
+                .collect();
+            let counters = Counters::default();
+            run_sort(&mut v, RUN_LEN, &counters, &mut |a, b| {
+                a.0.cmp(&b.0).then_with(|| {
+                    r.field(a.1, 0)
+                        .expect("live")
+                        .total_cmp(&r.field(b.1, 0).expect("live"))
+                })
+            });
+            v
+        };
+        let t = TTree::build_from_sorted(adapter, TTreeConfig::with_node_size(NODE_SIZE), tagged);
+        black_box(t.len());
+    });
+}
+
 /// Host CPUs visible to the process (what `ExecConfig::default` clamps to).
 fn host_cpus() -> u64 {
     std::thread::available_parallelism()
@@ -682,7 +743,13 @@ fn write_json(path: &str, entries: &BTreeMap<String, u64>) -> std::io::Result<()
 /// The `txn_throughput/` cells are recorded (and printed by compares)
 /// but not gated: thread scheduling on a small host swings them well
 /// past [`REGRESS_LIMIT`] run-to-run.
-const TRACKED_PREFIXES: [&str; 4] = ["join_4k/", "dedup_4k/", "scaling_10k/", "reuse_10k/"];
+const TRACKED_PREFIXES: [&str; 5] = [
+    "join_4k/",
+    "dedup_4k/",
+    "scaling_10k/",
+    "reuse_10k/",
+    "recovery_100k/",
+];
 /// A tracked kernel more than this factor slower than baseline fails —
 /// after dividing out the run-wide host-speed factor (the median ratio
 /// over every key the two files share, untracked cells included). The
@@ -736,6 +803,7 @@ fn run_all_suites() -> BTreeMap<String, u64> {
     scaling_suite(&mut entries);
     txn_suite(&mut entries);
     reuse_suite(&mut entries);
+    recovery_suite(&mut entries);
     entries
 }
 

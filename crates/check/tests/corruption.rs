@@ -56,6 +56,31 @@ fn ttree_underfilled_internal_node_is_rejected() {
     assert!(msg.contains(&format!("node {id}")), "{msg}");
 }
 
+/// Bulk construction must not be a loophole around the occupancy
+/// invariant: a correct `build_from_sorted` passes the deep check, and
+/// a build deliberately under-filling its nodes (fill below
+/// `min_count`) is flagged on the same `node-occupancy-min` finding
+/// incremental corruption is.
+#[test]
+fn ttree_underfilled_bulk_build_is_rejected() {
+    let config = TTreeConfig::with_node_size(8);
+    // NaturalAdapter's entry tags are the default 0, so pre-tagged
+    // pairs carry 0 (bulk build requires tags agree with the adapter).
+    let tagged: Vec<(u64, u64)> = (0..200u64).map(|k| (0, k)).collect();
+    let good = TTree::build_from_sorted(NaturalAdapter::new(), config, tagged.clone());
+    good.validate().unwrap();
+    good.deep_check().assert_ok();
+    // Fill 2 per node: internal nodes sit far below min_count while
+    // their GLB donor leaves have entries to spare.
+    let min = config.min_count();
+    assert!(2 < min, "fill must undercut min_count {min}");
+    let bad = TTree::raw_build_with_fill(NaturalAdapter::new(), config, tagged, 2);
+    let msg = bad.deep_check().into_result().unwrap_err();
+    assert!(msg.contains("[ttree]"), "{msg}");
+    assert!(msg.contains("node-occupancy-min"), "{msg}");
+    assert!(msg.contains(&format!("min_count {min}")), "{msg}");
+}
+
 #[test]
 fn ttree_swapped_keys_are_rejected() {
     let mut t = ttree(40);

@@ -2,30 +2,35 @@
 
 use crate::catalog::{decode_catalog, encode_catalog, CatalogMeta, IndexMeta, TableMeta};
 use crate::error::DbError;
-use crate::shared::SharedAdapter;
+use crate::shared::{live_field, SharedAdapter};
 use crate::txn::{Transaction, WriteOp};
 use mmdb_exec::plan::{
     AttrInfo, BoxedOperator, DistinctOp, FullScanOp, HashLookupOp, JoinKernel, JoinOp, NodeId,
     PlanCatalog, PlanNode, PlanNodeKind, PostFilterOp, PrecomputedKernel, ProjectOp, SeqFilterOp,
     SidesKernel, TreeJoinKernel, TreeLookupOp, TreeMergeKernel,
 };
+use mmdb_exec::run_tasks;
 use mmdb_exec::{
     choose_select_path, parallel_select_scan, select_hash_index, select_tree_index, CacheReport,
     CachedMode, CachedReadOp, DeltaApplyOp, DeltaEvent, ExecConfig, IndexAvailability, JoinMethod,
     JoinOutput, JoinPlanner, MemoizeOp, Predicate, RefilterOp, ReuseCache, SelectPath, StoreTicket,
     VersionSource,
 };
+use mmdb_index::sort::run_sort;
+use mmdb_index::stats::Counters;
 use mmdb_index::traits::{OrderedIndex, UnorderedIndex};
 use mmdb_index::{ModifiedLinearHash, TTree, TTreeConfig};
 use mmdb_lock::{LockManager, LockMode, LockTarget, TxnId};
 use mmdb_recovery::{MemDisk, PartitionKey, RecoveryManager, RestartPhase, StableStore};
 use mmdb_storage::{
-    AttrType, OwnedValue, PartitionConfig, Relation, ResultDescriptor, Schema, TempList, TupleId,
+    value_hash, value_order_tag, AttrType, OwnedValue, Partition, PartitionConfig, Relation,
+    ResultDescriptor, Schema, TempList, TupleId,
 };
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
 use std::marker::PhantomData;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Identifies a table (position in catalog order).
 pub type TableId = usize;
@@ -76,6 +81,68 @@ impl AnyIndex {
     }
 }
 
+/// Run length for the bulk-rebuild sort kernel: long enough that runs
+/// stay L2-resident for `(u64, TupleId)` pairs (the same figure the
+/// query kernels use).
+const REBUILD_RUN_LEN: usize = 16_384;
+
+/// Build one index over the current population of `rel` through the bulk
+/// paths (DESIGN.md §16): snapshot `(key tag, tid)` pairs under a
+/// **single** read guard with a monomorphic loop — the tuple-at-a-time
+/// alternative re-locks the relation and re-dispatches through
+/// [`AnyIndex`] for every tuple — then either run-sort + bottom-up
+/// T-Tree construction or a pre-sized hash fill. Returns the index and
+/// its entry count.
+fn build_index_bulk(
+    rel: &Arc<RwLock<Relation>>,
+    attr: usize,
+    kind: IndexKind,
+    param: u32,
+) -> (AnyIndex, usize) {
+    let adapter = SharedAdapter::new(Arc::clone(rel), attr);
+    match kind {
+        IndexKind::TTree => {
+            let tagged = {
+                let r = rel.read();
+                let mut v: Vec<(u64, TupleId)> = r
+                    .iter_tids()
+                    .map(|tid| (value_order_tag(&live_field(&r, tid, attr)), tid))
+                    .collect();
+                // Tag-first comparison: unequal tags decide without
+                // touching the tuple (the §2.2 pointer-chase); ties fall
+                // back to the full value order. Equal keys drain in tid
+                // (insertion) order across runs.
+                let counters = Counters::default();
+                run_sort(&mut v, REBUILD_RUN_LEN, &counters, &mut |a, b| {
+                    a.0.cmp(&b.0).then_with(|| {
+                        live_field(&r, a.1, attr).total_cmp(&live_field(&r, b.1, attr))
+                    })
+                });
+                v
+            };
+            let n = tagged.len();
+            let tree = TTree::build_from_sorted(
+                adapter,
+                TTreeConfig::with_node_size(param as usize),
+                tagged,
+            );
+            (AnyIndex::TTree(tree), n)
+        }
+        IndexKind::Hash => {
+            let hashed: Vec<(u64, TupleId)> = {
+                let r = rel.read();
+                r.iter_tids()
+                    .map(|tid| (value_hash(&live_field(&r, tid, attr)), tid))
+                    .collect()
+            };
+            let n = hashed.len();
+            let mut h = ModifiedLinearHash::new(adapter, param as usize);
+            h.bulk_fill_hashed(hashed);
+            (AnyIndex::Hash(h), n)
+        }
+    }
+}
+
 struct IndexDef {
     name: String,
     table: TableId,
@@ -90,6 +157,32 @@ struct Table {
     rel: Arc<RwLock<Relation>>,
 }
 
+/// Wall-clock time spent in each restart phase (§2.4 order). Catalog and
+/// working set gate availability; background and index rebuild gate full
+/// restoration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryTimings {
+    /// Reading + decoding the catalog shadow slots.
+    pub catalog: Duration,
+    /// Fetching, merging, decoding, and installing working-set partitions.
+    pub working_set: Duration,
+    /// Same for the remainder of the database.
+    pub background: Duration,
+    /// Bulk-rebuilding every index over the reloaded relations.
+    pub index_rebuild: Duration,
+}
+
+/// How one index's restart rebuild went.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexRebuildStat {
+    /// Index name (catalog order).
+    pub name: String,
+    /// Entries loaded into the rebuilt structure.
+    pub entries: usize,
+    /// Wall-clock time for this index's rebuild task.
+    pub elapsed: Duration,
+}
+
 /// A recovered-partition record: which partition, in which restart phase.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecoveryReport {
@@ -97,6 +190,10 @@ pub struct RecoveryReport {
     pub loaded: Vec<(String, u32, RestartPhase)>,
     /// Indexes rebuilt after reload.
     pub indexes_rebuilt: usize,
+    /// Per-phase wall times.
+    pub timings: RecoveryTimings,
+    /// Per-index rebuild statistics, in catalog order.
+    pub index_stats: Vec<IndexRebuildStat>,
 }
 
 /// The memory-resident database (§2).
@@ -275,19 +372,10 @@ impl<S: StableStore> Database<S> {
         }
         let t = self.table_id(table)?;
         let attr_idx = self.table(t).rel.read().schema().index_of(attr)?;
-        let adapter = SharedAdapter::new(Arc::clone(&self.table(t).rel), attr_idx);
-        let mut index = match kind {
-            IndexKind::TTree => AnyIndex::TTree(TTree::new(
-                adapter,
-                TTreeConfig::with_node_size(param as usize),
-            )),
-            IndexKind::Hash => AnyIndex::Hash(ModifiedLinearHash::new(adapter, param as usize)),
-        };
-        // Index the existing population (streamed partition by partition —
-        // no tuple-id vector is materialized).
-        for tid in self.table(t).rel.read().iter_tids() {
-            index.insert(tid);
-        }
+        // Bulk-build over the existing population: one key snapshot under
+        // a single read guard, then run-sort + bottom-up construction
+        // (T-Tree) or a pre-sized fill (hash) — the same path restart uses.
+        let (index, _entries) = build_index_bulk(&self.table(t).rel, attr_idx, kind, param);
         self.indexes.push(IndexDef {
             name: name.to_string(),
             table: t,
@@ -1282,14 +1370,31 @@ pub struct CrashedDatabase<S: StableStore> {
     recovery: RecoveryManager<S>,
 }
 
-impl<S: StableStore> CrashedDatabase<S> {
+impl<S: StableStore + Sync> CrashedDatabase<S> {
     /// The §2.4 restart: rebuild the catalog, load the named working-set
     /// partitions first (merging unapplied log updates on the fly), then
-    /// the rest, and rebuild all indexes.
+    /// the rest, and rebuild all indexes. Runs with the default execution
+    /// config — parallel on a multicore host, serial on one core.
     pub fn recover(
         self,
         working_set: &[(&str, u32)],
     ) -> Result<(Database<S>, RecoveryReport), DbError> {
+        self.recover_with(working_set, ExecConfig::default())
+    }
+
+    /// [`CrashedDatabase::recover`] with an explicit execution config
+    /// (DESIGN.md §16). Image fetch + log merge, partition decode, and
+    /// index rebuilds fan out on up to `exec.dop` pool workers; results
+    /// are merged in plan order, so the recovered database (and any
+    /// error) is bit-identical across `dop` values. `exec.dop <= 1`
+    /// reproduces the serial path with no thread spawned.
+    pub fn recover_with(
+        self,
+        working_set: &[(&str, u32)],
+        exec: ExecConfig,
+    ) -> Result<(Database<S>, RecoveryReport), DbError> {
+        let mut timings = RecoveryTimings::default();
+        let catalog_start = Instant::now();
         // Read both shadow slots; the freshest epoch that still decodes
         // wins. A torn slot is reported (and skipped) — restart only
         // fails if no slot survives.
@@ -1338,7 +1443,7 @@ impl<S: StableStore> CrashedDatabase<S> {
             indexes: Vec::new(),
             locks: Arc::new(LockManager::default()),
             recovery: self.recovery,
-            exec: ExecConfig::default(),
+            exec,
             catalog_epoch,
             cache: Mutex::new(ReuseCache::default()),
         };
@@ -1358,67 +1463,122 @@ impl<S: StableStore> CrashedDatabase<S> {
             let t = db.table_id(name)?;
             keys.push(PartitionKey::new(t as u32, *part));
         }
-        let plan = db.recovery.restart(&keys)?;
+        let plan = db.recovery.restart_plan(&keys)?;
+        timings.catalog = catalog_start.elapsed();
+
+        // The two §2.4 reload phases: working set strictly first, then
+        // the background remainder. Each phase fans its image fetch + log
+        // merge and its partition decode over the pool, then installs
+        // serially in plan order (installation is a cheap pointer swap;
+        // ordering keeps the report and any error deterministic).
         let mut loaded = Vec::with_capacity(plan.len());
-        for (key, image, phase) in plan {
-            let t = key.relation as usize;
-            if t >= db.tables.len() {
-                return Err(DbError::Catalog(format!(
-                    "image for unknown relation {}",
-                    key.relation
-                )));
-            }
-            db.tables[t]
-                .rel
-                .write()
-                .load_partition_image(key.partition, &image)
-                .map_err(|e| match e {
-                    // A torn/truncated image must fail loudly with the
-                    // partition's identity, never be redone as-is.
-                    mmdb_storage::StorageError::CorruptImage(_) => DbError::CorruptPartition {
-                        table: db.tables[t].name.clone(),
-                        partition: key.partition,
-                        source: e,
-                    },
-                    other => DbError::Storage(other),
-                })?;
-            loaded.push((db.tables[t].name.clone(), key.partition, phase));
-        }
-        // Rebuild indexes from the reloaded relations.
-        let mut rebuilt = 0usize;
-        for im in &meta.indexes {
-            let t = im.table as usize;
-            let adapter = SharedAdapter::new(Arc::clone(&db.tables[t].rel), im.attr as usize);
-            let mut index = match im.kind {
-                IndexKind::TTree => AnyIndex::TTree(TTree::new(
-                    adapter,
-                    TTreeConfig::with_node_size(im.param as usize),
-                )),
-                IndexKind::Hash => {
-                    AnyIndex::Hash(ModifiedLinearHash::new(adapter, im.param as usize))
-                }
-            };
-            for tid in db.tables[t].rel.read().iter_tids() {
-                index.insert(tid);
-            }
-            rebuilt += 1;
+        let ws_start = Instant::now();
+        let images =
+            db.recovery
+                .fetch_phase(&plan.working_set, RestartPhase::WorkingSet, exec.dop)?;
+        install_images(&mut db, images, exec, &mut loaded)?;
+        timings.working_set = ws_start.elapsed();
+        let bg_start = Instant::now();
+        let images =
+            db.recovery
+                .fetch_phase(&plan.background, RestartPhase::Background, exec.dop)?;
+        install_images(&mut db, images, exec, &mut loaded)?;
+        timings.background = bg_start.elapsed();
+
+        // Rebuild indexes from the reloaded relations: one bulk-build
+        // task per index on the pool. Builds only read their relation
+        // (snapshot under a read guard), so tasks are independent; merge
+        // order is catalog order regardless of completion order.
+        let rebuild_start = Instant::now();
+        let rels: Vec<Arc<RwLock<Relation>>> = meta
+            .indexes
+            .iter()
+            .map(|im| Arc::clone(&db.tables[im.table as usize].rel))
+            .collect();
+        let built: Vec<(AnyIndex, usize, Duration)> =
+            run_tasks(meta.indexes.len(), exec.dop, |i| {
+                let im = &meta.indexes[i];
+                let start = Instant::now();
+                let (index, entries) =
+                    build_index_bulk(&rels[i], im.attr as usize, im.kind, im.param);
+                (index, entries, start.elapsed())
+            });
+        let mut index_stats = Vec::with_capacity(built.len());
+        for (im, (index, entries, elapsed)) in meta.indexes.iter().zip(built) {
+            index_stats.push(IndexRebuildStat {
+                name: im.name.clone(),
+                entries,
+                elapsed,
+            });
             db.indexes.push(IndexDef {
                 name: im.name.clone(),
-                table: t,
+                table: im.table as usize,
                 attr: im.attr as usize,
                 kind: im.kind,
                 param: im.param,
                 index,
             });
         }
+        timings.index_rebuild = rebuild_start.elapsed();
+        let rebuilt = db.indexes.len();
         Ok((
             db,
             RecoveryReport {
                 loaded,
                 indexes_rebuilt: rebuilt,
+                timings,
+                index_stats,
             },
         ))
     }
+}
+
+/// Install one restart phase's images into the recovered tables: decode
+/// on the pool when the phase's byte volume warrants it, install serially
+/// in plan order (preserving the serial path's first-error semantics).
+fn install_images<S: StableStore>(
+    db: &mut Database<S>,
+    images: Vec<(PartitionKey, Vec<u8>, RestartPhase)>,
+    exec: ExecConfig,
+    loaded: &mut Vec<(String, u32, RestartPhase)>,
+) -> Result<(), DbError> {
+    let total_bytes: usize = images.iter().map(|(_, img, _)| img.len()).sum();
+    let decoded: Vec<Result<Partition, mmdb_storage::StorageError>> =
+        if images.len() >= 2 && exec.parallel_for(total_bytes) {
+            run_tasks(images.len(), exec.dop, |i| {
+                Partition::try_from_bytes(&images[i].1)
+            })
+        } else {
+            images
+                .iter()
+                .map(|(_, img, _)| Partition::try_from_bytes(img))
+                .collect()
+        };
+    for ((key, _, phase), part) in images.into_iter().zip(decoded) {
+        let t = key.relation as usize;
+        if t >= db.tables.len() {
+            return Err(DbError::Catalog(format!(
+                "image for unknown relation {}",
+                key.relation
+            )));
+        }
+        let part = part.map_err(|e| match e {
+            // A torn/truncated image must fail loudly with the
+            // partition's identity, never be redone as-is.
+            mmdb_storage::StorageError::CorruptImage(_) => DbError::CorruptPartition {
+                table: db.tables[t].name.clone(),
+                partition: key.partition,
+                source: e,
+            },
+            other => DbError::Storage(other),
+        })?;
+        db.tables[t]
+            .rel
+            .write()
+            .install_partition(key.partition, part);
+        loaded.push((db.tables[t].name.clone(), key.partition, phase));
+    }
+    Ok(())
 }
 
 impl<S: StableStore> VersionSource for Database<S> {

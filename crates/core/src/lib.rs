@@ -46,7 +46,10 @@ pub mod shared;
 pub mod txn;
 
 pub use checkpoint::{CheckpointReport, Checkpointer};
-pub use db::{CrashedDatabase, Database, IndexKind, RecoveryReport, TableId, APPEND_FENCE};
+pub use db::{
+    CrashedDatabase, Database, IndexKind, IndexRebuildStat, RecoveryReport, RecoveryTimings,
+    TableId, APPEND_FENCE,
+};
 pub use engine::{GroupCommitStats, Session, Txn, TxnEngine, TxnError};
 pub use error::DbError;
 pub use query::{QueryBuilder, QueryOutput};

@@ -39,7 +39,13 @@ impl SharedAdapter {
 /// pointers); a dead entry means the index and its relation have drifted,
 /// which is the reachability invariant `mmdb-check` reports on — so the
 /// only sound response here is to panic naming the invariant.
-fn live_field<'r>(r: &'r mmdb_storage::Relation, tid: TupleId, attr: usize) -> Value<'r> {
+/// `pub(crate)` so the bulk index-rebuild path can snapshot keys under a
+/// single read guard instead of re-locking through the adapter per tuple.
+pub(crate) fn live_field<'r>(
+    r: &'r mmdb_storage::Relation,
+    tid: TupleId,
+    attr: usize,
+) -> Value<'r> {
     match r.field(tid, attr) {
         Ok(v) => v,
         Err(e) => panic!("index entry {tid:?} must be live: {e}"),

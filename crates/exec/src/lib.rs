@@ -67,7 +67,7 @@ pub use join::{
 pub use optimizer::{choose_select_path, IndexAvailability, JoinMethod, JoinPlanner, SelectPath};
 pub use parallel::{
     merge_indexed, parallel_hash_join, parallel_nested_loops_join, parallel_project_hash,
-    parallel_select_scan, parallel_theta_join, ExecConfig,
+    parallel_select_scan, parallel_theta_join, run_tasks, ExecConfig,
 };
 pub use plan::{
     CachedMode, ExecContext, LogicalPlan, PlanError, PlanProfile, PlannedQuery, Planner,

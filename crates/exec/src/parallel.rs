@@ -158,7 +158,12 @@ fn available_workers() -> usize {
 /// `workers - 1` threads are spawned, with `workers` capped at the
 /// machine's available parallelism; with one effective worker (or a
 /// single task) everything runs inline with no spawn at all.
-fn run_tasks<T, F>(tasks: usize, dop: usize, f: F) -> Vec<T>
+///
+/// Public so other layers can borrow the pool for their own fan-out —
+/// restart uses it for partition replay and per-index rebuilds
+/// (DESIGN.md §16) — while this crate's operators keep their dedicated
+/// wrappers below.
+pub fn run_tasks<T, F>(tasks: usize, dop: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,

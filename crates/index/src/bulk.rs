@@ -1,0 +1,270 @@
+//! Layout math for bulk index construction (restart's index-rebuild phase).
+//!
+//! §2.4 of the paper keeps a backup copy of each index on disk precisely
+//! because rebuilding indices dominates restart; "Compressed Key Sort and
+//! Fast Index Reconstruction" (PAPERS.md) shows the alternative this module
+//! implements: sort compact key tags once, then materialise the index
+//! bottom-up in one pass, never rebalancing and never splitting.
+//!
+//! This module is pure arithmetic — it computes *shapes*, not nodes — so it
+//! can sit under the `panic-path` lint gate: no indexing, no `unwrap`, and
+//! no division by runtime values. [`TTree::build_from_sorted`] and
+//! [`ModifiedLinearHash::bulk_fill`] consume these plans and do the actual
+//! arena writes.
+//!
+//! [`TTree::build_from_sorted`]: crate::ttree::TTree::build_from_sorted
+//! [`ModifiedLinearHash::bulk_fill`]: crate::modlinear::ModifiedLinearHash::bulk_fill
+//!
+//! # T-Tree shape
+//!
+//! [`balanced_shape`] slices `n` sorted elements into chunks of `fill`
+//! elements (the tree's `min_count`; the last chunk may be short) and
+//! arranges the chunks as a count-balanced binary tree:
+//!
+//! * every chunk except the last holds exactly `fill` elements, so every
+//!   *internal* node meets the paper's minimum-count invariant by
+//!   construction;
+//! * the short chunk, if any, holds the largest keys and is therefore the
+//!   rightmost node of the tree — a node with no right child, i.e. a leaf
+//!   or half-leaf, which the occupancy invariant exempts;
+//! * the midpoint recursion leaves sibling subtree sizes within one chunk
+//!   of each other, which bounds sibling *heights* within one — the AVL
+//!   balance the T-Tree maintains incrementally holds at birth.
+//!
+//! # Hash directory layout
+//!
+//! [`hash_directory_layout`] answers "had the entries been inserted one at
+//! a time, how large would the directory have grown?" — the smallest
+//! directory whose average chain length does not exceed the target — and
+//! expresses it in linear-hashing terms (`level`, `split`) so the
+//! split-pointer address function is consistent from the first probe.
+
+/// One node of a bulk-built T-Tree: a chunk of the sorted input plus tree
+/// links, all expressed as indices into the shape vector itself (the
+/// builder maps them 1:1 onto arena ids).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShapeNode {
+    /// First element of this node's chunk in the sorted input.
+    pub start: usize,
+    /// One past the last element of this node's chunk.
+    pub end: usize,
+    /// Shape index of the left child.
+    pub left: Option<usize>,
+    /// Shape index of the right child.
+    pub right: Option<usize>,
+    /// Shape index of the parent.
+    pub parent: Option<usize>,
+    /// AVL height (leaves are 1), precomputed bottom-up.
+    pub height: i32,
+}
+
+/// Compute the node layout for a bulk-built T-Tree over `n` sorted
+/// elements with `fill` elements per node (clamped to at least 1).
+///
+/// Returns one [`ShapeNode`] per chunk; the subtree root is pushed before
+/// its children, so the overall root is element 0 and parents always
+/// precede children. Empty input yields an empty shape.
+#[must_use]
+pub fn balanced_shape(n: usize, fill: usize) -> Vec<ShapeNode> {
+    let fill = fill.max(1);
+    let chunks = n.div_ceil(fill);
+    let mut shape = Vec::with_capacity(chunks);
+    shape_range(0, chunks, None, n, fill, &mut shape);
+    shape
+}
+
+/// Recursive midpoint split over the chunk range `lo..hi`; returns the
+/// subtree's height (0 for an empty range). Depth is `log2(chunks)`.
+fn shape_range(
+    lo: usize,
+    hi: usize,
+    parent: Option<usize>,
+    n: usize,
+    fill: usize,
+    shape: &mut Vec<ShapeNode>,
+) -> i32 {
+    if lo >= hi {
+        return 0;
+    }
+    let mid = lo + (hi - lo) / 2;
+    let idx = shape.len();
+    shape.push(ShapeNode {
+        start: mid.saturating_mul(fill),
+        end: mid.saturating_add(1).saturating_mul(fill).min(n),
+        left: None,
+        right: None,
+        parent,
+        height: 0,
+    });
+    let hl = shape_range(lo, mid, Some(idx), n, fill, shape);
+    let left = (hl > 0).then(|| idx.saturating_add(1));
+    let right_idx = shape.len();
+    let hr = shape_range(mid.saturating_add(1), hi, Some(idx), n, fill, shape);
+    let right = (hr > 0).then_some(right_idx);
+    let height = 1 + hl.max(hr);
+    if let Some(node) = shape.get_mut(idx) {
+        node.left = left;
+        node.right = right;
+        node.height = height;
+    }
+    height
+}
+
+/// A linear-hashing directory sized for a known cardinality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashLayout {
+    /// Doubling level: the base of the round is `initial << level`.
+    pub level: u32,
+    /// Split pointer within the round; strictly below the base.
+    pub split: usize,
+    /// Total directory slots, `= base + split`.
+    pub directory_len: usize,
+}
+
+/// Size a linear-hashing directory for `n` entries: the smallest
+/// directory of at least `initial` slots whose average chain length
+/// (`n / slots`) does not exceed `target_chain`, decomposed into the
+/// `(level, split)` pair the split-pointer address function needs.
+///
+/// Minimality matters beyond memory: growth triggers strictly above the
+/// target and contraction strictly below half of it, and for any
+/// above-`initial` minimal directory the average lands in
+/// `(target/2, target]` — so a bulk-filled table reorganises exactly as
+/// late as an incrementally filled one would.
+#[must_use]
+pub fn hash_directory_layout(n: usize, target_chain: f64, initial_buckets: usize) -> HashLayout {
+    let initial = initial_buckets.max(1);
+    let target = if target_chain >= 1.0 {
+        target_chain
+    } else {
+        1.0
+    };
+    // `n / d <= target` rearranged multiplicatively to stay division-free.
+    let fits = |d: usize| (n as f64) <= target * (d as f64);
+    let mut hi = initial;
+    while !fits(hi) {
+        hi = hi.saturating_mul(2);
+    }
+    let mut lo = initial;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if fits(mid) {
+            hi = mid;
+        } else {
+            lo = mid.saturating_add(1);
+        }
+    }
+    let directory_len = lo;
+    let mut level = 0u32;
+    let mut base = initial;
+    while base.saturating_mul(2) <= directory_len {
+        base = base.saturating_mul(2);
+        level = level.saturating_add(1);
+    }
+    HashLayout {
+        level,
+        split: directory_len.saturating_sub(base),
+        directory_len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_shape(n: usize, fill: usize) {
+        let shape = balanced_shape(n, fill);
+        let fill = fill.max(1);
+        assert_eq!(shape.len(), n.div_ceil(fill), "n={n} fill={fill}");
+        if n == 0 {
+            return;
+        }
+        // Chunks must tile 0..n exactly, in in-order traversal order.
+        let mut ranges: Vec<(usize, usize)> = shape.iter().map(|s| (s.start, s.end)).collect();
+        ranges.sort_unstable();
+        let mut expect_start = 0usize;
+        for (i, &(s, e)) in ranges.iter().enumerate() {
+            assert_eq!(s, expect_start, "n={n} fill={fill} chunk {i}");
+            assert!(e > s);
+            let len = e - s;
+            if i + 1 < ranges.len() {
+                assert_eq!(len, fill, "only the last chunk may be short");
+            } else {
+                assert!(len <= fill);
+            }
+            expect_start = e;
+        }
+        assert_eq!(expect_start, n);
+        // Link integrity + AVL balance + height correctness, bottom-up.
+        assert_eq!(shape[0].parent, None);
+        for (i, s) in shape.iter().enumerate() {
+            let hl = s.left.map_or(0, |l| {
+                assert_eq!(shape[l].parent, Some(i));
+                assert!(shape[l].end <= s.start, "left child keys must precede");
+                shape[l].height
+            });
+            let hr = s.right.map_or(0, |r| {
+                assert_eq!(shape[r].parent, Some(i));
+                assert!(shape[r].start >= s.end, "right child keys must follow");
+                shape[r].height
+            });
+            assert_eq!(s.height, 1 + hl.max(hr), "node {i}");
+            assert!((hl - hr).abs() <= 1, "node {i} unbalanced: {hl} vs {hr}");
+        }
+        // The short chunk (if any) must sit where it has no right child.
+        let last = ranges.len() - 1;
+        if let Some(short) = shape.iter().position(|s| s.end - s.start < fill) {
+            assert_eq!((shape[short].start, shape[short].end), ranges[last]);
+            assert_eq!(shape[short].right, None);
+        }
+    }
+
+    #[test]
+    fn shapes_across_sizes_and_fills() {
+        for fill in [0, 1, 2, 3, 7, 28, 100] {
+            for n in [0usize, 1, 2, 3, 7, 8, 9, 27, 28, 29, 55, 56, 57, 1000, 1001] {
+                check_shape(n, fill);
+            }
+        }
+    }
+
+    #[test]
+    fn shape_root_first_parents_precede_children() {
+        let shape = balanced_shape(1000, 7);
+        for (i, s) in shape.iter().enumerate() {
+            if let Some(p) = s.parent {
+                assert!(p < i, "parent {p} must precede child {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn hash_layout_minimal_and_decomposed() {
+        for target in [1usize, 2, 4, 8] {
+            for n in [0usize, 1, 3, 4, 5, 16, 17, 100, 1000, 99_999, 100_000] {
+                let l = hash_directory_layout(n, target as f64, 4);
+                let base = 4usize << l.level;
+                assert_eq!(l.directory_len, base + l.split, "n={n} target={target}");
+                assert!(l.split < base, "n={n} target={target}");
+                assert!(l.directory_len >= 4);
+                // Average chain within [0, target]; minimal directory.
+                assert!(n <= target * l.directory_len, "avg exceeds target");
+                if l.directory_len > 4 {
+                    assert!(
+                        n > target * (l.directory_len - 1),
+                        "n={n} target={target}: directory {} not minimal",
+                        l.directory_len
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hash_layout_clamps_degenerate_inputs() {
+        let l = hash_directory_layout(100, 0.0, 0);
+        assert!(l.directory_len >= 100, "target clamps to 1");
+        let l = hash_directory_layout(0, 2.0, 4);
+        assert_eq!((l.level, l.split, l.directory_len), (0, 0, 4));
+    }
+}

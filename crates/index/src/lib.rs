@@ -42,6 +42,7 @@ pub mod adapter;
 pub mod array;
 pub mod avl;
 pub mod btree;
+pub mod bulk;
 pub mod chained;
 pub mod extendible;
 pub mod linear;

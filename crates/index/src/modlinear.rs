@@ -171,6 +171,56 @@ impl<A: HashAdapter> ModifiedLinearHash<A> {
             self.contract_one();
         }
     }
+
+    /// Bulk-load an **empty** table from entries with precomputed hashes:
+    /// size the directory once from the known cardinality
+    /// ([`crate::bulk::hash_directory_layout`]), then fill chains with no
+    /// split/contract churn — every entry is hashed and chained exactly
+    /// once, versus the O(n) re-hashing a split-as-you-go load performs.
+    /// On a non-empty table this degrades to per-entry insertion.
+    ///
+    /// The resulting `(level, split)` state is exactly what incremental
+    /// insertion would have reached, so later inserts and deletes resume
+    /// the normal grow/shrink schedule. Chain order differs from the
+    /// incremental prepend order (the structure gives no scan-order
+    /// guarantee).
+    pub fn bulk_fill_hashed(&mut self, entries: Vec<(u64, A::Entry)>) {
+        if self.len != 0 {
+            for (_, e) in entries {
+                self.insert(e);
+            }
+            return;
+        }
+        let layout =
+            crate::bulk::hash_directory_layout(entries.len(), self.target_chain, INITIAL_BUCKETS);
+        self.level = layout.level;
+        self.split = layout.split;
+        self.directory.clear();
+        self.directory.resize(layout.directory_len, NIL);
+        self.nodes.reserve(entries.len());
+        self.stats.restructures(1);
+        for (h, e) in entries {
+            let b = self.address(h);
+            let head = self.directory[b];
+            let id = self.alloc(e, head);
+            self.directory[b] = id;
+            self.stats.data_moves(1);
+            self.len += 1;
+        }
+    }
+
+    /// [`Self::bulk_fill_hashed`] with the hashes computed here (one
+    /// [`HashAdapter::hash_entry`] call per entry).
+    pub fn bulk_fill(&mut self, entries: Vec<A::Entry>) {
+        let hashed: Vec<(u64, A::Entry)> = entries
+            .into_iter()
+            .map(|e| {
+                self.stats.hash_calls(1);
+                (self.adapter.hash_entry(&e), e)
+            })
+            .collect();
+        self.bulk_fill_hashed(hashed);
+    }
 }
 
 impl<A: HashAdapter> UnorderedIndex<A> for ModifiedLinearHash<A> {
@@ -568,5 +618,92 @@ mod tests {
         h.scan(&mut |e| seen.push(*e));
         seen.sort_unstable();
         assert_eq!(seen, (0..700).collect::<Vec<u64>>());
+    }
+
+    fn bulk_vs_incremental(entries: &[u64], target: usize) {
+        let mut bulk = nat(target);
+        bulk.bulk_fill(entries.to_vec());
+        bulk.validate()
+            .unwrap_or_else(|e| panic!("target {target}: {e}"));
+        let mut incr = nat(target);
+        for &e in entries {
+            incr.insert(e);
+        }
+        incr.validate().unwrap();
+        // Same contents, same directory geometry as incremental growth.
+        assert_eq!(bulk.len(), incr.len(), "target {target}");
+        assert_eq!(
+            bulk.bucket_count(),
+            incr.bucket_count(),
+            "target {target}: directory size differs from incremental growth"
+        );
+        let mut b = Vec::new();
+        bulk.scan(&mut |e| b.push(*e));
+        b.sort_unstable();
+        let mut i = Vec::new();
+        incr.scan(&mut |e| i.push(*e));
+        i.sort_unstable();
+        assert_eq!(b, i, "target {target}");
+    }
+
+    #[test]
+    fn bulk_fill_matches_incremental_contents_and_geometry() {
+        for target in [1usize, 2, 4] {
+            for n in [0usize, 1, 4, 5, 63, 64, 65, 1000] {
+                let entries: Vec<u64> = (0..n as u64).collect();
+                bulk_vs_incremental(&entries, target);
+            }
+        }
+    }
+
+    #[cfg(feature = "stats")]
+    #[test]
+    fn bulk_fill_causes_one_restructure() {
+        let mut h = nat(2);
+        h.bulk_fill((0..10_000u64).collect());
+        let snap = UnorderedIndex::stats(&h);
+        assert_eq!(
+            snap.restructures, 1,
+            "pre-sized fill must not split incrementally"
+        );
+        assert_eq!(snap.hash_calls, 10_000, "one hash per entry");
+    }
+
+    #[test]
+    fn bulk_fill_on_nonempty_falls_back_to_inserts() {
+        let mut h = nat(2);
+        for k in 0..100u64 {
+            h.insert(k);
+        }
+        h.bulk_fill((100..300u64).collect());
+        h.validate().unwrap();
+        assert_eq!(h.len(), 300);
+        let mut seen = Vec::new();
+        h.scan(&mut |e| seen.push(*e));
+        seen.sort_unstable();
+        assert_eq!(seen, (0..300).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn bulk_fill_then_mutate() {
+        let mut h = nat(2);
+        h.bulk_fill((0..1000u64).collect());
+        for k in 0..1000u64 {
+            if k % 2 == 0 {
+                assert!(h.delete(&k).is_some(), "delete {k}");
+            }
+        }
+        for k in 1000..1200u64 {
+            h.insert(k);
+        }
+        h.validate().expect("after mutation");
+        let mut seen = Vec::new();
+        h.scan(&mut |e| seen.push(*e));
+        seen.sort_unstable();
+        let want: Vec<u64> = (0..1000u64)
+            .filter(|k| k % 2 == 1)
+            .chain(1000..1200)
+            .collect();
+        assert_eq!(seen, want);
     }
 }

@@ -753,6 +753,98 @@ impl<A: Adapter> TTree<A> {
     }
 }
 
+/// Bulk construction (restart's index-rebuild path; DESIGN.md §16).
+impl<A: Adapter> TTree<A> {
+    /// Build a T-Tree in one bottom-up pass from entries already sorted by
+    /// [`Adapter::cmp_entries`], each paired with its
+    /// [`Adapter::entry_tag`].
+    ///
+    /// Nodes are filled to `config.min_count()` — so every internal node
+    /// meets the occupancy invariant at birth and inserts still find slack
+    /// up to `max_count` before spilling — and arranged as a
+    /// count-balanced tree ([`crate::bulk::balanced_shape`]); no
+    /// rebalancing or GLB traffic occurs. Entries with equal keys keep
+    /// their input order in the scan sequence (incremental insertion makes
+    /// no such promise — GLB spills scramble equal keys).
+    ///
+    /// The caller is responsible for sortedness and tag correctness
+    /// (checked in debug builds); the run-sort kernel over `entry_tag`s
+    /// plus a tie-break on the full comparison produces exactly this
+    /// input.
+    #[must_use]
+    pub fn build_from_sorted(
+        adapter: A,
+        config: TTreeConfig,
+        tagged: Vec<(u64, A::Entry)>,
+    ) -> Self {
+        let fill = config.min_count();
+        Self::build_with_fill(adapter, config, tagged, fill)
+    }
+
+    fn build_with_fill(
+        adapter: A,
+        config: TTreeConfig,
+        tagged: Vec<(u64, A::Entry)>,
+        fill: usize,
+    ) -> Self {
+        #[cfg(debug_assertions)]
+        for w in tagged.windows(2) {
+            debug_assert!(
+                adapter.cmp_entries(&w[0].1, &w[1].1) != Ordering::Greater,
+                "bulk build input not sorted"
+            );
+        }
+        #[cfg(debug_assertions)]
+        for (t, e) in &tagged {
+            debug_assert_eq!(*t, adapter.entry_tag(e), "bulk build tag mismatch");
+        }
+        let n = tagged.len();
+        let mut tree = TTree::new(adapter, config);
+        if n == 0 {
+            return tree;
+        }
+        let fill = fill.clamp(1, config.max_count);
+        let shape = crate::bulk::balanced_shape(n, fill);
+        let to_id = |link: Option<usize>| link.map_or(NIL, |i| i as u32);
+        tree.nodes.reserve(shape.len());
+        for s in &shape {
+            let slice = &tagged[s.start..s.end];
+            let mut items = Vec::with_capacity(config.max_count);
+            items.extend(slice.iter().map(|(_, e)| *e));
+            tree.stats.data_moves(items.len() as u64);
+            tree.nodes.push(Node {
+                items,
+                min_tag: slice.first().map_or(0, |(t, _)| *t),
+                max_tag: slice.last().map_or(0, |(t, _)| *t),
+                left: to_id(s.left),
+                right: to_id(s.right),
+                parent: to_id(s.parent),
+                height: s.height,
+            });
+        }
+        // `balanced_shape` pushes each subtree root before its children,
+        // so the overall root is arena id 0.
+        tree.root = 0;
+        tree.len = n;
+        tree
+    }
+
+    /// Test hook (negative occupancy tests): bulk-build with an arbitrary
+    /// per-node fill, bypassing the `min_count` choice above so the
+    /// checker's occupancy validator can be shown to catch under-filled
+    /// internal nodes.
+    #[cfg(feature = "check")]
+    #[must_use]
+    pub fn raw_build_with_fill(
+        adapter: A,
+        config: TTreeConfig,
+        tagged: Vec<(u64, A::Entry)>,
+        fill: usize,
+    ) -> Self {
+        Self::build_with_fill(adapter, config, tagged, fill)
+    }
+}
+
 /// An opaque saved cursor position (see [`TTreeCursor::mark`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TTreeMark(Option<(u32, usize)>);
@@ -1368,6 +1460,7 @@ mod tests {
 mod cursor_tests {
     use super::*;
     use crate::adapter::NaturalAdapter;
+    use crate::testkit;
 
     #[test]
     fn cursor_walks_and_rewinds() {
@@ -1407,5 +1500,125 @@ mod cursor_tests {
         let m = c.mark();
         c.rewind(m);
         assert_eq!(c.peek(), None);
+    }
+
+    /// [`DupAdapter`] with real key tags (the key itself — trivially
+    /// monotone), so bulk builds exercise the tag cache.
+    #[derive(Debug, Default, Clone, Copy)]
+    struct TagDupAdapter;
+
+    impl Adapter for TagDupAdapter {
+        type Entry = u64;
+        type Key = u64;
+
+        fn cmp_entries(&self, a: &u64, b: &u64) -> std::cmp::Ordering {
+            testkit::dup_key(*a).cmp(&testkit::dup_key(*b))
+        }
+
+        fn cmp_entry_key(&self, e: &u64, key: &u64) -> std::cmp::Ordering {
+            testkit::dup_key(*e).cmp(key)
+        }
+
+        fn entry_tag(&self, e: &u64) -> u64 {
+            testkit::dup_key(*e)
+        }
+
+        fn key_tag(&self, key: &u64) -> u64 {
+            *key
+        }
+    }
+
+    fn bulk_vs_incremental(entries: &[u64], node_size: usize) {
+        let tagged: Vec<(u64, u64)> = entries
+            .iter()
+            .map(|&e| (TagDupAdapter.entry_tag(&e), e))
+            .collect();
+        let bulk = TTree::build_from_sorted(
+            TagDupAdapter,
+            TTreeConfig::with_node_size(node_size),
+            tagged,
+        );
+        bulk.validate()
+            .unwrap_or_else(|e| panic!("node_size {node_size}: {e}"));
+        assert_eq!(bulk.len(), entries.len());
+        let mut incr = TTree::new(TagDupAdapter, TTreeConfig::with_node_size(node_size));
+        for &e in entries {
+            incr.insert(e);
+        }
+        // Bulk scan preserves the sorted input exactly (including the
+        // order of equal keys, which incremental GLB spills scramble);
+        // contents match incremental insertion as a multiset.
+        let b: Vec<u64> = bulk.iter().collect();
+        assert_eq!(b, entries, "node_size {node_size}: input order");
+        let mut bs = b;
+        bs.sort_unstable();
+        let mut is: Vec<u64> = incr.iter().collect();
+        is.sort_unstable();
+        assert_eq!(bs, is, "node_size {node_size}: contents");
+    }
+
+    #[test]
+    fn bulk_build_matches_incremental_insert() {
+        for node_size in [1, 2, 3, 5, 30] {
+            for n in [0usize, 1, 2, 27, 28, 29, 300] {
+                let entries: Vec<u64> = (0..n as u64).map(|k| k << 16).collect();
+                bulk_vs_incremental(&entries, node_size);
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_build_duplicate_heavy_keeps_input_order() {
+        // 10 distinct keys × 40 copies, suffixes distinguishing copies;
+        // sorted by key with ascending suffix within each key.
+        let entries: Vec<u64> = (0..10u64)
+            .flat_map(|k| (0..40u64).map(move |s| (k << 16) | s))
+            .collect();
+        bulk_vs_incremental(&entries, 7);
+        bulk_vs_incremental(&entries, 30);
+    }
+
+    #[test]
+    fn bulk_build_then_mutate() {
+        let entries: Vec<u64> = (0..500u64).map(|k| k << 16).collect();
+        let tagged: Vec<(u64, u64)> = entries
+            .iter()
+            .map(|&e| (TagDupAdapter.entry_tag(&e), e))
+            .collect();
+        let mut t = TTree::build_from_sorted(TagDupAdapter, TTreeConfig::with_node_size(8), tagged);
+        // A bulk-built tree must keep working as a live index: interleave
+        // inserts and deletes, then validate.
+        for k in 0..500u64 {
+            if k % 3 == 0 {
+                assert!(t.delete(&k).is_some(), "delete {k}");
+            }
+        }
+        for k in 500..700u64 {
+            t.insert(k << 16);
+        }
+        t.validate().expect("after mutation");
+        let got: Vec<u64> = t.iter().map(testkit::dup_key).collect();
+        let want: Vec<u64> = (0..500u64).filter(|k| k % 3 != 0).chain(500..700).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn bulk_build_internal_occupancy_at_min_count() {
+        let config = TTreeConfig::with_node_size(30);
+        let entries: Vec<u64> = (0..10_000u64).map(|k| k << 16).collect();
+        let tagged: Vec<(u64, u64)> = entries
+            .iter()
+            .map(|&e| (TagDupAdapter.entry_tag(&e), e))
+            .collect();
+        let t = TTree::build_from_sorted(TagDupAdapter, config, tagged);
+        t.validate().expect("valid");
+        // Every chunk is min_count except possibly the last, so internal
+        // fill is min_count / max_count exactly.
+        let want = config.min_count() as f64 / config.max_count as f64;
+        assert!(
+            (t.internal_fill() - want).abs() < 1e-9,
+            "{}",
+            t.internal_fill()
+        );
     }
 }

@@ -54,6 +54,7 @@ pub mod disk;
 pub mod fault;
 pub mod log;
 pub mod manager;
+pub mod replay;
 
 pub use background::ActiveLogDevice;
 pub use device::LogDevice;
@@ -61,3 +62,4 @@ pub use disk::{FileDisk, MemDisk, StableStore};
 pub use fault::{FaultCounters, FaultHandle, FaultPlan, FaultyDisk, SplitMix64};
 pub use log::{LogRecord, PartitionKey, StableLogBuffer};
 pub use manager::{RecoveryManager, RestartPhase};
+pub use replay::RestartPlan;

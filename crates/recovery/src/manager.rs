@@ -5,6 +5,7 @@
 use crate::device::LogDevice;
 use crate::disk::StableStore;
 use crate::log::{PartitionKey, StableLogBuffer};
+use crate::replay::RestartPlan;
 use std::collections::HashSet;
 
 /// Which restart phase produced a recovered partition image.
@@ -189,6 +190,32 @@ impl<S: StableStore> RecoveryManager<S> {
         self.disk.read(key)
     }
 
+    /// The two-phase §2.4 restart plan: the (deduplicated) working-set
+    /// keys in request order, then every other partition known to any
+    /// layer — disk copy, log-device accumulation, committed buffer
+    /// records — in sorted order. Resolving the plan touches no images;
+    /// [`RecoveryManager::restart`] and
+    /// [`RecoveryManager::restart_with`] fetch them.
+    pub fn restart_plan(&self, working_set: &[PartitionKey]) -> std::io::Result<RestartPlan> {
+        let mut seen: HashSet<PartitionKey> = HashSet::new();
+        let mut ws = Vec::with_capacity(working_set.len());
+        for &key in working_set {
+            if seen.insert(key) {
+                ws.push(key);
+            }
+        }
+        let mut rest: Vec<PartitionKey> = self.disk.keys()?;
+        rest.extend(self.device.pending_keys());
+        rest.extend(self.buffer.committed_images().keys().copied());
+        rest.sort_unstable();
+        rest.dedup();
+        rest.retain(|key| seen.insert(*key));
+        Ok(RestartPlan {
+            working_set: ws,
+            background: rest,
+        })
+    }
+
     /// The §2.4 restart sequence: yields `(key, image, phase)` with every
     /// working-set partition first (disk image merged with unapplied log
     /// updates on the fly), then the remainder of the database.
@@ -196,26 +223,11 @@ impl<S: StableStore> RecoveryManager<S> {
         &self,
         working_set: &[PartitionKey],
     ) -> std::io::Result<Vec<(PartitionKey, Vec<u8>, RestartPhase)>> {
-        let mut out = Vec::new();
-        let mut seen: HashSet<PartitionKey> = HashSet::new();
-        for &key in working_set {
-            if seen.insert(key) {
-                if let Some(img) = self.recover_image(key)? {
-                    out.push((key, img, RestartPhase::WorkingSet));
-                }
-            }
-        }
-        // Background phase: every other partition known to any layer.
-        let mut rest: Vec<PartitionKey> = self.disk.keys()?;
-        rest.extend(self.device.pending_keys());
-        rest.extend(self.buffer.committed_images().keys().copied());
-        rest.sort_unstable();
-        rest.dedup();
-        for key in rest {
-            if seen.insert(key) {
-                if let Some(img) = self.recover_image(key)? {
-                    out.push((key, img, RestartPhase::Background));
-                }
+        let plan = self.restart_plan(working_set)?;
+        let mut out = Vec::with_capacity(plan.len());
+        for (key, phase) in plan.entries() {
+            if let Some(img) = self.recover_image(key)? {
+                out.push((key, img, phase));
             }
         }
         Ok(out)

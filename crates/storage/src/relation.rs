@@ -340,6 +340,16 @@ impl Relation {
     /// leaving the relation untouched.
     pub fn load_partition_image(&mut self, p: u32, image: &[u8]) -> Result<(), StorageError> {
         let part = Partition::try_from_bytes(image)?;
+        self.install_partition(p, part);
+        Ok(())
+    }
+
+    /// Install an already-decoded partition at position `p` (the parallel
+    /// restart path decodes images on pool workers, then installs them
+    /// serially in plan order). Gaps up to `p` are filled with empty
+    /// partitions; an existing partition is replaced and its version
+    /// bumped.
+    pub fn install_partition(&mut self, p: u32, part: Partition) {
         if p as usize >= self.partitions.len() {
             while self.partitions.len() < p as usize {
                 self.partitions
@@ -359,7 +369,6 @@ impl Relation {
             self.versions[p as usize] += 1;
         }
         self.len = self.partitions.iter().map(Partition::live).sum();
-        Ok(())
     }
 
     /// Partitions dirtied since the last [`Relation::clear_dirty`] call.

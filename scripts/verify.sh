@@ -89,10 +89,18 @@ gate "reuse-cache-accept" cargo run --release --example reuse_cache
 # cold recompute (writes results/reuse_subsumption.csv).
 gate "reuse-subsume-accept" cargo run --release --example reuse_cache -- --subsume
 
+# Restart-performance acceptance: bulk index reconstruction must beat
+# tuple-at-a-time reinsertion by >= 2x on a 100k-row rebuild (an
+# algorithmic margin, demanded on a single core), and the full
+# recover_with pipeline is swept across sizes and dop (writes
+# results/recovery_scaling.csv).
+gate "recovery-accept"   cargo run --release --example recovery_bench -- --quick
+
 # Crash-recovery torture: scripted workloads over the fault-injecting
 # disk, crashed at seeded power-cut points across a bounded seed sweep
 # (64 seeds — the CI budget; any failure prints its seed for replay),
-# plus the torn-write negative tests and the buggy-manager catch.
+# plus the torn-write negative tests and the buggy-manager catch. Half
+# the seeds restart through the parallel replay path (seed-derived dop).
 gate "recovery-torture"  env MMDB_TORTURE_SEEDS=64 cargo test --test recovery_torture -q
 
 # Multi-session serializability: seeded concurrent transaction schedules

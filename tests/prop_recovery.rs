@@ -150,6 +150,27 @@ proptest! {
         }
     }
 
+    /// Fanning the restart over pool workers must be invisible: for any
+    /// script and any working set, `restart_with` at dop 1, 2, and 4 is
+    /// bit-for-bit the serial `restart` — same keys, same images, same
+    /// phases, same order.
+    #[test]
+    fn parallel_restart_matches_serial(
+        steps in prop::collection::vec(step_strategy(), 1..50),
+        ws_part in 0..PARTS,
+    ) {
+        let driven = drive(&steps);
+        let ws = [PartitionKey::new(0, ws_part)];
+        let serial = driven.mgr.restart(&ws).expect("MemDisk restart cannot fail");
+        for dop in [1usize, 2, 4] {
+            let parallel = driven.mgr
+                .restart_with(&ws, dop)
+                .expect("MemDisk restart cannot fail");
+            prop_assert_eq!(&serial, &parallel,
+                "restart_with(dop={}) diverged from serial restart", dop);
+        }
+    }
+
     /// Restart is read-only: running it twice (with different working
     /// sets) yields the identical image set, and naming a partition in
     /// the working set moves it to the working-set phase without

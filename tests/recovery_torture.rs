@@ -22,7 +22,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use mmdb_core::{Checkpointer, Database, DbError, IndexKind, TxnEngine, TxnError};
-use mmdb_exec::Predicate;
+use mmdb_exec::{ExecConfig, Predicate};
 use mmdb_recovery::{
     FaultCounters, FaultPlan, FaultyDisk, MemDisk, PartitionKey, RecoveryManager, SplitMix64,
     StableStore,
@@ -213,8 +213,12 @@ fn run_torture(seed: u64, plan: FaultPlan) -> Result<RunStats, String> {
     // Snapshot before heal(): heal clears the power_cut flag.
     let counters = handle.counters();
     handle.heal();
+    // Restart through the parallel replay path with a seed-derived dop,
+    // so the sweep exercises serial (dop 1) and fanned-out restarts
+    // alike — recovery must be bit-identical either way.
+    let dop = 1 + (seed % 4) as usize;
     let (db2, _report) = crashed
-        .recover(&[("t", 0)])
+        .recover_with(&[("t", 0)], ExecConfig::with_dop(dop))
         .map_err(|e| format!("RESTART: seed {seed}: {e}"))?;
     verify_equivalence(seed, &db2, &model)?;
     Ok(RunStats {
@@ -794,8 +798,11 @@ fn run_concurrent_torture(seed: u64, plan: FaultPlan) -> Result<FaultCounters, S
     let counters = handle.counters();
     let crashed = db.crash();
     handle.heal();
+    // Seed-derived dop, as in the scripted sweep: half the seeds restart
+    // through the parallel replay path.
+    let dop = 1 + (seed % 4) as usize;
     let (db2, _report) = crashed
-        .recover(&[("ct", 0)])
+        .recover_with(&[("ct", 0)], ExecConfig::with_dop(dop))
         .map_err(|e| format!("RESTART: seed {seed}: {e}"))?;
 
     let rows = db2
